@@ -1,0 +1,37 @@
+//! Regenerates Fig. 6: the evolution process of the evolutionary game
+//! (four panels, one per ESS regime) plus the full regime map.
+
+use dap_bench::fig6::{collapse_ranges, paper_panels, regime_map, P};
+use dap_bench::table;
+
+fn main() {
+    println!("Fig. 6 — evolution of (X, Y) from (0.5, 0.5)");
+    println!("Settings: R_a = 200, k1 = 20, k2 = 4, p = x_a = {P}, Euler t = 0.01");
+
+    for panel in paper_panels() {
+        table::section(&format!(
+            "m = {}  →  ESS {}  at {}  ({} steps to convergence)",
+            panel.m,
+            panel.outcome.kind,
+            panel.outcome.point,
+            panel
+                .outcome
+                .steps
+                .map_or("??".to_owned(), |s| s.to_string()),
+        ));
+        table::header(&[("step", 8), ("X", 10), ("Y", 10)]);
+        for s in &panel.samples {
+            println!(
+                "{:>8}  {:>10}  {:>10}",
+                s.step,
+                table::num(s.x),
+                table::num(s.y)
+            );
+        }
+    }
+
+    table::section("Regime map (paper: 1-11 (1,1); 12-17 (1,Y'); 18-54 (X*,Y*); 55-100 (X',1))");
+    for (from, to, kind) in collapse_ranges(&regime_map(100)) {
+        println!("  m {from:>3} ..= {to:>3}  →  {kind}");
+    }
+}

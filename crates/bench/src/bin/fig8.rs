@@ -1,0 +1,36 @@
+//! Regenerates Fig. 8: average defense cost — evolutionary-game-guided
+//! vs naive full defense.
+
+use dap_bench::fig7::default_sweep;
+use dap_bench::fig8::sweep;
+use dap_bench::table;
+
+fn main() {
+    println!("Fig. 8 — average defense cost vs attack level");
+    println!("E: cost at the ESS with the Fig.-7 optimal m*");
+    println!("N: naive full defense (every node, m = M = 50), attackers at Y'(M)");
+    println!();
+    table::header(&[
+        ("p", 8),
+        ("E (game)", 10),
+        ("N (naive)", 10),
+        ("N literal", 10),
+        ("saving", 8),
+        ("m*", 6),
+    ]);
+    for pt in sweep(&default_sweep()) {
+        println!(
+            "{:>8}  {:>10}  {:>10}  {:>10}  {:>8}  {:>6}",
+            table::num(pt.p),
+            table::num(pt.game_guided),
+            table::num(pt.naive),
+            table::num(pt.naive_literal),
+            format!("{:.0}%", 100.0 * (1.0 - pt.game_guided / pt.naive)),
+            pt.m_star,
+        );
+    }
+    println!();
+    println!("Shape check: E <= N everywhere; past p ~ 0.94 the naive cost keeps");
+    println!("climbing (explodes under the paper's literal unclamped Y') while the");
+    println!("game-guided cost saturates at R_a = 200.");
+}

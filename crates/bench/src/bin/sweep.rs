@@ -1,0 +1,21 @@
+//! Parameter sweep over (attack level x buffers x loss), CSV output.
+//!
+//! Usage: `cargo run --release -p dap-bench --bin sweep [intervals]`
+
+use dap_bench::sweep::{run_sweep, to_csv, SweepConfig};
+
+fn main() {
+    let intervals = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let config = SweepConfig {
+        attack_levels: vec![0.5, 0.67, 0.8, 0.9, 0.95],
+        buffer_counts: vec![1, 2, 4, 8, 16],
+        loss_rates: vec![0.0, 0.1, 0.3],
+        intervals,
+        announce_copies: 1,
+        seed: 2016,
+    };
+    print!("{}", to_csv(&run_sweep(&config)));
+}

@@ -1,0 +1,182 @@
+//! Fig. 5 — required bandwidth fraction for MACs at different levels of
+//! DoS attack, DAP vs TESLA++.
+//!
+//! Settings from §VI-A: data-traffic share `x_d = 0.2`; node memory
+//! `Mem ∈ {1024 kb, 512 kb}`; storage per buffered packet `s₁ = 280 b`
+//! (TESLA++) and `s₂ = 56 b` (DAP); buffer counts `M = Mem/s`.
+//!
+//! For a tolerated attack-success probability `P` (x-axis), the receiver
+//! can afford a forged fraction `p = P^{1/M}`, so the sender's MAC share
+//! of the non-data bandwidth is `x_m = (1 − P^{1/M})·(1 − x_d)` — see
+//! `dap_core::analysis` and DESIGN.md §4 for the reconstruction note.
+//! Because `M₂ = 5·M₁`, DAP's requirement is ≈ 5× lower at every attack
+//! level, the figure's conclusion.
+
+use dap_core::analysis::{required_mac_bandwidth, required_mac_bandwidth_paper_literal};
+use dap_core::memory::StorageScheme;
+use dap_core::sim::{run_campaign, CampaignSpec};
+
+/// The paper's data-traffic share.
+pub const X_D: f64 = 0.2;
+
+/// One point of the Fig.-5 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Point {
+    /// Tolerated attack-success probability (x-axis).
+    pub attack_level: f64,
+    /// Required MAC bandwidth fraction for TESLA++ (`s₁ = 280 b`).
+    pub teslapp: f64,
+    /// Required MAC bandwidth fraction for DAP (`s₂ = 56 b`).
+    pub dap: f64,
+    /// The paper's literal formula, for comparison (TESLA++ / DAP).
+    pub literal_teslapp: f64,
+    /// The paper's literal formula for DAP.
+    pub literal_dap: f64,
+}
+
+/// Buffer counts `(M₁, M₂)` for a memory budget in the paper's kb
+/// (1 kb = 1000 bits).
+#[must_use]
+pub fn buffer_counts(mem_kb: u64) -> (u32, u32) {
+    let bits = mem_kb * 1000;
+    (
+        StorageScheme::MessageAndMac.buffers_in(bits) as u32,
+        StorageScheme::MicroMac.buffers_in(bits) as u32,
+    )
+}
+
+/// The analytic series for one memory budget, sweeping the attack level.
+#[must_use]
+pub fn series(mem_kb: u64, levels: &[f64]) -> Vec<Fig5Point> {
+    let (m1, m2) = buffer_counts(mem_kb);
+    levels
+        .iter()
+        .map(|&p| Fig5Point {
+            attack_level: p,
+            teslapp: required_mac_bandwidth(p, m1, X_D),
+            dap: required_mac_bandwidth(p, m2, X_D),
+            literal_teslapp: required_mac_bandwidth_paper_literal(p, m1, X_D),
+            literal_dap: required_mac_bandwidth_paper_literal(p, m2, X_D),
+        })
+        .collect()
+}
+
+/// The default x-axis sweep.
+#[must_use]
+pub fn default_levels() -> Vec<f64> {
+    (1..=19).map(|i| f64::from(i) * 0.05).collect()
+}
+
+/// Simulation cross-check at reduced scale: with the same memory budget
+/// expressed in *small* units so runs stay fast, measure the empirical
+/// authentication rate of DAP vs a TESLA++-sized buffer under the same
+/// flood, confirming the 5× buffer advantage translates into the
+/// predicted `1 − p^m` gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimCheckPoint {
+    /// Forged-traffic fraction.
+    pub p: f64,
+    /// Buffers affordable at TESLA++ entry size.
+    pub m_teslapp: usize,
+    /// Buffers affordable at DAP entry size (5×).
+    pub m_dap: usize,
+    /// Empirical authentication rate with `m_teslapp` buffers.
+    pub rate_teslapp: f64,
+    /// Empirical authentication rate with `m_dap` buffers.
+    pub rate_dap: f64,
+}
+
+/// Runs the simulation cross-check for a tiny memory budget
+/// (`mem_bits` total buffer memory).
+#[must_use]
+pub fn sim_check(mem_bits: u64, ps: &[f64], intervals: u64, seed: u64) -> Vec<SimCheckPoint> {
+    let m1 = StorageScheme::MessageAndMac.buffers_in(mem_bits).max(1) as usize;
+    let m2 = StorageScheme::MicroMac.buffers_in(mem_bits).max(1) as usize;
+    ps.iter()
+        .map(|&p| {
+            let run = |m: usize| {
+                run_campaign(&CampaignSpec {
+                    attack_fraction: p,
+                    announce_copies: 1,
+                    buffers: m,
+                    intervals,
+                    loss: 0.0,
+                    seed,
+                })
+                .authentication_rate
+            };
+            SimCheckPoint {
+                p,
+                m_teslapp: m1,
+                m_dap: m2,
+                rate_teslapp: run(m1),
+                rate_dap: run(m2),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_counts_match_paper_settings() {
+        let (m1, m2) = buffer_counts(1024);
+        assert_eq!(m1, 3657); // 1_024_000 / 280
+        assert_eq!(m2, 18285); // 1_024_000 / 56
+        let (s1, s2) = buffer_counts(512);
+        assert_eq!(s1, 1828);
+        assert_eq!(s2, 9142);
+    }
+
+    #[test]
+    fn dap_curve_is_below_teslapp_everywhere() {
+        for mem in [512, 1024] {
+            for point in series(mem, &default_levels()) {
+                assert!(
+                    point.dap < point.teslapp,
+                    "mem={mem} P={}: DAP {} !< TESLA++ {}",
+                    point.attack_level,
+                    point.dap,
+                    point.teslapp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_is_about_five() {
+        for point in series(1024, &default_levels()) {
+            let ratio = point.teslapp / point.dap;
+            assert!(
+                (4.5..5.5).contains(&ratio),
+                "P={}: ratio {ratio}",
+                point.attack_level
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_memory_needs_more_bandwidth() {
+        let big = series(1024, &[0.3])[0];
+        let small = series(512, &[0.3])[0];
+        assert!(small.dap > big.dap);
+        assert!(small.teslapp > big.teslapp);
+    }
+
+    #[test]
+    fn sim_check_shows_dap_advantage() {
+        // 560 bits of buffer memory: TESLA++ fits 2 buffers, DAP fits 10.
+        let points = sim_check(560, &[0.8], 600, 9);
+        let pt = points[0];
+        assert_eq!(pt.m_teslapp, 2);
+        assert_eq!(pt.m_dap, 10);
+        assert!(
+            pt.rate_dap > pt.rate_teslapp + 0.2,
+            "dap {} vs teslapp {}",
+            pt.rate_dap,
+            pt.rate_teslapp
+        );
+    }
+}

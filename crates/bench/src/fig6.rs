@@ -1,0 +1,175 @@
+//! Fig. 6 — the evolution process of the evolutionary game.
+//!
+//! §VI-B settings: `R_a = 200`, `k1 = 20`, `k2 = 4`, `p = x_a = 0.8`,
+//! starting point `(X, Y) = (0.5, 0.5)`, Euler step `t = 0.01`. The paper
+//! reports four regimes by buffer count `m`:
+//!
+//! | `m` | ESS | convergence |
+//! |---|---|---|
+//! | 1–11   | `(1, 1)`   | fast (few steps) |
+//! | 12–17  | `(1, Y′)`  | X fast, Y slow (~100 steps) |
+//! | 18–54  | `(X*, Y*)` | spiral (~200 steps) |
+//! | 55–100 | `(X′, 1)`  | fast |
+
+use dap_game::dynamics::evolve;
+use dap_game::ess::{predict_ess, EssKind, EssOutcome};
+use dap_game::{DosGameParams, PopulationState};
+
+/// The paper's attack level for this figure.
+pub const P: f64 = 0.8;
+
+/// One trajectory sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Euler step number.
+    pub step: usize,
+    /// Defender fraction.
+    pub x: f64,
+    /// Attacker fraction.
+    pub y: f64,
+}
+
+/// A full panel of Fig. 6: the trajectory for one `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Buffer count.
+    pub m: u32,
+    /// Downsampled trajectory from `(0.5, 0.5)`.
+    pub samples: Vec<Sample>,
+    /// Where it settled.
+    pub outcome: EssOutcome,
+}
+
+/// Computes one panel, keeping at most `max_samples` trajectory points.
+#[must_use]
+pub fn panel(m: u32, max_samples: usize) -> Panel {
+    let game = DosGameParams::paper_defaults(P, m).into_game();
+    let trajectory = evolve(&game, PopulationState::CENTER, 2_000_000);
+    let states = trajectory.states();
+    let stride = (states.len() / max_samples.max(1)).max(1);
+    let mut samples: Vec<Sample> = states
+        .iter()
+        .enumerate()
+        .step_by(stride)
+        .map(|(step, s)| Sample {
+            step,
+            x: s.x(),
+            y: s.y(),
+        })
+        .collect();
+    let last = states.len() - 1;
+    if samples.last().map(|s| s.step) != Some(last) {
+        samples.push(Sample {
+            step: last,
+            x: states[last].x(),
+            y: states[last].y(),
+        });
+    }
+    Panel {
+        m,
+        samples,
+        outcome: predict_ess(&game),
+    }
+}
+
+/// The paper's four representative panels (one per regime).
+#[must_use]
+pub fn paper_panels() -> Vec<Panel> {
+    [5, 14, 30, 70].into_iter().map(|m| panel(m, 40)).collect()
+}
+
+/// The regime map: the predicted ESS kind for every `m` in `1..=max_m`.
+#[must_use]
+pub fn regime_map(max_m: u32) -> Vec<(u32, EssKind)> {
+    (1..=max_m)
+        .map(|m| {
+            let game = DosGameParams::paper_defaults(P, m).into_game();
+            (m, predict_ess(&game).kind)
+        })
+        .collect()
+}
+
+/// Collapses a regime map into contiguous `(from, to, kind)` ranges.
+#[must_use]
+pub fn collapse_ranges(map: &[(u32, EssKind)]) -> Vec<(u32, u32, EssKind)> {
+    let mut out: Vec<(u32, u32, EssKind)> = Vec::new();
+    for &(m, kind) in map {
+        match out.last_mut() {
+            Some((_, to, k)) if *k == kind && *to + 1 == m => *to = m,
+            _ => out.push((m, m, kind)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_cover_all_four_regimes() {
+        let kinds: Vec<EssKind> = paper_panels().iter().map(|p| p.outcome.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EssKind::FullDefenseFullAttack,
+                EssKind::FullDefensePartialAttack,
+                EssKind::Interior,
+                EssKind::PartialDefenseFullAttack,
+            ]
+        );
+    }
+
+    #[test]
+    fn trajectories_start_at_center() {
+        for p in paper_panels() {
+            let first = p.samples.first().unwrap();
+            assert_eq!(first.step, 0);
+            assert_eq!((first.x, first.y), (0.5, 0.5));
+        }
+    }
+
+    #[test]
+    fn trajectories_end_at_the_ess() {
+        for p in paper_panels() {
+            let last = p.samples.last().unwrap();
+            assert!(
+                (last.x - p.outcome.point.x()).abs() < 2e-2
+                    && (last.y - p.outcome.point.y()).abs() < 2e-2,
+                "m={}: trajectory end ({}, {}) vs ESS {}",
+                p.m,
+                last.x,
+                last.y,
+                p.outcome.point
+            );
+        }
+    }
+
+    #[test]
+    fn regime_map_matches_paper_bands() {
+        let ranges = collapse_ranges(&regime_map(100));
+        // First band: (1,1) through m = 11 exactly as the paper states.
+        assert_eq!(ranges[0].2, EssKind::FullDefenseFullAttack);
+        assert_eq!((ranges[0].0, ranges[0].1), (1, 11));
+        // Then (1, Y′); the paper says 12..17, our boundary may differ by
+        // one (17 is borderline — see EXPERIMENTS.md).
+        assert_eq!(ranges[1].2, EssKind::FullDefensePartialAttack);
+        assert_eq!(ranges[1].0, 12);
+        assert!((16..=18).contains(&ranges[1].1), "{ranges:?}");
+        // Then the interior band up to ~54.
+        assert_eq!(ranges[2].2, EssKind::Interior);
+        assert!((53..=55).contains(&ranges[2].1), "{ranges:?}");
+        // Finally (X′, 1) to 100.
+        assert_eq!(ranges[3].2, EssKind::PartialDefenseFullAttack);
+        assert_eq!(ranges[3].1, 100);
+        assert_eq!(ranges.len(), 4, "{ranges:?}");
+    }
+
+    #[test]
+    fn collapse_ranges_handles_gaps() {
+        use EssKind::Interior as I;
+        let map = vec![(1, I), (2, I), (4, I)];
+        let r = collapse_ranges(&map);
+        assert_eq!(r, vec![(1, 2, I), (4, 4, I)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! §III experiments: EFTP's recovery-time advantage and EDRP's
+//! DoS-resistance continuity.
+//!
+//! These are the claims of the authors' prior protocols that the paper
+//! summarises (and that DAP builds on): EFTP shortens the recovery of a
+//! lost commitment by one high-level interval; EDRP keeps rejecting
+//! forged CDMs instantly (zero buffer cost) as long as one CDM per
+//! interval gets through.
+
+use dap_crypto::Key;
+use dap_simnet::SimDuration;
+use dap_simnet::{Samples, SimRng, SimTime};
+use dap_tesla::edrp::{EdrpReceiver, EdrpSender};
+use dap_tesla::multilevel::{Linkage, MultiLevelParams, MultiLevelReceiver, MultiLevelSender};
+
+/// Result of the EFTP-vs-original recovery sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryResult {
+    /// CDM loss probability used.
+    pub cdm_loss: f64,
+    /// Mean recovery latency (ticks) with the original linkage.
+    pub mean_original: f64,
+    /// Mean recovery latency (ticks) with the EFTP linkage.
+    pub mean_eftp: f64,
+    /// Median / 95th-percentile latency with the original linkage.
+    pub p50_p95_original: (u64, u64),
+    /// Median / 95th-percentile latency with the EFTP linkage.
+    pub p50_p95_eftp: (u64, u64),
+    /// Chains recovered (same workload for both linkages).
+    pub recoveries: usize,
+    /// One high-level interval, the theoretical advantage.
+    pub high_interval_ticks: u64,
+}
+
+fn base_params(linkage: Linkage) -> MultiLevelParams {
+    MultiLevelParams::new(SimDuration(25), 4, 40, 3, linkage)
+}
+
+/// Runs one lossy-CDM timeline and returns the per-chain recovery
+/// latencies.
+fn run_lossy(linkage: Linkage, cdm_loss: f64, seed: u64) -> Vec<u64> {
+    let params = base_params(linkage);
+    let sender = MultiLevelSender::new(b"recovery", params);
+    let mut receiver = MultiLevelReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(seed);
+    let mut loss_rng = SimRng::new(seed ^ 0xdead_beef);
+
+    let horizon = 36u64;
+    for i in 1..=horizon {
+        let t_cdm = SimTime((params.global_low_index(i, 1) - 1) * 25 + 1);
+        // One data packet + disclosure per high interval keeps chains in
+        // demand so lost commitments register as "needed".
+        if i >= 3 {
+            let t_pkt = SimTime((params.global_low_index(i, 1) - 1) * 25 + 3);
+            receiver.on_low_packet(&sender.data_packet(i, 1, b"sample"), t_pkt);
+            let t_disc = SimTime((params.global_low_index(i, 2) - 1) * 25 + 3);
+            if let Some(d) = sender.low_disclosure(i, 2) {
+                receiver.on_low_disclosure(&d, t_disc);
+            }
+        }
+        if !loss_rng.chance(cdm_loss) {
+            if let Some(cdm) = sender.cdm(i) {
+                receiver.on_cdm(&cdm, t_cdm, &mut rng);
+            }
+        }
+    }
+    receiver
+        .recoveries()
+        .iter()
+        .map(|r| r.resolved_at.since(r.needed_at).ticks())
+        .collect()
+}
+
+/// The EFTP-vs-original comparison at one CDM loss rate, averaged over
+/// `seeds` runs. Both linkages see the *same* loss pattern (same seeds).
+#[must_use]
+pub fn recovery_sweep(cdm_loss: f64, seeds: u64) -> RecoveryResult {
+    let mut orig = Samples::new();
+    let mut eftp = Samples::new();
+    for s in 0..seeds {
+        orig.extend(run_lossy(Linkage::Original, cdm_loss, s));
+        eftp.extend(run_lossy(Linkage::Eftp, cdm_loss, s));
+    }
+    let quantiles = |s: &mut Samples| (s.quantile(0.5).unwrap_or(0), s.quantile(0.95).unwrap_or(0));
+    let recoveries = orig.len().min(eftp.len());
+    RecoveryResult {
+        cdm_loss,
+        mean_original: orig.mean().unwrap_or(0.0),
+        mean_eftp: eftp.mean().unwrap_or(0.0),
+        p50_p95_original: quantiles(&mut orig),
+        p50_p95_eftp: quantiles(&mut eftp),
+        recoveries,
+        high_interval_ticks: base_params(Linkage::Eftp).high_interval().ticks(),
+    }
+}
+
+/// Result of the EDRP continuity experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuityResult {
+    /// Forged CDM copies injected per interval.
+    pub flood_copies: u32,
+    /// Genuine CDMs authenticated by multi-level μTESLA's buffered path.
+    pub ml_authenticated: u64,
+    /// Genuine CDMs sent.
+    pub cdm_total: u64,
+    /// Genuine CDMs authenticated by EDRP.
+    pub edrp_authenticated: u64,
+    /// Of those, authenticated instantly (hash path).
+    pub edrp_instant: u64,
+    /// Forged copies that reached a multi-level buffer.
+    pub ml_buffered_forged: u64,
+    /// Forged copies that reached an EDRP buffer (0 when the chain holds).
+    pub edrp_buffered: u64,
+}
+
+/// Floods both receivers with `flood_copies` forged CDMs per interval
+/// and delivers every genuine CDM; measures who authenticates what and
+/// at what buffer cost.
+#[must_use]
+pub fn edrp_continuity(flood_copies: u32, seed: u64) -> ContinuityResult {
+    let params = base_params(Linkage::Eftp);
+    let horizon = 30u64;
+
+    // Multi-level baseline.
+    let ml_sender = MultiLevelSender::new(b"continuity", params);
+    let mut ml_rx = MultiLevelReceiver::new(ml_sender.bootstrap());
+    let mut rng = SimRng::new(seed);
+    for i in 1..=horizon {
+        let t = SimTime((params.global_low_index(i, 1) - 1) * 25 + 1);
+        let genuine = ml_sender.cdm(i).expect("within horizon");
+        for _ in 0..flood_copies {
+            let mut forged = genuine.clone();
+            forged.low_commitment = Key::random(&mut rng);
+            ml_rx.on_cdm(&forged, t, &mut rng);
+        }
+        ml_rx.on_cdm(&genuine, t, &mut rng);
+    }
+
+    // EDRP.
+    let edrp_sender = EdrpSender::new(b"continuity", params);
+    let mut edrp_rx = EdrpReceiver::new(edrp_sender.bootstrap());
+    let mut rng = SimRng::new(seed);
+    for i in 1..=horizon {
+        let t = SimTime((params.global_low_index(i, 1) - 1) * 25 + 1);
+        let genuine = edrp_sender.cdm(i).expect("within horizon");
+        for _ in 0..flood_copies {
+            let mut forged = genuine.clone();
+            forged.low_commitment = Key::random(&mut rng);
+            edrp_rx.on_cdm(&forged, t, &mut rng);
+        }
+        let (_disposition, _events) = edrp_rx.on_cdm(genuine, t, &mut rng);
+    }
+    let edrp_authenticated = edrp_rx.stats().cdm_instant + edrp_rx.stats().cdm_delayed;
+
+    ContinuityResult {
+        flood_copies,
+        ml_authenticated: ml_rx.stats().cdm_authenticated,
+        cdm_total: horizon,
+        edrp_authenticated,
+        edrp_instant: edrp_rx.stats().cdm_instant,
+        ml_buffered_forged: ml_rx
+            .stats()
+            .cdm_stored
+            .saturating_sub(ml_rx.stats().cdm_authenticated),
+        edrp_buffered: edrp_rx.stats().cdm_buffered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_no_recoveries_needed() {
+        let r = recovery_sweep(0.0, 3);
+        assert_eq!(r.recoveries, 0);
+    }
+
+    #[test]
+    fn eftp_recovers_one_interval_faster_on_average() {
+        let r = recovery_sweep(0.4, 8);
+        assert!(r.recoveries > 0, "workload must trigger recoveries");
+        let advantage = r.mean_original - r.mean_eftp;
+        // One high-level interval = 100 ticks; allow slack because some
+        // recoveries are bounded by when the chain was first needed.
+        assert!(
+            advantage > 0.5 * r.high_interval_ticks as f64,
+            "advantage {advantage} vs interval {}",
+            r.high_interval_ticks
+        );
+    }
+
+    #[test]
+    fn edrp_authenticates_everything_instantly_under_flood() {
+        let c = edrp_continuity(20, 5);
+        assert_eq!(c.edrp_authenticated, c.cdm_total);
+        assert_eq!(c.edrp_instant, c.cdm_total);
+        assert_eq!(c.edrp_buffered, 0);
+        // The buffered baseline loses some CDMs to the flood (3 buffers,
+        // 20 forged + 1 genuine per interval → survival ≈ 1−(20/21)^3).
+        assert!(
+            c.ml_authenticated < c.cdm_total,
+            "baseline should drop some: {c:?}"
+        );
+    }
+
+    #[test]
+    fn without_flood_both_authenticate_everything() {
+        let c = edrp_continuity(0, 6);
+        assert_eq!(c.edrp_authenticated, c.cdm_total);
+        // The multi-level baseline authenticates a CDM one interval later
+        // (when its key is disclosed); the last interval's CDM is still
+        // pending at the end of the run.
+        assert!(c.ml_authenticated >= c.cdm_total - 1, "{c:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimal fixed-width table printing for the experiment binaries.
+
+/// Prints a header row followed by a separator.
+pub fn header(columns: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:>width$}  "));
+        rule.push_str(&"-".repeat(width + 2));
+    }
+    println!("{line}");
+    println!("{rule}");
+}
+
+/// Formats a float to 4 significant-ish decimals for table cells.
+#[must_use]
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Prints a section title.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(123.456), "123.5");
+        assert_eq!(num(0.5), "0.5000");
+        assert_eq!(num(0.0005), "5.000e-4");
+    }
+}

@@ -1,0 +1,303 @@
+//! Wire encoding of DAP frames, following the field layout of Fig. 4.
+//!
+//! | frame | layout (big-endian) | size |
+//! |---|---|---|
+//! | announce | `0x01 ‖ index:u32 ‖ mac:10B` | 15 B |
+//! | reveal | `0x02 ‖ index:u32 ‖ key:10B ‖ len:u16 ‖ message` | 17 B + len |
+//!
+//! The paper counts 112 bits (14 B) for the announcement; the one extra
+//! byte here is the frame tag a self-describing codec needs. Decoding is
+//! total: any byte string yields either a frame or a [`DecodeError`],
+//! never a panic — receivers parse attacker-controlled bytes.
+
+use bytes::Bytes;
+use dap_crypto::{Key, Mac80};
+
+use crate::wire::{Announce, DapMessage, Reveal};
+
+/// Frame tag for announcements.
+const TAG_ANNOUNCE: u8 = 0x01;
+/// Frame tag for reveals.
+const TAG_REVEAL: u8 = 0x02;
+
+/// Why a frame could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// The interval index exceeds the 32-bit wire field of Fig. 4.
+    IndexOverflow {
+        /// The offending index.
+        index: u64,
+    },
+    /// The message exceeds the 16-bit length field.
+    MessageTooLong {
+        /// The offending length in bytes.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::IndexOverflow { index } => {
+                write!(f, "interval index {index} exceeds the 32-bit wire field")
+            }
+            EncodeError::MessageTooLong { len } => {
+                write!(f, "message of {len} bytes exceeds the 16-bit length field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Why a byte string is not a valid frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// The first byte is not a known frame tag.
+    UnknownTag(u8),
+    /// Valid frame followed by extra bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("frame truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a frame.
+///
+/// # Errors
+///
+/// Fails when a field does not fit its wire representation — see
+/// [`EncodeError`].
+pub fn encode(message: &DapMessage) -> Result<Vec<u8>, EncodeError> {
+    match message {
+        DapMessage::Announce(a) => {
+            let index = wire_index(a.index)?;
+            let mut out = Vec::with_capacity(1 + 4 + Mac80::LEN);
+            out.push(TAG_ANNOUNCE);
+            out.extend_from_slice(&index.to_be_bytes());
+            out.extend_from_slice(a.mac.as_bytes());
+            Ok(out)
+        }
+        DapMessage::Reveal(r) => {
+            let index = wire_index(r.index)?;
+            let len = u16::try_from(r.message.len()).map_err(|_| EncodeError::MessageTooLong {
+                len: r.message.len(),
+            })?;
+            let mut out = Vec::with_capacity(1 + 4 + Key::LEN + 2 + r.message.len());
+            out.push(TAG_REVEAL);
+            out.extend_from_slice(&index.to_be_bytes());
+            out.extend_from_slice(r.key.as_bytes());
+            out.extend_from_slice(&len.to_be_bytes());
+            out.extend_from_slice(&r.message);
+            Ok(out)
+        }
+    }
+}
+
+fn wire_index(index: u64) -> Result<u32, EncodeError> {
+    u32::try_from(index).map_err(|_| EncodeError::IndexOverflow { index })
+}
+
+/// Decodes a frame; total over arbitrary input.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
+    let (&tag, rest) = bytes.split_first().ok_or(DecodeError::Truncated)?;
+    match tag {
+        TAG_ANNOUNCE => {
+            let (index, rest) = take_u32(rest)?;
+            let (mac, rest) = take_mac(rest)?;
+            ensure_empty(rest)?;
+            Ok(DapMessage::Announce(Announce {
+                index: u64::from(index),
+                mac,
+            }))
+        }
+        TAG_REVEAL => {
+            let (index, rest) = take_u32(rest)?;
+            let (key, rest) = take_key(rest)?;
+            let (len, rest) = take_u16(rest)?;
+            if rest.len() < usize::from(len) {
+                return Err(DecodeError::Truncated);
+            }
+            let (message, rest) = rest.split_at(usize::from(len));
+            ensure_empty(rest)?;
+            Ok(DapMessage::Reveal(Reveal {
+                index: u64::from(index),
+                key,
+                message: Bytes::copy_from_slice(message),
+            }))
+        }
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+fn take_u32(bytes: &[u8]) -> Result<(u32, &[u8]), DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = bytes.split_at(4);
+    Ok((u32::from_be_bytes(head.try_into().expect("4 bytes")), rest))
+}
+
+fn take_u16(bytes: &[u8]) -> Result<(u16, &[u8]), DecodeError> {
+    if bytes.len() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = bytes.split_at(2);
+    Ok((u16::from_be_bytes(head.try_into().expect("2 bytes")), rest))
+}
+
+fn take_mac(bytes: &[u8]) -> Result<(Mac80, &[u8]), DecodeError> {
+    if bytes.len() < Mac80::LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = bytes.split_at(Mac80::LEN);
+    Ok((Mac80::from_slice(head).expect("exact length"), rest))
+}
+
+fn take_key(bytes: &[u8]) -> Result<(Key, &[u8]), DecodeError> {
+    if bytes.len() < Key::LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = bytes.split_at(Key::LEN);
+    Ok((Key::from_slice(head).expect("exact length"), rest))
+}
+
+fn ensure_empty(rest: &[u8]) -> Result<(), DecodeError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(DecodeError::TrailingBytes { extra: rest.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_announce() -> DapMessage {
+        DapMessage::Announce(Announce {
+            index: 42,
+            mac: Mac80::from_slice(&[7u8; 10]).unwrap(),
+        })
+    }
+
+    fn sample_reveal() -> DapMessage {
+        DapMessage::Reveal(Reveal {
+            index: 42,
+            key: Key::derive(b"codec", b"k"),
+            message: Bytes::from_static(b"sensor reading"),
+        })
+    }
+
+    #[test]
+    fn roundtrip_announce() {
+        let encoded = encode(&sample_announce()).unwrap();
+        assert_eq!(encoded.len(), 15);
+        assert_eq!(decode(&encoded).unwrap(), sample_announce());
+    }
+
+    #[test]
+    fn roundtrip_reveal() {
+        let encoded = encode(&sample_reveal()).unwrap();
+        assert_eq!(encoded.len(), 17 + 14);
+        assert_eq!(decode(&encoded).unwrap(), sample_reveal());
+    }
+
+    #[test]
+    fn empty_message_reveal_roundtrips() {
+        let msg = DapMessage::Reveal(Reveal {
+            index: 1,
+            key: Key::derive(b"c", b"k"),
+            message: Bytes::new(),
+        });
+        let encoded = encode(&msg).unwrap();
+        assert_eq!(decode(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn index_overflow_is_an_encode_error() {
+        let msg = DapMessage::Announce(Announce {
+            index: u64::from(u32::MAX) + 1,
+            mac: Mac80::from_slice(&[0u8; 10]).unwrap(),
+        });
+        assert!(matches!(
+            encode(&msg),
+            Err(EncodeError::IndexOverflow { .. })
+        ));
+        assert!(encode(&msg).unwrap_err().to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn oversize_message_is_an_encode_error() {
+        let msg = DapMessage::Reveal(Reveal {
+            index: 1,
+            key: Key::derive(b"c", b"k"),
+            message: Bytes::from(vec![0u8; 70_000]),
+        });
+        assert!(matches!(
+            encode(&msg),
+            Err(EncodeError::MessageTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn truncations_at_every_length_are_rejected() {
+        for sample in [sample_announce(), sample_reveal()] {
+            let full = encode(&sample).unwrap();
+            for cut in 0..full.len() {
+                assert_eq!(
+                    decode(&full[..cut]),
+                    Err(DecodeError::Truncated),
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut encoded = encode(&sample_announce()).unwrap();
+        encoded.push(0);
+        assert_eq!(
+            decode(&encoded),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[0x7f, 0, 0]), Err(DecodeError::UnknownTag(0x7f)));
+        assert!(DecodeError::UnknownTag(0x7f).to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn decode_never_accepts_mutated_length_silently() {
+        let mut encoded = encode(&sample_reveal()).unwrap();
+        // Grow the claimed message length beyond the buffer.
+        encoded[15] = 0xff;
+        encoded[16] = 0xff;
+        assert_eq!(decode(&encoded), Err(DecodeError::Truncated));
+    }
+}

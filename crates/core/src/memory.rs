@@ -1,0 +1,123 @@
+//! Receiver memory accounting across protocols (§IV-D and the Fig.-5
+//! settings).
+//!
+//! The paper's numbers: a pending packet costs a TESLA-style receiver
+//! `s₁ = 280` bits (200-bit message + 80-bit MAC) but a DAP receiver only
+//! `s₂ = 56` bits (24-bit μMAC + 32-bit index), so a node with `Mem` bits
+//! of buffer memory holds `M = Mem/s` buffers — five times more under
+//! DAP.
+
+use dap_crypto::sizes;
+
+/// Which protocol's storage layout to account for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum StorageScheme {
+    /// TESLA / μTESLA: full message + MAC buffered (280 b; the paper
+    /// also charges TESLA++ this much in Fig. 5).
+    MessageAndMac,
+    /// TESLA++ as implemented here: 80-bit self-MAC + 32-bit index.
+    SelfMac,
+    /// DAP: 24-bit μMAC + 32-bit index.
+    MicroMac,
+}
+
+impl StorageScheme {
+    /// Bits stored per pending packet.
+    #[must_use]
+    pub fn entry_bits(self) -> u32 {
+        match self {
+            StorageScheme::MessageAndMac => sizes::TESLA_BUFFER_ENTRY_BITS,
+            StorageScheme::SelfMac => sizes::MAC_BITS + sizes::INDEX_BITS,
+            StorageScheme::MicroMac => sizes::DAP_BUFFER_ENTRY_BITS,
+        }
+    }
+
+    /// Buffers that fit in `memory_bits` (`M = Mem/s`).
+    #[must_use]
+    pub fn buffers_in(self, memory_bits: u64) -> u64 {
+        sizes::buffers_for_memory(memory_bits, self.entry_bits())
+    }
+
+    /// Memory saved relative to [`StorageScheme::MessageAndMac`].
+    #[must_use]
+    pub fn saving_vs_message_and_mac(self) -> f64 {
+        1.0 - f64::from(self.entry_bits()) / f64::from(sizes::TESLA_BUFFER_ENTRY_BITS)
+    }
+}
+
+/// One row of the memory-cost table the `memory_table` experiment prints.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MemoryRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Bits per buffered packet.
+    pub entry_bits: u32,
+    /// Buffers in 1024 kb.
+    pub buffers_1024kb: u64,
+    /// Buffers in 512 kb.
+    pub buffers_512kb: u64,
+    /// Saving vs message+MAC storage.
+    pub saving: f64,
+}
+
+/// Builds the full comparison table. `kb` here follows the paper's
+/// usage: 1 kb = 1000 bits.
+#[must_use]
+pub fn memory_table() -> Vec<MemoryRow> {
+    let schemes = [
+        ("TESLA / μTESLA (message+MAC)", StorageScheme::MessageAndMac),
+        ("TESLA++ (self-MAC, as implemented)", StorageScheme::SelfMac),
+        ("DAP (μMAC)", StorageScheme::MicroMac),
+    ];
+    schemes
+        .into_iter()
+        .map(|(label, scheme)| MemoryRow {
+            scheme: label.to_owned(),
+            entry_bits: scheme.entry_bits(),
+            buffers_1024kb: scheme.buffers_in(1_024_000),
+            buffers_512kb: scheme.buffers_in(512_000),
+            saving: scheme.saving_vs_message_and_mac(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_bits_match_paper() {
+        assert_eq!(StorageScheme::MessageAndMac.entry_bits(), 280);
+        assert_eq!(StorageScheme::MicroMac.entry_bits(), 56);
+        assert_eq!(StorageScheme::SelfMac.entry_bits(), 112);
+    }
+
+    #[test]
+    fn dap_saves_eighty_percent() {
+        assert!((StorageScheme::MicroMac.saving_vs_message_and_mac() - 0.8).abs() < 1e-12);
+        assert_eq!(
+            StorageScheme::MessageAndMac.saving_vs_message_and_mac(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dap_holds_five_times_more_buffers() {
+        let mem = 1_024_000;
+        assert_eq!(
+            StorageScheme::MicroMac.buffers_in(mem),
+            5 * StorageScheme::MessageAndMac.buffers_in(mem)
+        );
+    }
+
+    #[test]
+    fn table_has_three_rows_in_order() {
+        let t = memory_table();
+        assert_eq!(t.len(), 3);
+        assert!(t[0].scheme.contains("TESLA"));
+        assert!(t[2].scheme.contains("DAP"));
+        assert_eq!(t[2].buffers_1024kb, 1_024_000 / 56);
+        assert_eq!(t[2].buffers_512kb, 512_000 / 56);
+    }
+}

@@ -1,0 +1,195 @@
+//! DAP wire formats and parameters (Fig. 4 of the paper).
+
+use bytes::Bytes;
+use dap_crypto::{Key, Mac80};
+use dap_simnet::{IntervalSchedule, SimDuration, SimTime};
+use dap_tesla::SafetyCheck;
+
+/// Protocol parameters for a DAP deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DapParams {
+    /// Interval length in ticks.
+    pub interval: SimDuration,
+    /// Key disclosure delay `d` in intervals (the protocol sketch uses 1:
+    /// the reveal follows one interval after the announcement).
+    pub disclosure_delay: u64,
+    /// Loose-synchronisation bound `Δ` in ticks.
+    pub max_clock_offset: u64,
+    /// Number of receiver buffers `m`.
+    pub buffers: usize,
+}
+
+impl DapParams {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` or `disclosure_delay` or `buffers` is zero.
+    #[must_use]
+    pub fn new(
+        interval: SimDuration,
+        disclosure_delay: u64,
+        max_clock_offset: u64,
+        buffers: usize,
+    ) -> Self {
+        assert!(interval.ticks() > 0, "interval must be positive");
+        assert!(disclosure_delay >= 1, "disclosure delay must be at least 1");
+        assert!(buffers >= 1, "need at least one buffer");
+        Self {
+            interval,
+            disclosure_delay,
+            max_clock_offset,
+            buffers,
+        }
+    }
+
+    /// The interval grid (starting at `t = 0`).
+    #[must_use]
+    pub fn schedule(&self) -> IntervalSchedule {
+        IntervalSchedule::new(SimTime::ZERO, self.interval)
+    }
+
+    /// The safe-packet test for these parameters (Algorithm 2 line 2:
+    /// "if `i + d < x` then discard").
+    #[must_use]
+    pub fn safety(&self) -> SafetyCheck {
+        SafetyCheck {
+            schedule: self.schedule(),
+            disclosure_delay: self.disclosure_delay,
+            max_clock_offset: self.max_clock_offset,
+        }
+    }
+
+    /// Replaces the buffer count (used by the adaptive controller).
+    #[must_use]
+    pub fn with_buffers(mut self, buffers: usize) -> Self {
+        assert!(buffers >= 1, "need at least one buffer");
+        self.buffers = buffers;
+        self
+    }
+}
+
+impl Default for DapParams {
+    /// 100-tick intervals, `d = 1`, synchronised clocks, 8 buffers.
+    fn default() -> Self {
+        Self::new(SimDuration(100), 1, 0, 8)
+    }
+}
+
+/// Phase 1: the MAC announcement `(MAC_i, i)` — 112 bits on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Announce {
+    /// Interval index `i`.
+    pub index: u64,
+    /// `MAC_i = MAC_{K'_i}(M_i)`.
+    pub mac: Mac80,
+}
+
+impl Announce {
+    /// Airtime size in bits (`MACi (80b) + i (32b)` in Fig. 4).
+    #[must_use]
+    pub fn size_bits(&self) -> u32 {
+        dap_crypto::sizes::ANNOUNCE_PACKET_BITS
+    }
+}
+
+/// Phase 2: the reveal `(M_i, K_i, i)` — 312 bits for a 200-bit message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reveal {
+    /// Interval index `i`.
+    pub index: u64,
+    /// The message `M_i`.
+    pub message: Bytes,
+    /// The disclosed key `K_i`.
+    pub key: Key,
+}
+
+impl Reveal {
+    /// Airtime size in bits.
+    #[must_use]
+    pub fn size_bits(&self) -> u32 {
+        (self.message.len() as u32) * 8
+            + dap_crypto::sizes::KEY_BITS
+            + dap_crypto::sizes::INDEX_BITS
+    }
+}
+
+/// Any DAP frame (for running over [`dap_simnet`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DapMessage {
+    /// Phase-1 announcement.
+    Announce(Announce),
+    /// Phase-2 reveal.
+    Reveal(Reveal),
+}
+
+impl DapMessage {
+    /// Airtime size in bits.
+    #[must_use]
+    pub fn size_bits(&self) -> u32 {
+        match self {
+            DapMessage::Announce(a) => a.size_bits(),
+            DapMessage::Reveal(r) => r.size_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_sane() {
+        let p = DapParams::default();
+        assert_eq!(p.disclosure_delay, 1);
+        assert_eq!(p.buffers, 8);
+        assert_eq!(p.schedule().index_at(SimTime(150)), 2);
+    }
+
+    #[test]
+    fn with_buffers_replaces() {
+        let p = DapParams::default().with_buffers(3);
+        assert_eq!(p.buffers, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_buffers_rejected() {
+        let _ = DapParams::default().with_buffers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disclosure delay")]
+    fn zero_delay_rejected() {
+        let _ = DapParams::new(SimDuration(10), 0, 0, 1);
+    }
+
+    #[test]
+    fn announce_is_112_bits() {
+        let a = Announce {
+            index: 1,
+            mac: Mac80::from_slice(&[0; 10]).unwrap(),
+        };
+        assert_eq!(a.size_bits(), 112);
+        assert_eq!(DapMessage::Announce(a).size_bits(), 112);
+    }
+
+    #[test]
+    fn reveal_is_312_bits_for_paper_message() {
+        let r = Reveal {
+            index: 1,
+            message: Bytes::from(vec![0u8; 25]),
+            key: Key::derive(b"t", b"k"),
+        };
+        assert_eq!(r.size_bits(), 312);
+        assert_eq!(DapMessage::Reveal(r).size_bits(), 312);
+    }
+
+    #[test]
+    fn safety_wires_through_params() {
+        let p = DapParams::new(SimDuration(100), 1, 30, 4);
+        let s = p.safety();
+        assert_eq!(s.disclosure_delay, 1);
+        assert_eq!(s.max_clock_offset, 30);
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Why a disclosed key failed verification against a chain anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainVerifyError {
+    /// The claimed index is at or before the anchor — the key for that
+    /// interval is already public, so the disclosure proves nothing.
+    NotAhead {
+        /// Index of the anchor key the receiver currently trusts.
+        anchor_index: u64,
+        /// Index claimed by the disclosure.
+        claimed_index: u64,
+    },
+    /// The gap between anchor and claimed index exceeds the configured
+    /// recovery bound (guards against CPU-exhaustion via huge indices).
+    TooFarAhead {
+        /// How many one-way applications would be required.
+        steps: u64,
+        /// The configured maximum.
+        max_steps: u64,
+    },
+    /// Iterating the one-way function from the candidate did not reach the
+    /// anchor key: the disclosed key is not on the chain.
+    Mismatch,
+}
+
+impl fmt::Display for ChainVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainVerifyError::NotAhead {
+                anchor_index,
+                claimed_index,
+            } => write!(
+                f,
+                "claimed index {claimed_index} is not ahead of anchor index {anchor_index}"
+            ),
+            ChainVerifyError::TooFarAhead { steps, max_steps } => write!(
+                f,
+                "verification would need {steps} one-way steps, more than the bound {max_steps}"
+            ),
+            ChainVerifyError::Mismatch => f.write_str("disclosed key is not on the chain"),
+        }
+    }
+}
+
+impl Error for ChainVerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChainVerifyError::NotAhead {
+            anchor_index: 5,
+            claimed_index: 3,
+        };
+        assert!(e.to_string().contains("not ahead"));
+        assert!(ChainVerifyError::Mismatch
+            .to_string()
+            .contains("not on the chain"));
+        let e = ChainVerifyError::TooFarAhead {
+            steps: 10,
+            max_steps: 5,
+        };
+        assert!(e.to_string().contains("bound 5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ChainVerifyError>();
+    }
+}

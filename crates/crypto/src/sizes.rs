@@ -1,0 +1,81 @@
+//! Wire and storage sizes fixed by the paper (Fig. 4 and §IV-D / §VI-A).
+//!
+//! These constants drive both the memory accounting in `dap-core` and the
+//! Fig.-5 bandwidth experiment, so they live in one place.
+
+/// Message payload size in bits (`M (200b)` in Fig. 4).
+pub const MESSAGE_BITS: u32 = 200;
+
+/// Packet MAC size in bits (`MACi (80b)`).
+pub const MAC_BITS: u32 = 80;
+
+/// Chain key size in bits (`Ki (80b)`).
+pub const KEY_BITS: u32 = 80;
+
+/// Interval index size in bits (`i (32b)`).
+pub const INDEX_BITS: u32 = 32;
+
+/// Receiver-local μMAC size in bits (24 bits per §IV-A).
+pub const MICRO_MAC_BITS: u32 = 24;
+
+/// Bits a DAP receiver buffers per pending packet: μMAC + index
+/// (the paper's "56 bits").
+pub const DAP_BUFFER_ENTRY_BITS: u32 = MICRO_MAC_BITS + INDEX_BITS;
+
+/// Bits a TESLA/TESLA++-style receiver buffers per pending packet:
+/// full message + MAC (the paper's `s1 = 280 b`).
+pub const TESLA_BUFFER_ENTRY_BITS: u32 = MESSAGE_BITS + MAC_BITS;
+
+/// Size in bits of the DAP phase-1 announcement `(MAC_i, i)`.
+pub const ANNOUNCE_PACKET_BITS: u32 = MAC_BITS + INDEX_BITS;
+
+/// Size in bits of the DAP phase-2 reveal `(M_i, K_i, i)`.
+pub const REVEAL_PACKET_BITS: u32 = MESSAGE_BITS + KEY_BITS + INDEX_BITS;
+
+/// Fraction of buffer memory DAP saves relative to buffering message+MAC.
+///
+/// `1 − 56/280 = 0.8` — the "80 % of memory spaces are saved" claim.
+#[must_use]
+pub fn dap_memory_saving() -> f64 {
+    1.0 - f64::from(DAP_BUFFER_ENTRY_BITS) / f64::from(TESLA_BUFFER_ENTRY_BITS)
+}
+
+/// Maximum number of buffers that fit in `memory_bits` at
+/// `entry_bits` per buffered packet (`M = Mem/s` in §VI-A).
+#[must_use]
+pub fn buffers_for_memory(memory_bits: u64, entry_bits: u32) -> u64 {
+    assert!(entry_bits > 0, "entry size must be positive");
+    memory_bits / u64::from(entry_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(DAP_BUFFER_ENTRY_BITS, 56);
+        assert_eq!(TESLA_BUFFER_ENTRY_BITS, 280);
+        assert_eq!(ANNOUNCE_PACKET_BITS, 112);
+        assert_eq!(REVEAL_PACKET_BITS, 312);
+    }
+
+    #[test]
+    fn eighty_percent_saving() {
+        assert!((dap_memory_saving() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_times_more_buffers() {
+        let mem = 1024 * 1024; // 1 Mib
+        let tesla = buffers_for_memory(mem, TESLA_BUFFER_ENTRY_BITS);
+        let dap = buffers_for_memory(mem, DAP_BUFFER_ENTRY_BITS);
+        assert_eq!(dap / tesla, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry size must be positive")]
+    fn zero_entry_size_panics() {
+        let _ = buffers_for_memory(100, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Constant two-population bimatrix games.
+//!
+//! The DoS game's pay-offs depend on the population state (its costs are
+//! congestion-coupled), but the replicator machinery in
+//! [`crate::dynamics`] is generic over [`TwoPopulationGame`] — this
+//! module provides the classic constant-matrix instance, both as a
+//! building block for users modelling other attacker/defender settings
+//! and as a validation target: the textbook results (dominance,
+//! coordination, matching-pennies cycling) pin the machinery down.
+
+use crate::dynamics::TwoPopulationGame;
+use crate::state::PopulationState;
+
+/// A two-population game with constant pay-off matrices.
+///
+/// Rows index the *defender* strategies (0 = defend, 1 = don't), columns
+/// the *attacker* strategies (0 = attack, 1 = don't); `defender[r][c]`
+/// and `attacker[r][c]` are the respective pay-offs for that profile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConstantBimatrix {
+    /// Defender pay-offs by `[defender strategy][attacker strategy]`.
+    pub defender: [[f64; 2]; 2],
+    /// Attacker pay-offs by `[defender strategy][attacker strategy]`.
+    pub attacker: [[f64; 2]; 2],
+}
+
+impl ConstantBimatrix {
+    /// Matching pennies: zero-sum, unique interior equilibrium at
+    /// `(1/2, 1/2)` around which replicator dynamics orbit.
+    #[must_use]
+    pub fn matching_pennies() -> Self {
+        Self {
+            defender: [[1.0, -1.0], [-1.0, 1.0]],
+            attacker: [[-1.0, 1.0], [1.0, -1.0]],
+        }
+    }
+
+    /// A pure coordination game: both corners `(0,0)`-profile and
+    /// `(1,1)`-profile are strict equilibria.
+    #[must_use]
+    pub fn coordination() -> Self {
+        Self {
+            defender: [[2.0, 0.0], [0.0, 1.0]],
+            attacker: [[2.0, 0.0], [0.0, 1.0]],
+        }
+    }
+
+    /// Strategy 0 strictly dominant for both sides.
+    #[must_use]
+    pub fn dominant() -> Self {
+        Self {
+            defender: [[3.0, 3.0], [1.0, 1.0]],
+            attacker: [[2.0, 0.0], [2.0, 0.0]],
+        }
+    }
+}
+
+impl TwoPopulationGame for ConstantBimatrix {
+    fn payoff_defend(&self, state: PopulationState) -> f64 {
+        state.y() * self.defender[0][0] + (1.0 - state.y()) * self.defender[0][1]
+    }
+    fn payoff_no_defend(&self, state: PopulationState) -> f64 {
+        state.y() * self.defender[1][0] + (1.0 - state.y()) * self.defender[1][1]
+    }
+    fn payoff_attack(&self, state: PopulationState) -> f64 {
+        state.x() * self.attacker[0][0] + (1.0 - state.x()) * self.attacker[1][0]
+    }
+    fn payoff_no_attack(&self, state: PopulationState) -> f64 {
+        state.x() * self.attacker[0][1] + (1.0 - state.x()) * self.attacker[1][1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{evolve, ReplicatorField};
+
+    #[test]
+    fn dominant_game_reaches_the_dominant_corner() {
+        let g = ConstantBimatrix::dominant();
+        let t = evolve(&g, PopulationState::CENTER, 100_000);
+        let s = t.last();
+        assert!(s.x() > 0.999 && s.y() > 0.999, "{s}");
+    }
+
+    #[test]
+    fn coordination_game_basins_split() {
+        let g = ConstantBimatrix::coordination();
+        // Start biased toward (0,0)-profile: converge to X=Y=1 (strategy
+        // 0 for both, coordinates x=1 meaning strategy 0 share).
+        let hi = evolve(&g, PopulationState::new(0.8, 0.8), 100_000).last();
+        assert!(hi.x() > 0.999 && hi.y() > 0.999, "{hi}");
+        // Biased the other way: the other equilibrium.
+        let lo = evolve(&g, PopulationState::new(0.2, 0.2), 100_000).last();
+        assert!(lo.x() < 0.001 && lo.y() < 0.001, "{lo}");
+    }
+
+    #[test]
+    fn matching_pennies_center_is_a_fixed_point_that_orbits() {
+        let g = ConstantBimatrix::matching_pennies();
+        let field = ReplicatorField::new(&g);
+        let (dx, dy) = field.derivative(PopulationState::CENTER);
+        assert!(dx.abs() < 1e-12 && dy.abs() < 1e-12);
+        // Off-center starts neither converge to the center nor collapse.
+        let t = evolve(&g, PopulationState::new(0.7, 0.5), 20_000);
+        let s = t.last();
+        assert!(t.converged_at().is_none());
+        assert!(s.x() > 0.01 && s.x() < 0.99);
+    }
+
+    #[test]
+    fn payoffs_linear_in_opponent_mix() {
+        let g = ConstantBimatrix::matching_pennies();
+        let s = PopulationState::new(0.3, 0.25);
+        // E(U_defend) = y·1 + (1−y)·(−1) = 2y − 1.
+        assert!((g.payoff_defend(s) - (2.0 * 0.25 - 1.0)).abs() < 1e-12);
+        assert!((g.payoff_attack(s) - (-0.3 + 0.7)).abs() < 1e-12);
+    }
+}

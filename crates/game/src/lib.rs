@@ -1,0 +1,62 @@
+//! The attacker/defender **evolutionary game** of Ruan et al. (ICDCS 2016).
+//!
+//! DAP's DoS resistance comes from multi-buffer selection, but buffers cost
+//! memory. §V of the paper models the trade-off as a two-population
+//! evolutionary game:
+//!
+//! * **defenders** (network nodes) play *buffer selection* or *no buffers*;
+//!   `X` is the fraction defending;
+//! * **attackers** play *DoS attack* or *no attack*; `Y` is the fraction
+//!   attacking.
+//!
+//! Payoffs (Table II) are driven by the attack success probability
+//! `P = p^m`, the data value `R_a = L_d`, the attack cost `C_a = k1·x_a·Y`
+//! and the defense cost `C_d = k2·m·X`. Populations follow **replicator
+//! dynamics** and settle at an **evolutionarily stable strategy (ESS)**;
+//! the optimal buffer count `m*` minimises the defenders' average cost `E`
+//! at the ESS (Algorithm 3).
+//!
+//! Module map:
+//!
+//! * [`state`] — the population state `(X, Y) ∈ [0,1]²`;
+//! * [`payoff`] — Table II and the closed-form expected utilities;
+//! * [`dynamics`] — the [`TwoPopulationGame`] trait, replicator field,
+//!   Euler (the paper's integrator) and RK4, trajectories, convergence;
+//! * [`ess`] — fixed points, Jacobian stability, the paper's five ESS
+//!   candidates, and empirical ESS prediction from the paper's
+//!   `(0.5, 0.5)` start;
+//! * [`cost`] — the defender cost `E` and the naive-defense cost `N`;
+//! * [`optimize`] — Algorithm 3 (optimal `m`), exact argmin and the
+//!   paper-literal transcription.
+//!
+//! # Example — reproduce a Fig. 6 regime
+//!
+//! ```
+//! use dap_game::{DosGameParams, ess::{predict_ess, EssKind}};
+//!
+//! // m = 5 with the paper's economy lands in the (1,1) regime:
+//! // everyone defends, everyone attacks.
+//! let game = DosGameParams::paper_defaults(0.8, 5).into_game();
+//! let outcome = predict_ess(&game);
+//! assert_eq!(outcome.kind, EssKind::FullDefenseFullAttack);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bimatrix;
+pub mod cost;
+pub mod dynamics;
+pub mod ess;
+pub mod optimize;
+pub mod payoff;
+pub mod state;
+
+pub use bimatrix::ConstantBimatrix;
+pub use dynamics::{
+    EulerIntegrator, ReplicatorField, Rk4Integrator, Trajectory, TwoPopulationGame,
+};
+pub use ess::{EssKind, EssOutcome};
+pub use optimize::{optimal_buffer_count, OptimalBuffer};
+pub use payoff::{DosGame, DosGameParams, PayoffMatrix};
+pub use state::PopulationState;

@@ -1,0 +1,291 @@
+//! The DoS attack-defense game: parameters, Table II and expected
+//! utilities.
+//!
+//! Notation (Table I of the paper):
+//!
+//! | symbol | meaning |
+//! |---|---|
+//! | `m`   | number of buffers defenders use |
+//! | `x_a` | fraction of bandwidth used by attackers |
+//! | `p`   | fraction of forged data (`p = x_a`) |
+//! | `P`   | success probability of an attack, `P = p^m` |
+//! | `L_d` | damage to a defender under a successful attack (`L_d = R_a`) |
+//! | `R_a` | reward of a successful attack |
+//! | `C_a` | attacker cost, `C_a = k1·x_a·Y` |
+//! | `C_d` | defender cost, `C_d = k2·m·X` |
+//!
+//! Both costs are *congestion-coupled*: they grow with the fraction of the
+//! own population playing the aggressive strategy, which is what gives the
+//! replicator dynamics its interior sink.
+
+use crate::dynamics::TwoPopulationGame;
+use crate::state::PopulationState;
+
+/// Scenario parameters of one concrete game instance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DosGameParams {
+    /// Reward of a successful attack, `R_a` (= the defender damage `L_d`).
+    pub ra: f64,
+    /// Attacker cost coefficient `k1` (`C_a = k1·x_a·Y`).
+    pub k1: f64,
+    /// Defender cost coefficient `k2` (`C_d = k2·m·X`).
+    pub k2: f64,
+    /// Fraction of forged data `p` = attacker bandwidth fraction `x_a`.
+    pub p: f64,
+    /// Number of buffers `m` used by defending nodes.
+    pub m: u32,
+}
+
+impl DosGameParams {
+    /// The evaluation settings of §VI-B: `R_a = 200`, `k1 = 20`, `k2 = 4`.
+    ///
+    /// The paper motivates them by `R_a > k1 ≥ C_a` (attacking is worth
+    /// its cost) and `R_a ≤ k2·M` with `M = 50` (defending with *all*
+    /// resources costs slightly more than the data is worth).
+    #[must_use]
+    pub fn paper_defaults(p: f64, m: u32) -> Self {
+        Self {
+            ra: 200.0,
+            k1: 20.0,
+            k2: 4.0,
+            p,
+            m,
+        }
+    }
+
+    /// Validates and freezes the parameters into a [`DosGame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is non-positive or non-finite, if
+    /// `p ∉ [0, 1)`, or if `m == 0` (a defender with zero buffers is the
+    /// *no buffers* strategy, not a buffer-selection parameter).
+    #[must_use]
+    pub fn into_game(self) -> DosGame {
+        assert!(
+            self.ra.is_finite() && self.ra > 0.0,
+            "R_a must be positive, got {}",
+            self.ra
+        );
+        assert!(
+            self.k1.is_finite() && self.k1 > 0.0,
+            "k1 must be positive, got {}",
+            self.k1
+        );
+        assert!(
+            self.k2.is_finite() && self.k2 > 0.0,
+            "k2 must be positive, got {}",
+            self.k2
+        );
+        assert!(
+            (0.0..1.0).contains(&self.p),
+            "p must be in [0,1), got {}",
+            self.p
+        );
+        assert!(self.m >= 1, "m must be at least 1");
+        DosGame { params: self }
+    }
+}
+
+/// A validated game instance; implements [`TwoPopulationGame`] so the
+/// replicator machinery in [`crate::dynamics`] can evolve it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DosGame {
+    params: DosGameParams,
+}
+
+impl DosGame {
+    /// The underlying parameters.
+    #[must_use]
+    pub fn params(&self) -> &DosGameParams {
+        &self.params
+    }
+
+    /// Attack success probability `P = p^m`: all `m` buffers hold forged
+    /// copies.
+    #[must_use]
+    pub fn attack_success(&self) -> f64 {
+        self.params.p.powi(self.params.m as i32)
+    }
+
+    /// Defender cost `C_d = k2·m·X` at population state `state`.
+    #[must_use]
+    pub fn defender_cost(&self, state: PopulationState) -> f64 {
+        self.params.k2 * f64::from(self.params.m) * state.x()
+    }
+
+    /// Attacker cost `C_a = k1·x_a·Y` at population state `state`
+    /// (with `x_a = p`).
+    #[must_use]
+    pub fn attacker_cost(&self, state: PopulationState) -> f64 {
+        self.params.k1 * self.params.p * state.y()
+    }
+
+    /// The 2×2 pay-off matrix of Table II evaluated at `state`.
+    #[must_use]
+    pub fn payoff_matrix(&self, state: PopulationState) -> PayoffMatrix {
+        let p_succ = self.attack_success();
+        let cd = self.defender_cost(state);
+        let ca = self.attacker_cost(state);
+        let ra = self.params.ra;
+        let ld = ra; // L_d = R_a by assumption.
+        PayoffMatrix {
+            defend_vs_attack: (-cd - p_succ * ld, p_succ * ra - ca),
+            defend_vs_no_attack: (-cd, 0.0),
+            no_defend_vs_attack: (-ld, ra - ca),
+            no_defend_vs_no_attack: (0.0, 0.0),
+        }
+    }
+}
+
+impl TwoPopulationGame for DosGame {
+    /// `E(U_d) = Y·(−C_d − P·L_d) + (1−Y)·(−C_d)`.
+    fn payoff_defend(&self, state: PopulationState) -> f64 {
+        let m = self.payoff_matrix(state);
+        state.y() * m.defend_vs_attack.0 + (1.0 - state.y()) * m.defend_vs_no_attack.0
+    }
+
+    /// `E(U_nd) = Y·(−L_d)`.
+    fn payoff_no_defend(&self, state: PopulationState) -> f64 {
+        let m = self.payoff_matrix(state);
+        state.y() * m.no_defend_vs_attack.0 + (1.0 - state.y()) * m.no_defend_vs_no_attack.0
+    }
+
+    /// `E(U_a) = X·(P·R_a − C_a) + (1−X)·(R_a − C_a)`.
+    fn payoff_attack(&self, state: PopulationState) -> f64 {
+        let m = self.payoff_matrix(state);
+        state.x() * m.defend_vs_attack.1 + (1.0 - state.x()) * m.no_defend_vs_attack.1
+    }
+
+    /// `E(U_na) = 0`.
+    fn payoff_no_attack(&self, state: PopulationState) -> f64 {
+        let m = self.payoff_matrix(state);
+        state.x() * m.defend_vs_no_attack.1 + (1.0 - state.x()) * m.no_defend_vs_no_attack.1
+    }
+}
+
+/// Table II of the paper: `(defender pay-off, attacker pay-off)` for the
+/// four pure-strategy profiles, evaluated at a population state (the
+/// costs are population-dependent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayoffMatrix {
+    /// (Buffer selection, DoS attack): `(−C_d − P·L_d, P·R_a − C_a)`.
+    pub defend_vs_attack: (f64, f64),
+    /// (Buffer selection, no attack): `(−C_d, 0)`.
+    pub defend_vs_no_attack: (f64, f64),
+    /// (No buffers, DoS attack): `(−L_d, R_a − C_a)`.
+    pub no_defend_vs_attack: (f64, f64),
+    /// (No buffers, no attack): `(0, 0)`.
+    pub no_defend_vs_no_attack: (f64, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::TwoPopulationGame;
+
+    fn game() -> DosGame {
+        DosGameParams::paper_defaults(0.8, 10).into_game()
+    }
+
+    #[test]
+    fn attack_success_is_p_to_the_m() {
+        let g = game();
+        assert!((g.attack_success() - 0.8f64.powi(10)).abs() < 1e-15);
+        let g1 = DosGameParams::paper_defaults(0.0, 5).into_game();
+        assert_eq!(g1.attack_success(), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_population() {
+        let g = game();
+        let s = PopulationState::new(0.5, 0.25);
+        assert!((g.defender_cost(s) - 4.0 * 10.0 * 0.5).abs() < 1e-12);
+        assert!((g.attacker_cost(s) - 20.0 * 0.8 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_matches_table_two() {
+        let g = game();
+        let s = PopulationState::new(1.0, 1.0);
+        let m = g.payoff_matrix(s);
+        let p_succ = g.attack_success();
+        assert!((m.defend_vs_attack.0 - (-40.0 - p_succ * 200.0)).abs() < 1e-9);
+        assert!((m.defend_vs_attack.1 - (p_succ * 200.0 - 16.0)).abs() < 1e-9);
+        assert_eq!(m.defend_vs_no_attack, (-40.0, 0.0));
+        assert_eq!(m.no_defend_vs_attack, (-200.0, 200.0 - 16.0));
+        assert_eq!(m.no_defend_vs_no_attack, (0.0, 0.0));
+    }
+
+    /// The closed forms printed in §V-D must equal the matrix-derived
+    /// expectations.
+    #[test]
+    fn expected_utilities_match_closed_forms() {
+        let g = game();
+        let p_succ = g.attack_success();
+        for &(x, y) in &[(0.3, 0.7), (0.0, 1.0), (1.0, 0.0), (0.5, 0.5), (0.9, 0.1)] {
+            let s = PopulationState::new(x, y);
+            let cd = g.defender_cost(s);
+            let ca = g.attacker_cost(s);
+            let e_ud = y * (-cd - p_succ * 200.0) + (1.0 - y) * (-cd);
+            let e_und = y * (-200.0);
+            let e_ua = x * (p_succ * 200.0 - ca) + (1.0 - x) * (200.0 - ca);
+            assert!(
+                (g.payoff_defend(s) - e_ud).abs() < 1e-9,
+                "E(Ud) at ({x},{y})"
+            );
+            assert!(
+                (g.payoff_no_defend(s) - e_und).abs() < 1e-9,
+                "E(Und) at ({x},{y})"
+            );
+            assert!(
+                (g.payoff_attack(s) - e_ua).abs() < 1e-9,
+                "E(Ua) at ({x},{y})"
+            );
+            assert_eq!(g.payoff_no_attack(s), 0.0, "E(Una) at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn more_buffers_lower_attack_success() {
+        let a = DosGameParams::paper_defaults(0.8, 5).into_game();
+        let b = DosGameParams::paper_defaults(0.8, 20).into_game();
+        assert!(b.attack_success() < a.attack_success());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1)")]
+    fn rejects_p_of_one() {
+        let _ = DosGameParams::paper_defaults(1.0, 5).into_game();
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be at least 1")]
+    fn rejects_zero_buffers() {
+        let _ = DosGameParams::paper_defaults(0.5, 0).into_game();
+    }
+
+    #[test]
+    #[should_panic(expected = "R_a must be positive")]
+    fn rejects_nonpositive_reward() {
+        let mut p = DosGameParams::paper_defaults(0.5, 5);
+        p.ra = 0.0;
+        let _ = p.into_game();
+    }
+
+    #[test]
+    #[should_panic(expected = "k1 must be positive")]
+    fn rejects_bad_k1() {
+        let mut p = DosGameParams::paper_defaults(0.5, 5);
+        p.k1 = -1.0;
+        let _ = p.into_game();
+    }
+
+    #[test]
+    #[should_panic(expected = "k2 must be positive")]
+    fn rejects_bad_k2() {
+        let mut p = DosGameParams::paper_defaults(0.5, 5);
+        p.k2 = f64::NAN;
+        let _ = p.into_game();
+    }
+}

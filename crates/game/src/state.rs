@@ -1,0 +1,139 @@
+//! The population state of the two-population game.
+
+use std::fmt;
+
+/// `(X, Y)` — the fraction of defenders playing *buffer selection* and of
+/// attackers playing *DoS attack*. Both coordinates live in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationState {
+    x: f64,
+    y: f64,
+}
+
+impl PopulationState {
+    /// The paper's starting point for every evolution run, `(0.5, 0.5)`.
+    pub const CENTER: PopulationState = PopulationState { x: 0.5, y: 0.5 };
+
+    /// Creates a state, validating both coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is NaN or outside `[0, 1]`.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+            "population fractions must be in [0,1], got ({x}, {y})"
+        );
+        Self { x, y }
+    }
+
+    /// Creates a state, clamping both coordinates into `[0, 1]`.
+    ///
+    /// The paper's Euler updates are explicitly "adjusted ... to keep
+    /// `0 < X ≤ 1` and `0 < Y ≤ 1`"; this is that adjustment.
+    #[must_use]
+    pub fn clamped(x: f64, y: f64) -> Self {
+        Self {
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Fraction of defenders playing *buffer selection*.
+    #[must_use]
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Fraction of attackers playing *DoS attack*.
+    #[must_use]
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Chebyshev (max-coordinate) distance to another state.
+    #[must_use]
+    pub fn distance(&self, other: &PopulationState) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// `true` when the state is on the boundary of the unit square.
+    #[must_use]
+    pub fn on_boundary(&self) -> bool {
+        self.x == 0.0 || self.x == 1.0 || self.y == 0.0 || self.y == 1.0
+    }
+}
+
+impl fmt::Display for PopulationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(X={:.4}, Y={:.4})", self.x, self.y)
+    }
+}
+
+impl From<PopulationState> for (f64, f64) {
+    fn from(s: PopulationState) -> Self {
+        (s.x, s.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_unit_square() {
+        let s = PopulationState::new(0.0, 1.0);
+        assert_eq!(s.x(), 0.0);
+        assert_eq!(s.y(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population fractions")]
+    fn new_rejects_out_of_range() {
+        let _ = PopulationState::new(1.2, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "population fractions")]
+    fn new_rejects_nan() {
+        let _ = PopulationState::new(f64::NAN, 0.5);
+    }
+
+    #[test]
+    fn clamped_clamps() {
+        let s = PopulationState::clamped(1.7, -0.3);
+        assert_eq!(s.x(), 1.0);
+        assert_eq!(s.y(), 0.0);
+        assert!(s.on_boundary());
+    }
+
+    #[test]
+    fn distance_is_chebyshev() {
+        let a = PopulationState::new(0.1, 0.9);
+        let b = PopulationState::new(0.4, 0.8);
+        assert!((a.distance(&b) - 0.3).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn center_is_half_half() {
+        assert_eq!(PopulationState::CENTER.x(), 0.5);
+        assert_eq!(PopulationState::CENTER.y(), 0.5);
+        assert!(!PopulationState::CENTER.on_boundary());
+    }
+
+    #[test]
+    fn conversion_to_tuple() {
+        let (x, y): (f64, f64) = PopulationState::new(0.25, 0.75).into();
+        assert_eq!((x, y), (0.25, 0.75));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            PopulationState::new(0.5, 0.25).to_string(),
+            "(X=0.5000, Y=0.2500)"
+        );
+    }
+}

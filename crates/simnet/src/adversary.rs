@@ -1,0 +1,123 @@
+//! Flooding-adversary arithmetic.
+//!
+//! The paper parameterises attacks by `x_a`, the fraction of channel
+//! bandwidth the attacker consumes, and notes `p = x_a`: the fraction of
+//! *forged* packets among all packets a receiver sees equals the
+//! attacker's bandwidth share. [`FloodIntensity`] converts between the
+//! bandwidth-share view and the "how many forged copies accompany each
+//! authentic packet" view the simulator needs.
+
+/// An attacker consuming a fraction of the broadcast channel.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FloodIntensity {
+    /// Fraction of relevant bandwidth spent on forged packets (`x_a = p`).
+    fraction: f64,
+}
+
+impl FloodIntensity {
+    /// No attack (`p = 0`).
+    #[must_use]
+    pub fn none() -> Self {
+        Self { fraction: 0.0 }
+    }
+
+    /// An attacker holding a `fraction ∈ [0, 1)` share of the channel.
+    ///
+    /// `1.0` is excluded: a channel carrying *only* forged packets has no
+    /// authentic traffic to authenticate, so the protocols are undefined
+    /// there (the paper sweeps `p` up to 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is NaN or outside `[0, 1)`.
+    #[must_use]
+    pub fn of_bandwidth(fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "attacker bandwidth fraction must be in [0,1), got {fraction}"
+        );
+        Self { fraction }
+    }
+
+    /// The forged-packet fraction `p` (= the bandwidth share `x_a`).
+    #[must_use]
+    pub fn forged_fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// How many forged copies the attacker injects for every
+    /// `authentic_copies` legitimate packets so that forged traffic is a
+    /// `p` fraction of the total: `forged / (forged + authentic) = p`.
+    ///
+    /// Rounds to the nearest whole packet.
+    #[must_use]
+    pub fn forged_copies(&self, authentic_copies: u64) -> u64 {
+        if self.fraction <= 0.0 {
+            return 0;
+        }
+        let a = authentic_copies as f64;
+        (a * self.fraction / (1.0 - self.fraction)).round() as u64
+    }
+
+    /// The total number of copies (authentic + forged) a receiver sees
+    /// per authentic batch.
+    #[must_use]
+    pub fn total_copies(&self, authentic_copies: u64) -> u64 {
+        authentic_copies + self.forged_copies(authentic_copies)
+    }
+}
+
+impl Default for FloodIntensity {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        assert_eq!(FloodIntensity::none().forged_copies(10), 0);
+        assert_eq!(FloodIntensity::default().total_copies(10), 10);
+    }
+
+    #[test]
+    fn half_bandwidth_doubles_traffic() {
+        let f = FloodIntensity::of_bandwidth(0.5);
+        assert_eq!(f.forged_copies(10), 10);
+        assert_eq!(f.total_copies(10), 20);
+    }
+
+    #[test]
+    fn p08_gives_four_to_one() {
+        // p = 0.8 → forged : authentic = 4 : 1, the paper's Fig. 6 setting.
+        let f = FloodIntensity::of_bandwidth(0.8);
+        assert_eq!(f.forged_copies(5), 20);
+        let total = f.total_copies(5) as f64;
+        let realized = f.forged_copies(5) as f64 / total;
+        assert!((realized - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realized_fraction_tracks_request() {
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9, 0.94, 0.99] {
+            let f = FloodIntensity::of_bandwidth(p);
+            let forged = f.forged_copies(1000) as f64;
+            let realized = forged / (forged + 1000.0);
+            assert!((realized - p).abs() < 5e-3, "p={p} realized={realized}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth fraction")]
+    fn full_bandwidth_rejected() {
+        let _ = FloodIntensity::of_bandwidth(1.0);
+    }
+
+    #[test]
+    fn forged_fraction_roundtrips() {
+        assert!((FloodIntensity::of_bandwidth(0.42).forged_fraction() - 0.42).abs() < 1e-12);
+    }
+}

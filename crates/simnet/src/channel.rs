@@ -1,0 +1,356 @@
+//! The lossy broadcast channel.
+//!
+//! Each receiving node has a [`ChannelModel`] describing what the medium
+//! does to frames addressed to it: loss (independent Bernoulli or bursty
+//! Gilbert-Elliott), fixed propagation delay, and uniform jitter. This is
+//! the "communication lossy channels" / "low QoS channels" knob of the
+//! paper's evaluation — bursty loss in particular is what makes the
+//! chain-recovery machinery of the TESLA family (and EFTP/EDRP) matter.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// How frames get lost.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LossModel {
+    /// Independent loss with a fixed probability.
+    Bernoulli {
+        /// Per-frame loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// The classic two-state burst model: a *good* and a *bad* state
+    /// with per-state loss probabilities and geometric sojourn times.
+    /// Mean loss at steady state is
+    /// `π_bad·loss_bad + (1−π_bad)·loss_good` with
+    /// `π_bad = to_bad/(to_bad + to_good)`.
+    GilbertElliott {
+        /// P(good → bad) per frame.
+        to_bad: f64,
+        /// P(bad → good) per frame.
+        to_good: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+        /// Current state (evolves as frames pass).
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Samples the fate of one frame (`true` = lost), advancing burst
+    /// state where applicable.
+    pub fn sample(&mut self, rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::Bernoulli { loss } => rng.chance(*loss),
+            LossModel::GilbertElliott {
+                to_bad,
+                to_good,
+                loss_good,
+                loss_bad,
+                in_bad,
+            } => {
+                // Transition first, then lose according to the new state.
+                if *in_bad {
+                    if rng.chance(*to_good) {
+                        *in_bad = false;
+                    }
+                } else if rng.chance(*to_bad) {
+                    *in_bad = true;
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                rng.chance(p)
+            }
+        }
+    }
+
+    /// Long-run average loss probability.
+    #[must_use]
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossModel::Bernoulli { loss } => *loss,
+            LossModel::GilbertElliott {
+                to_bad,
+                to_good,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                let denom = to_bad + to_good;
+                if denom == 0.0 {
+                    // No transitions ever: stuck in the initial state;
+                    // report the good-state loss (the constructor starts
+                    // in the good state).
+                    *loss_good
+                } else {
+                    let pi_bad = to_bad / denom;
+                    pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+                }
+            }
+        }
+    }
+}
+
+/// Per-receiver channel behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChannelModel {
+    loss: LossModel,
+    /// Fixed propagation delay applied to every delivered frame.
+    delay: SimDuration,
+    /// Additional uniform random delay in `[0, jitter]`.
+    jitter: SimDuration,
+}
+
+impl ChannelModel {
+    /// A lossless, instantaneous channel — useful in unit tests.
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self {
+            loss: LossModel::Bernoulli { loss: 0.0 },
+            delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// A channel losing each frame independently with probability
+    /// `loss_probability`, delivering instantly otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is not a probability.
+    #[must_use]
+    pub fn lossy(loss_probability: f64) -> Self {
+        Self::perfect().with_loss(loss_probability)
+    }
+
+    /// Replaces the loss process with independent Bernoulli loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is NaN or outside `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, loss_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be in [0,1], got {loss_probability}"
+        );
+        self.loss = LossModel::Bernoulli {
+            loss: loss_probability,
+        };
+        self
+    }
+
+    /// Replaces the loss process with a Gilbert-Elliott burst model that
+    /// starts in the good state and loses nothing there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is not a probability.
+    #[must_use]
+    pub fn with_burst_loss(mut self, to_bad: f64, to_good: f64, loss_bad: f64) -> Self {
+        for (name, v) in [
+            ("to_bad", to_bad),
+            ("to_good", to_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
+        }
+        self.loss = LossModel::GilbertElliott {
+            to_bad,
+            to_good,
+            loss_good: 0.0,
+            loss_bad,
+            in_bad: false,
+        };
+        self
+    }
+
+    /// Replaces the loss process wholesale.
+    #[must_use]
+    pub fn with_loss_model(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Replaces the fixed propagation delay.
+    #[must_use]
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Replaces the jitter bound.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The long-run average loss probability of the loss process.
+    #[must_use]
+    pub fn loss_probability(&self) -> f64 {
+        self.loss.mean_loss()
+    }
+
+    /// The configured loss process.
+    #[must_use]
+    pub fn loss_model(&self) -> &LossModel {
+        &self.loss
+    }
+
+    /// The configured fixed delay.
+    #[must_use]
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// The configured jitter bound.
+    #[must_use]
+    pub fn jitter(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// Samples the fate of one frame: `None` if lost, otherwise the total
+    /// delivery latency. Burst-loss state advances with each call.
+    #[must_use]
+    pub fn sample(&mut self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.loss.sample(rng) {
+            return None;
+        }
+        let jitter = if self.jitter.ticks() == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration(rng.below(self.jitter.ticks() + 1))
+        };
+        Some(self.delay + jitter)
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_always_delivers_instantly() {
+        let mut ch = ChannelModel::perfect();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(ch.sample(&mut rng), Some(SimDuration::ZERO));
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut ch = ChannelModel::lossy(0.25);
+        let mut rng = SimRng::new(2);
+        let lost = (0..10_000)
+            .filter(|_| ch.sample(&mut rng).is_none())
+            .count();
+        assert!((2_200..2_800).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn delay_and_jitter_bounds() {
+        let mut ch = ChannelModel::perfect()
+            .with_delay(SimDuration(10))
+            .with_jitter(SimDuration(5));
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let d = ch.sample(&mut rng).unwrap();
+            assert!((10..=15).contains(&d.ticks()), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn total_loss_never_delivers() {
+        let mut ch = ChannelModel::lossy(1.0);
+        let mut rng = SimRng::new(4);
+        assert!(ch.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_panics() {
+        let _ = ChannelModel::lossy(1.5);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let ch = ChannelModel::lossy(0.1)
+            .with_delay(SimDuration(2))
+            .with_jitter(SimDuration(3));
+        assert!((ch.loss_probability() - 0.1).abs() < 1e-12);
+        assert_eq!(ch.delay(), SimDuration(2));
+        assert_eq!(ch.jitter(), SimDuration(3));
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_loss_matches_steady_state() {
+        // π_bad = 0.05/(0.05+0.20) = 0.2 → mean loss = 0.2·0.9 = 0.18.
+        let mut ch = ChannelModel::perfect().with_burst_loss(0.05, 0.20, 0.9);
+        assert!((ch.loss_probability() - 0.18).abs() < 1e-12);
+        let mut rng = SimRng::new(5);
+        let n = 100_000;
+        let lost = (0..n).filter(|_| ch.sample(&mut rng).is_none()).count();
+        let rate = lost as f64 / f64::from(n);
+        assert!((rate - 0.18).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare run-length of losses against Bernoulli at the same
+        // mean: bursts make consecutive losses far more likely.
+        fn consecutive_loss_pairs(ch: &mut ChannelModel, rng: &mut SimRng, n: u32) -> u32 {
+            let mut pairs = 0;
+            let mut prev_lost = false;
+            for _ in 0..n {
+                let lost = ch.sample(rng).is_none();
+                if lost && prev_lost {
+                    pairs += 1;
+                }
+                prev_lost = lost;
+            }
+            pairs
+        }
+        let mut bursty = ChannelModel::perfect().with_burst_loss(0.05, 0.20, 0.9);
+        let mut uniform = ChannelModel::lossy(bursty.loss_probability());
+        let mut rng1 = SimRng::new(6);
+        let mut rng2 = SimRng::new(6);
+        let bursty_pairs = consecutive_loss_pairs(&mut bursty, &mut rng1, 50_000);
+        let uniform_pairs = consecutive_loss_pairs(&mut uniform, &mut rng2, 50_000);
+        assert!(
+            bursty_pairs > uniform_pairs * 2,
+            "bursty {bursty_pairs} vs uniform {uniform_pairs}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_degenerate_no_transitions() {
+        let model = LossModel::GilbertElliott {
+            to_bad: 0.0,
+            to_good: 0.0,
+            loss_good: 0.1,
+            loss_bad: 0.9,
+            in_bad: false,
+        };
+        assert!((model.mean_loss() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "to_bad must be in [0,1]")]
+    fn burst_loss_validates() {
+        let _ = ChannelModel::perfect().with_burst_loss(1.5, 0.2, 0.9);
+    }
+
+    #[test]
+    fn loss_model_accessor() {
+        let ch = ChannelModel::perfect().with_burst_loss(0.1, 0.2, 0.8);
+        assert!(matches!(ch.loss_model(), LossModel::GilbertElliott { .. }));
+    }
+}

@@ -1,0 +1,94 @@
+//! Loose time synchronisation.
+//!
+//! TESLA-family protocols do not need synchronised clocks — only *loosely*
+//! synchronised ones: every receiver knows an upper bound `Δ` on how far
+//! its clock can be from the sender's. The safe-packet test ("could the key
+//! for this packet already be disclosed?") is evaluated against local time
+//! plus `Δ`.
+//!
+//! [`ClockOffsets`] samples a bounded random offset per node so that
+//! experiments exercise the protocols under worst-case skew rather than
+//! implicitly perfect clocks.
+
+use crate::rng::SimRng;
+
+/// Assigns each node a clock offset drawn uniformly from `[-Δ, +Δ]` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClockOffsets {
+    /// The synchronisation error bound `Δ`, in ticks.
+    max_offset: u64,
+}
+
+impl ClockOffsets {
+    /// Perfectly synchronised clocks (`Δ = 0`).
+    #[must_use]
+    pub fn synchronized() -> Self {
+        Self { max_offset: 0 }
+    }
+
+    /// Loosely synchronised clocks with error bound `max_offset` ticks.
+    #[must_use]
+    pub fn loose(max_offset: u64) -> Self {
+        Self { max_offset }
+    }
+
+    /// The bound `Δ`.
+    #[must_use]
+    pub fn max_offset(&self) -> u64 {
+        self.max_offset
+    }
+
+    /// Samples one node's offset in `[-Δ, +Δ]`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> i64 {
+        if self.max_offset == 0 {
+            return 0;
+        }
+        let span = 2 * self.max_offset + 1;
+        rng.below(span) as i64 - self.max_offset as i64
+    }
+}
+
+impl Default for ClockOffsets {
+    fn default() -> Self {
+        Self::synchronized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_is_zero() {
+        let mut rng = SimRng::new(1);
+        let c = ClockOffsets::synchronized();
+        for _ in 0..10 {
+            assert_eq!(c.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn loose_offsets_within_bound() {
+        let mut rng = SimRng::new(2);
+        let c = ClockOffsets::loose(50);
+        let mut seen_negative = false;
+        let mut seen_positive = false;
+        for _ in 0..1000 {
+            let o = c.sample(&mut rng);
+            assert!((-50..=50).contains(&o), "offset {o}");
+            seen_negative |= o < 0;
+            seen_positive |= o > 0;
+        }
+        assert!(
+            seen_negative && seen_positive,
+            "offsets should span both signs"
+        );
+    }
+
+    #[test]
+    fn default_is_synchronized() {
+        assert_eq!(ClockOffsets::default(), ClockOffsets::synchronized());
+        assert_eq!(ClockOffsets::loose(7).max_offset(), 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Radio energy accounting.
+//!
+//! The paper motivates DAP with the resource constraints of MCN nodes;
+//! in sensor-class hardware the radio dominates the energy budget, so a
+//! useful first-order model charges per bit sent and received. The
+//! simulator already counts both ([`crate::network::Network`] maintains
+//! `net.bits_sent` and `net.bits_delivered`); an [`EnergyModel`] converts
+//! them to joules.
+//!
+//! Computation (MACs, hashes) is orders of magnitude cheaper per packet
+//! on this class of hardware and is deliberately excluded — the
+//! comparison across protocols is driven by what they put on the air and
+//! what receivers must hear.
+
+use crate::metrics::Metrics;
+
+/// Per-bit radio energy costs, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyModel {
+    /// Transmit cost per bit.
+    pub tx_nj_per_bit: f64,
+    /// Receive cost per bit.
+    pub rx_nj_per_bit: f64,
+}
+
+impl EnergyModel {
+    /// Representative CC2420-class (TelosB mote) radio: ≈ 0.60 μJ/bit to
+    /// transmit, ≈ 0.67 μJ/bit to receive at 250 kbps.
+    #[must_use]
+    pub fn cc2420() -> Self {
+        Self {
+            tx_nj_per_bit: 600.0,
+            rx_nj_per_bit: 670.0,
+        }
+    }
+
+    /// Total transmit energy for a run, in millijoules.
+    #[must_use]
+    pub fn tx_mj(&self, metrics: &Metrics) -> f64 {
+        metrics.get("net.bits_sent") as f64 * self.tx_nj_per_bit * 1e-6
+    }
+
+    /// Total receive energy across all receivers, in millijoules.
+    #[must_use]
+    pub fn rx_mj(&self, metrics: &Metrics) -> f64 {
+        metrics.get("net.bits_delivered") as f64 * self.rx_nj_per_bit * 1e-6
+    }
+
+    /// Total radio energy, in millijoules.
+    #[must_use]
+    pub fn total_mj(&self, metrics: &Metrics) -> f64 {
+        self.tx_mj(metrics) + self.rx_mj(metrics)
+    }
+
+    /// Energy per unit of useful work, in millijoules — e.g. per
+    /// authenticated message. `None` when `work` is zero.
+    #[must_use]
+    pub fn per_unit_mj(&self, metrics: &Metrics, work: u64) -> Option<f64> {
+        if work == 0 {
+            None
+        } else {
+            Some(self.total_mj(metrics) / work as f64)
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::cc2420()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(sent: u64, delivered: u64) -> Metrics {
+        let mut m = Metrics::new();
+        m.add("net.bits_sent", sent);
+        m.add("net.bits_delivered", delivered);
+        m
+    }
+
+    #[test]
+    fn energy_scales_with_bits() {
+        let e = EnergyModel::cc2420();
+        let m = metrics(1000, 3000);
+        assert!((e.tx_mj(&m) - 0.6).abs() < 1e-9);
+        assert!((e.rx_mj(&m) - 3.0 * 0.67).abs() < 1e-9);
+        assert!((e.total_mj(&m) - (0.6 + 2.01)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_unit_handles_zero_work() {
+        let e = EnergyModel::default();
+        let m = metrics(100, 100);
+        assert_eq!(e.per_unit_mj(&m, 0), None);
+        assert!(e.per_unit_mj(&m, 10).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_cost_nothing() {
+        let e = EnergyModel::cc2420();
+        assert_eq!(e.total_mj(&Metrics::new()), 0.0);
+    }
+}

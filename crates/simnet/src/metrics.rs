@@ -1,0 +1,137 @@
+//! Named event counters shared by the simulator and protocol nodes.
+//!
+//! Protocols increment counters like `"auth.strong.ok"` or
+//! `"buffer.evicted"`; experiments read them back after a run. Keys are
+//! `&'static str` so counting is allocation-free on the hot path.
+
+use std::collections::BTreeMap;
+
+/// A set of monotonically increasing named counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// An empty metric set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Ratio `get(num) / get(den)`, or `None` when the denominator is 0.
+    #[must_use]
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den);
+        if d == 0 {
+            None
+        } else {
+            Some(self.get(num) as f64 / d as f64)
+        }
+    }
+
+    /// Iterates counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another metric set into this one (summing counters).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.counters.is_empty() {
+            return f.write_str("(no metrics)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Metrics {
+    type Item = (&'static str, u64);
+    type IntoIter = std::iter::Map<
+        std::collections::btree_map::Iter<'a, &'static str, u64>,
+        fn((&'a &'static str, &'a u64)) -> (&'static str, u64),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_add_get() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        assert_eq!(m.get("a"), 5);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut m = Metrics::new();
+        m.add("ok", 3);
+        assert_eq!(m.ratio("ok", "total"), None);
+        m.add("total", 6);
+        assert_eq!(m.ratio("ok", "total"), Some(0.5));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut m = Metrics::new();
+        m.incr("b");
+        m.incr("a");
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        let keys2: Vec<_> = (&m).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, keys2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut m = Metrics::new();
+        assert_eq!(m.to_string(), "(no metrics)");
+        m.incr("hello");
+        assert!(m.to_string().contains("hello"));
+    }
+}

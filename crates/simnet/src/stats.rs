@@ -1,0 +1,156 @@
+//! Small statistics helpers for experiments: an exact-quantile sample
+//! collector and a fixed-bucket histogram for streaming use.
+
+/// Collects raw `u64` samples and answers exact quantile queries.
+///
+/// Experiments in this workspace are small enough (≤ millions of
+/// samples) that storing everything and sorting on demand is simpler and
+/// more precise than a sketch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Samples {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<u64>() as f64 / self.values.len() as f64)
+    }
+
+    /// The exact `q`-quantile (nearest-rank), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// Minimum sample.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.values.iter().min().copied()
+    }
+
+    /// Maximum sample.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.values.iter().max().copied()
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<u64> for Samples {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+            sorted: false,
+        }
+    }
+}
+
+impl Extend<u64> for Samples {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_collector() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s: Samples = (1..=100u64).collect();
+        assert_eq!(s.quantile(0.5), Some(50));
+        assert_eq!(s.quantile(0.95), Some(95));
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(100));
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(100));
+        assert_eq!(s.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn recording_after_query_resorts() {
+        let mut s = Samples::new();
+        s.record(10);
+        assert_eq!(s.quantile(1.0), Some(10));
+        s.record(5);
+        assert_eq!(s.quantile(0.0), Some(5));
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let mut a: Samples = [1u64, 2].into_iter().collect();
+        let b: Samples = [3u64, 4].into_iter().collect();
+        a.merge(&b);
+        a.extend([5u64]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.quantile(1.0), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn bad_quantile_panics() {
+        let mut s: Samples = [1u64].into_iter().collect();
+        let _ = s.quantile(1.5);
+    }
+}

@@ -1,0 +1,255 @@
+//! Virtual time: instants, durations and the interval grid protocols
+//! live on.
+//!
+//! Time is a dimensionless tick count. Experiments pick a convention
+//! (e.g. 1 tick = 1 ms) and stick to it; nothing in the simulator cares.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in virtual time (ticks since simulation start).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time in ticks.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The first instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This instant shifted by a signed offset, saturating at zero —
+    /// used to model skewed local clocks.
+    #[must_use]
+    pub fn offset_by(self, offset: i64) -> SimTime {
+        SimTime(self.0.saturating_add_signed(offset))
+    }
+
+    /// Time elapsed since `earlier`, or [`SimDuration`] zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Raw tick count.
+    #[must_use]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Scales the duration by an integer factor.
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+/// The interval grid of a TESLA-style protocol: interval `i` (1-based)
+/// covers `[start + (i-1)·len, start + i·len)`.
+///
+/// Interval 0 is "before the protocol starts"; key `K_i` belongs to
+/// interval `i ≥ 1`, matching the chain layout in
+/// `dap_crypto::KeyChain` where `K_0` is the commitment.
+///
+/// ```
+/// use dap_simnet::{IntervalSchedule, SimTime, SimDuration};
+/// let grid = IntervalSchedule::new(SimTime(100), SimDuration(10));
+/// assert_eq!(grid.index_at(SimTime(99)), 0);
+/// assert_eq!(grid.index_at(SimTime(100)), 1);
+/// assert_eq!(grid.index_at(SimTime(109)), 1);
+/// assert_eq!(grid.index_at(SimTime(110)), 2);
+/// assert_eq!(grid.start_of(2), SimTime(110));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IntervalSchedule {
+    start: SimTime,
+    interval: SimDuration,
+}
+
+impl IntervalSchedule {
+    /// Creates a grid starting at `start` with intervals of length
+    /// `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        assert!(interval.0 > 0, "interval length must be positive");
+        Self { start, interval }
+    }
+
+    /// The 1-based interval index containing `t` (0 before the grid
+    /// starts).
+    #[must_use]
+    pub fn index_at(&self, t: SimTime) -> u64 {
+        if t < self.start {
+            0
+        } else {
+            (t.0 - self.start.0) / self.interval.0 + 1
+        }
+    }
+
+    /// The first instant of interval `index` (`index ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index == 0`; interval 0 has no start.
+    #[must_use]
+    pub fn start_of(&self, index: u64) -> SimTime {
+        assert!(index >= 1, "interval indices are 1-based");
+        self.start + self.interval.saturating_mul(index - 1)
+    }
+
+    /// Interval length.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Grid origin (start of interval 1).
+    #[must_use]
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime(u64::MAX) + SimDuration(5), SimTime(u64::MAX));
+        assert_eq!(SimTime(3).since(SimTime(10)), SimDuration::ZERO);
+        assert_eq!(SimTime(10) - SimTime(3), SimDuration(7));
+        assert_eq!(SimDuration(2) + SimDuration(3), SimDuration(5));
+    }
+
+    #[test]
+    fn offset_by_models_skewed_clocks() {
+        assert_eq!(SimTime(100).offset_by(-30), SimTime(70));
+        assert_eq!(SimTime(100).offset_by(30), SimTime(130));
+        assert_eq!(SimTime(10).offset_by(-30), SimTime(0));
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime(5);
+        t += SimDuration(6);
+        assert_eq!(t, SimTime(11));
+    }
+
+    #[test]
+    fn interval_boundaries_are_half_open() {
+        let grid = IntervalSchedule::new(SimTime(0), SimDuration(100));
+        assert_eq!(grid.index_at(SimTime(0)), 1);
+        assert_eq!(grid.index_at(SimTime(99)), 1);
+        assert_eq!(grid.index_at(SimTime(100)), 2);
+        assert_eq!(grid.start_of(1), SimTime(0));
+        assert_eq!(grid.start_of(3), SimTime(200));
+    }
+
+    #[test]
+    fn index_and_start_are_inverse() {
+        let grid = IntervalSchedule::new(SimTime(7), SimDuration(13));
+        for i in 1..200 {
+            assert_eq!(grid.index_at(grid.start_of(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval length must be positive")]
+    fn zero_interval_panics() {
+        let _ = IntervalSchedule::new(SimTime(0), SimDuration(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn start_of_zero_panics() {
+        let grid = IntervalSchedule::new(SimTime(0), SimDuration(1));
+        let _ = grid.start_of(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime(9).to_string(), "t=9");
+        assert_eq!(SimDuration(9).to_string(), "9 ticks");
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared protocol parameters and the TESLA safe-packet test.
+
+use dap_simnet::{IntervalSchedule, SimDuration, SimTime};
+
+/// Parameters common to every single-level TESLA variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeslaParams {
+    /// The interval grid packets and keys live on.
+    pub schedule: IntervalSchedule,
+    /// Key disclosure delay `d` in intervals: `K_i` becomes public in
+    /// interval `i + d`.
+    pub disclosure_delay: u64,
+    /// The loose-synchronisation bound `Δ` in ticks: a receiver's clock
+    /// is never more than `Δ` away from the sender's.
+    pub max_clock_offset: u64,
+}
+
+impl TeslaParams {
+    /// Convenience constructor starting the grid at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero (via [`IntervalSchedule::new`]) or if
+    /// `disclosure_delay == 0` — with `d = 0` the key for an interval is
+    /// public during the interval itself and authentication is void.
+    #[must_use]
+    pub fn new(interval: SimDuration, disclosure_delay: u64, max_clock_offset: u64) -> Self {
+        assert!(
+            disclosure_delay >= 1,
+            "disclosure delay must be at least 1 interval"
+        );
+        Self {
+            schedule: IntervalSchedule::new(SimTime::ZERO, interval),
+            disclosure_delay,
+            max_clock_offset,
+        }
+    }
+
+    /// The safe-packet test for these parameters.
+    #[must_use]
+    pub fn safety(&self) -> SafetyCheck {
+        SafetyCheck {
+            schedule: self.schedule,
+            disclosure_delay: self.disclosure_delay,
+            max_clock_offset: self.max_clock_offset,
+        }
+    }
+}
+
+/// The TESLA *safe packet test*.
+///
+/// A buffered packet claiming interval `i` is only useful if the sender
+/// cannot have disclosed `K_i` yet — otherwise an attacker may already
+/// know the key. The sender discloses `K_i` at the start of interval
+/// `i + d`. A receiver reading local clock `t` knows the sender's clock
+/// is at most `t + Δ`, so the packet is **safe** iff
+///
+/// ```text
+/// interval_at(t + Δ) < i + d
+/// ```
+///
+/// (The paper's Algorithm 2 writes the discard condition as
+/// `i + d < x`; the `≤`-boundary and the `Δ` shift here make the check
+/// sound under worst-case skew, which Algorithm 2 leaves implicit in its
+/// "loose time synchronisation".)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyCheck {
+    /// Interval grid.
+    pub schedule: IntervalSchedule,
+    /// Disclosure delay `d`.
+    pub disclosure_delay: u64,
+    /// Synchronisation bound `Δ`.
+    pub max_clock_offset: u64,
+}
+
+impl SafetyCheck {
+    /// `true` iff a packet claiming `claimed_index` received at local
+    /// time `local_time` is safe to buffer.
+    #[must_use]
+    pub fn is_safe(&self, claimed_index: u64, local_time: SimTime) -> bool {
+        let latest_sender_interval = self
+            .schedule
+            .index_at(local_time + SimDuration(self.max_clock_offset));
+        latest_sender_interval < claimed_index + self.disclosure_delay
+    }
+
+    /// `true` iff the key for `index` is certainly already disclosed at
+    /// `local_time` (used by receivers to decide a buffered packet can
+    /// never be authenticated and should be garbage-collected).
+    #[must_use]
+    pub fn surely_disclosed(&self, index: u64, local_time: SimTime) -> bool {
+        // The sender's clock is at least local_time − Δ.
+        let earliest_sender_interval = self.schedule.index_at(SimTime(
+            local_time.ticks().saturating_sub(self.max_clock_offset),
+        ));
+        earliest_sender_interval >= index + self.disclosure_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TeslaParams {
+        // 100-tick intervals, d = 2, Δ = 30.
+        TeslaParams::new(SimDuration(100), 2, 30)
+    }
+
+    #[test]
+    fn packet_from_current_interval_is_safe() {
+        let s = params().safety();
+        // t = 150 → interval 2; packet claims interval 2; key K_2 comes
+        // at interval 4.
+        assert!(s.is_safe(2, SimTime(150)));
+    }
+
+    #[test]
+    fn packet_is_unsafe_once_key_could_be_out() {
+        let s = params().safety();
+        // Key K_1 is disclosed at interval 3 (t = 200). At local t = 180
+        // the sender might already be at t = 210 → interval 3 → unsafe.
+        assert!(!s.is_safe(1, SimTime(180)));
+        // At local t = 150 the sender is at most at 180 → interval 2 →
+        // still safe.
+        assert!(s.is_safe(1, SimTime(150)));
+    }
+
+    #[test]
+    fn skew_bound_shrinks_the_safe_window() {
+        let tight = TeslaParams::new(SimDuration(100), 2, 0).safety();
+        let loose = TeslaParams::new(SimDuration(100), 2, 90).safety();
+        // t = 190: interval 2. With Δ=0 a packet for interval 1 is safe
+        // (disclosure at interval 3); with Δ=90 the sender may already be
+        // in interval 3.
+        assert!(tight.is_safe(1, SimTime(190)));
+        assert!(!loose.is_safe(1, SimTime(190)));
+    }
+
+    #[test]
+    fn surely_disclosed_is_conservative() {
+        let s = params().safety();
+        // K_1 disclosed at interval 3 start (t=200). With Δ=30 we are only
+        // *sure* once local time ≥ 230.
+        assert!(!s.surely_disclosed(1, SimTime(210)));
+        assert!(s.surely_disclosed(1, SimTime(230)));
+    }
+
+    #[test]
+    fn future_packets_are_safe() {
+        let s = params().safety();
+        assert!(s.is_safe(100, SimTime(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disclosure delay")]
+    fn zero_delay_panics() {
+        let _ = TeslaParams::new(SimDuration(100), 0, 0);
+    }
+
+    #[test]
+    fn safe_and_surely_disclosed_never_overlap() {
+        let s = params().safety();
+        for idx in 1..20u64 {
+            for t in (0..3000).step_by(37) {
+                let time = SimTime(t);
+                assert!(
+                    !(s.is_safe(idx, time) && s.surely_disclosed(idx, time)),
+                    "index {idx} at t={t} both safe and disclosed"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The QoS-balanced adaptive defense loop, end to end: a DAP receiver
+//! under a changing flood, with the evolutionary-game controller
+//! re-provisioning buffers each epoch.
+
+use crowdsense_dap::crypto::Mac80;
+use crowdsense_dap::dap::wire::Announce;
+use crowdsense_dap::dap::{
+    AdaptiveConfig, AdaptiveController, DapParams, DapReceiver, DapSender, DapStats,
+};
+use crowdsense_dap::game::cost::naive_defense_cost;
+use crowdsense_dap::game::DosGameParams;
+use crowdsense_dap::simnet::{SimRng, SimTime};
+use rand::RngCore;
+
+struct Epoch {
+    true_p: f64,
+    rate: f64,
+    policy: crowdsense_dap::dap::DefensePolicy,
+}
+
+/// Drives `epochs` of `intervals_per_epoch` each; attack level per epoch
+/// from `attack`; controller re-provisions between epochs.
+fn drive(attack: &[f64], intervals_per_epoch: u64, smoothing: f64, seed: u64) -> Vec<Epoch> {
+    let params = DapParams::default();
+    let mut sender = DapSender::new(
+        b"adaptive-it",
+        attack.len() * intervals_per_epoch as usize + 2,
+        params,
+    );
+    let mut receiver = DapReceiver::new(sender.bootstrap(), b"adaptive-node");
+    let mut controller = AdaptiveController::new(AdaptiveConfig {
+        smoothing,
+        ..AdaptiveConfig::paper_defaults()
+    });
+    let mut rng = SimRng::new(seed);
+    let mut out = Vec::new();
+    let mut interval = 0u64;
+
+    for &p in attack {
+        let before = *receiver.stats();
+        let mut ok = 0u64;
+        for _ in 0..intervals_per_epoch {
+            interval += 1;
+            let t_a = SimTime((interval - 1) * 100 + 10);
+            let t_r = SimTime(interval * 100 + 10);
+            let forged = if p > 0.0 {
+                (p / (1.0 - p)).round() as u32
+            } else {
+                0
+            };
+            for _ in 0..forged {
+                let mut mac = [0u8; 10];
+                rng.fill_bytes(&mut mac);
+                receiver.on_announce(
+                    &Announce {
+                        index: interval,
+                        mac: Mac80::from_slice(&mac).unwrap(),
+                    },
+                    t_a,
+                    &mut rng,
+                );
+            }
+            let genuine = sender.announce(interval, b"r");
+            receiver.on_announce(&genuine, t_a, &mut rng);
+            if receiver
+                .on_reveal(&sender.reveal(interval).unwrap(), t_r)
+                .is_authenticated()
+            {
+                ok += 1;
+            }
+        }
+        let after = *receiver.stats();
+        let epoch_stats = DapStats {
+            announces_offered: after.announces_offered - before.announces_offered,
+            authenticated: after.authenticated - before.authenticated,
+            ..Default::default()
+        };
+        controller.observe_stats(&epoch_stats);
+        let policy = controller.recommend();
+        receiver.set_buffers(policy.buffers as usize);
+        out.push(Epoch {
+            true_p: p,
+            rate: ok as f64 / intervals_per_epoch as f64,
+            policy,
+        });
+    }
+    out
+}
+
+#[test]
+fn buffers_track_attack_level() {
+    let epochs = drive(&[0.0, 0.5, 0.8, 0.9], 200, 0.9, 1);
+    let ms: Vec<u32> = epochs.iter().map(|e| e.policy.buffers).collect();
+    // Non-decreasing while the attack ramps.
+    for w in ms.windows(2) {
+        assert!(w[0] <= w[1], "buffers decreased during ramp: {ms:?}");
+    }
+    assert_eq!(ms[0], 1, "no attack → minimal buffers");
+    assert!(ms[3] >= 10, "severe attack → many buffers: {ms:?}");
+}
+
+#[test]
+fn estimates_converge_to_true_attack_level() {
+    let epochs = drive(&[0.8, 0.8, 0.8, 0.8, 0.8], 300, 0.9, 2);
+    let last = epochs.last().unwrap();
+    assert!(
+        (last.policy.estimated_p - 0.8).abs() < 0.08,
+        "estimate {} vs true 0.8",
+        last.policy.estimated_p
+    );
+}
+
+#[test]
+fn give_up_regime_engages_under_jamming() {
+    let epochs = drive(&[0.9, 0.99, 0.99, 0.99], 200, 0.9, 3);
+    let last = epochs.last().unwrap();
+    assert!(last.policy.is_give_up(), "{:?}", last.policy);
+    assert!((last.policy.expected_cost - 200.0).abs() < 5.0);
+}
+
+#[test]
+fn adaptive_cost_beats_naive_across_regimes() {
+    let epochs = drive(&[0.3, 0.5, 0.8, 0.95, 0.99], 200, 0.9, 4);
+    for e in &epochs {
+        if e.policy.estimated_p <= 0.0 {
+            continue;
+        }
+        let naive = naive_defense_cost(
+            DosGameParams {
+                ra: 200.0,
+                k1: 20.0,
+                k2: 4.0,
+                p: e.policy.estimated_p,
+                m: 1,
+            },
+            50,
+        );
+        assert!(
+            e.policy.expected_cost <= naive + 1e-6,
+            "p={}: adaptive {} > naive {naive}",
+            e.true_p,
+            e.policy.expected_cost
+        );
+    }
+}
+
+#[test]
+fn recovery_after_attack_subsides() {
+    let epochs = drive(&[0.9, 0.9, 0.0, 0.0, 0.0], 200, 0.9, 5);
+    let peak = epochs[1].policy.buffers;
+    let settled = epochs.last().unwrap().policy.buffers;
+    assert!(
+        settled < peak,
+        "buffers should shrink after the attack: peak {peak}, settled {settled}"
+    );
+    assert!(epochs.last().unwrap().rate > 0.99);
+}

@@ -1,0 +1,68 @@
+//! Golden regression tests: fixed seeds must yield bit-identical results
+//! forever. A failure here means a refactor changed observable behaviour
+//! (RNG consumption order, event ordering, chain derivation, integrator
+//! arithmetic) — which invalidates every number in EXPERIMENTS.md and
+//! must be a conscious decision, not an accident.
+
+use crowdsense_dap::crypto::{Domain, KeyChain};
+use crowdsense_dap::dap::sim::{run_campaign, CampaignSpec};
+use crowdsense_dap::game::ess::predict_ess;
+use crowdsense_dap::game::DosGameParams;
+
+#[test]
+fn golden_key_chain_commitment() {
+    let chain = KeyChain::generate(b"golden-seed", 64, Domain::F);
+    assert_eq!(chain.commitment().to_string(), "ce19bb2d59f86cc544aa");
+}
+
+#[test]
+fn golden_flooded_campaign() {
+    let out = run_campaign(&CampaignSpec {
+        attack_fraction: 0.8,
+        announce_copies: 1,
+        buffers: 4,
+        intervals: 500,
+        loss: 0.1,
+        seed: 20160706,
+    });
+    assert_eq!(out.authenticated, 346);
+    assert_eq!(out.no_candidate, 0);
+    assert_eq!(out.reveals, 448);
+    // Lost reveals leave pools pending across intervals; the peak stays
+    // within the documented (d + 2)·m·56 bound.
+    assert_eq!(out.peak_memory_bits, 672);
+    assert!((out.authentication_rate - 346.0 / 448.0).abs() < 1e-12);
+}
+
+#[test]
+fn golden_lossy_campaign() {
+    let out = run_campaign(&CampaignSpec {
+        attack_fraction: 0.0,
+        announce_copies: 2,
+        buffers: 2,
+        intervals: 300,
+        loss: 0.25,
+        seed: 99,
+    });
+    assert_eq!(out.authenticated, 206);
+    assert_eq!(out.no_candidate, 17);
+    assert_eq!(out.reveals, 223);
+    assert_eq!(out.peak_memory_bits, 336);
+}
+
+#[test]
+fn golden_interior_ess() {
+    let game = DosGameParams::paper_defaults(0.8, 30).into_game();
+    let out = predict_ess(&game);
+    assert!(
+        (out.point.x() - 0.955_272_649_362).abs() < 1e-9,
+        "{}",
+        out.point
+    );
+    assert!(
+        (out.point.y() - 0.573_874_011_233).abs() < 1e-9,
+        "{}",
+        out.point
+    );
+    assert_eq!(out.steps, Some(764));
+}

@@ -1,0 +1,194 @@
+//! Cross-crate property-based tests: protocol invariants under arbitrary
+//! parameters, adversarial inputs and interleavings.
+
+use bytes::Bytes;
+use crowdsense_dap::crypto::{Key, Mac80};
+use crowdsense_dap::dap::wire::Announce;
+use crowdsense_dap::dap::{DapParams, DapReceiver, DapSender};
+use crowdsense_dap::game::dynamics::{evolve, ReplicatorField, TwoPopulationGame};
+use crowdsense_dap::game::{DosGameParams, PopulationState};
+use crowdsense_dap::simnet::{SimDuration, SimRng, SimTime};
+use crowdsense_dap::tesla::ReservoirBuffer;
+use proptest::prelude::*;
+
+proptest! {
+    /// DAP authenticates exactly the sender's messages under any
+    /// interleaving of forged announcements, for any buffer count.
+    #[test]
+    fn dap_soundness_under_arbitrary_floods(
+        m in 1usize..12,
+        seed in any::<u64>(),
+        forged_per_interval in 0u32..12,
+        intervals in 1u64..25,
+    ) {
+        let params = DapParams::new(SimDuration(100), 1, 0, m);
+        let mut sender = DapSender::new(&seed.to_le_bytes(), intervals as usize, params);
+        let mut receiver = DapReceiver::new(sender.bootstrap(), b"prop");
+        let mut rng = SimRng::new(seed);
+
+        for i in 1..=intervals {
+            let t_a = SimTime((i - 1) * 100 + 10);
+            let t_r = SimTime(i * 100 + 10);
+            let genuine = sender.announce(i, format!("real {i}").as_bytes());
+            // Random interleaving position for the genuine copy.
+            let pos = rng.below(u64::from(forged_per_interval) + 1);
+            for k in 0..=forged_per_interval {
+                if u64::from(k) == pos {
+                    receiver.on_announce(&genuine, t_a, &mut rng);
+                } else {
+                    let mut mac = [0u8; 10];
+                    rand::RngCore::fill_bytes(&mut rng, &mut mac);
+                    receiver.on_announce(
+                        &Announce { index: i, mac: Mac80::from_slice(&mac).unwrap() },
+                        t_a,
+                        &mut rng,
+                    );
+                }
+            }
+            let _ = receiver.on_reveal(&sender.reveal(i).unwrap(), t_r);
+            // Hard memory bound at all times.
+            prop_assert!(receiver.memory_bits() <= (m as u64) * 56);
+        }
+        for (idx, msg) in receiver.authenticated() {
+            let expected = format!("real {idx}");
+            prop_assert_eq!(&msg[..], expected.as_bytes());
+        }
+        // With no forged traffic everything must authenticate.
+        if forged_per_interval == 0 {
+            prop_assert_eq!(receiver.stats().authenticated, intervals);
+        }
+    }
+
+    /// Tampering any byte of the reveal (message or key) is always
+    /// rejected.
+    #[test]
+    fn dap_rejects_any_single_tampering(
+        seed in any::<u64>(),
+        flip_key in any::<bool>(),
+        byte in 0usize..10,
+        bit in 0u8..8,
+    ) {
+        let params = DapParams::default();
+        let mut sender = DapSender::new(&seed.to_le_bytes(), 4, params);
+        let mut receiver = DapReceiver::new(sender.bootstrap(), b"prop2");
+        let mut rng = SimRng::new(seed);
+        let ann = sender.announce(1, b"ten bytes!");
+        receiver.on_announce(&ann, SimTime(10), &mut rng);
+        let mut rev = sender.reveal(1).unwrap();
+        if flip_key {
+            let mut kb: [u8; 10] = rev.key.as_bytes().try_into().unwrap();
+            kb[byte] ^= 1 << bit;
+            rev.key = Key::from_slice(&kb).unwrap();
+        } else {
+            let mut mb = rev.message.to_vec();
+            mb[byte] ^= 1 << bit;
+            rev.message = Bytes::from(mb);
+        }
+        let out = receiver.on_reveal(&rev, SimTime(110));
+        prop_assert!(!out.is_authenticated());
+    }
+
+    /// Reservoir pool: never exceeds capacity; total stored+dropped
+    /// equals offered; survival of a marked item matches m/n within
+    /// statistical tolerance is covered by unit tests — here we check
+    /// the structural invariants for arbitrary offer counts.
+    #[test]
+    fn reservoir_structural_invariants(
+        capacity in 1usize..20,
+        offers in 0u64..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut pool = ReservoirBuffer::new(capacity);
+        for i in 0..offers {
+            pool.offer(i, &mut rng);
+            prop_assert!(pool.len() <= capacity);
+        }
+        prop_assert_eq!(pool.offered(), offers);
+        prop_assert_eq!(pool.len() as u64, offers.min(capacity as u64));
+        // Stored entries are a subset of what was offered (no invention).
+        for &e in pool.iter() {
+            prop_assert!(e < offers);
+        }
+    }
+
+    /// Replicator dynamics keep the state in the unit square and leave
+    /// every corner fixed, for any valid game parameters.
+    #[test]
+    fn replicator_respects_simplex(
+        p in 0.0f64..0.999,
+        m in 1u32..100,
+        x0 in 0.001f64..0.999,
+        y0 in 0.001f64..0.999,
+    ) {
+        let game = DosGameParams::paper_defaults(p, m).into_game();
+        let t = evolve(&game, PopulationState::new(x0, y0), 2_000);
+        for s in t.states() {
+            prop_assert!((0.0..=1.0).contains(&s.x()));
+            prop_assert!((0.0..=1.0).contains(&s.y()));
+        }
+        let field = ReplicatorField::new(&game);
+        for &(cx, cy) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let (dx, dy) = field.derivative(PopulationState::new(cx, cy));
+            prop_assert_eq!((dx, dy), (0.0, 0.0));
+        }
+    }
+
+    /// Mean pay-offs are convex combinations of the strategy pay-offs.
+    #[test]
+    fn mean_payoff_is_bounded_by_strategies(
+        p in 0.0f64..0.999,
+        m in 1u32..60,
+        x in 0.0f64..=1.0,
+        y in 0.0f64..=1.0,
+    ) {
+        let game = DosGameParams::paper_defaults(p, m).into_game();
+        let s = PopulationState::new(x, y);
+        let d = game.mean_defender_payoff(s);
+        let lo = game.payoff_defend(s).min(game.payoff_no_defend(s));
+        let hi = game.payoff_defend(s).max(game.payoff_no_defend(s));
+        prop_assert!(d >= lo - 1e-9 && d <= hi + 1e-9);
+        let a = game.mean_attacker_payoff(s);
+        let lo = game.payoff_attack(s).min(game.payoff_no_attack(s));
+        let hi = game.payoff_attack(s).max(game.payoff_no_attack(s));
+        prop_assert!(a >= lo - 1e-9 && a <= hi + 1e-9);
+    }
+
+    /// The DAP wire codec round-trips every encodable frame and never
+    /// panics on arbitrary input bytes.
+    #[test]
+    fn codec_roundtrip_and_total_decode(
+        index in 0u64..(u32::MAX as u64),
+        mac_bytes in proptest::array::uniform10(any::<u8>()),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use crowdsense_dap::dap::codec::{decode, encode};
+        use crowdsense_dap::dap::wire::{DapMessage, Reveal};
+        let ann = DapMessage::Announce(Announce {
+            index,
+            mac: Mac80::from_slice(&mac_bytes).unwrap(),
+        });
+        prop_assert_eq!(decode(&encode(&ann).unwrap()).unwrap(), ann);
+        let rev = DapMessage::Reveal(Reveal {
+            index,
+            key: Key::derive(b"prop", &index.to_le_bytes()),
+            message: Bytes::from(msg),
+        });
+        prop_assert_eq!(decode(&encode(&rev).unwrap()).unwrap(), rev);
+        // Total decode: arbitrary bytes give Ok or Err, never a panic.
+        let _ = decode(&garbage);
+    }
+
+    /// The analytic presence probability is monotone in m and antitone
+    /// in p.
+    #[test]
+    fn presence_probability_monotonicity(
+        p in 0.01f64..0.99,
+        m in 1u32..99,
+    ) {
+        use crowdsense_dap::dap::analysis::authentic_presence;
+        prop_assert!(authentic_presence(p, m + 1) >= authentic_presence(p, m));
+        prop_assert!(authentic_presence(p * 0.99, m) >= authentic_presence(p, m));
+    }
+}

@@ -1,0 +1,137 @@
+//! §III claims across the substrate protocols, exercised over the
+//! simulated network and hand-fed timelines: EFTP's recovery advantage,
+//! EDRP's continuity, and TESLA's (lack of) memory bounds as the
+//! motivating contrast.
+
+use crowdsense_dap::crypto::Key;
+use crowdsense_dap::simnet::{ChannelModel, FloodIntensity, Network, SimDuration, SimRng, SimTime};
+use crowdsense_dap::tesla::edrp::{CdmDisposition, EdrpReceiver, EdrpSender};
+use crowdsense_dap::tesla::multilevel::{
+    Linkage, MultiLevelParams, MultiLevelReceiver, MultiLevelSender,
+};
+use crowdsense_dap::tesla::sim::{TeslaFloodAttacker, TeslaReceiverNode, TeslaSenderNode};
+use crowdsense_dap::tesla::tesla::TeslaSender;
+use crowdsense_dap::tesla::TeslaParams;
+
+fn ml_params(linkage: Linkage) -> MultiLevelParams {
+    MultiLevelParams::new(SimDuration(25), 4, 24, 3, linkage)
+}
+
+fn at(p: &MultiLevelParams, high: u64, low: u32) -> SimTime {
+    SimTime((p.global_low_index(high, low) - 1) * 25 + 2)
+}
+
+/// Identical CDM-loss scenario under both linkages: EFTP resolves one
+/// high-level interval earlier, for every affected chain.
+#[test]
+fn eftp_beats_original_linkage_per_chain() {
+    for target_chain in [4u64, 6, 9] {
+        let mut resolved = std::collections::BTreeMap::new();
+        for linkage in [Linkage::Original, Linkage::Eftp] {
+            let params = ml_params(linkage);
+            let sender = MultiLevelSender::new(b"cmp", params);
+            let mut receiver = MultiLevelReceiver::new(sender.bootstrap());
+            let mut rng = SimRng::new(1);
+            // CDMs up to target_chain - 1 all lost; packet needs the chain.
+            receiver.on_low_packet(
+                &sender.data_packet(target_chain, 1, b"x"),
+                at(&params, target_chain, 1),
+            );
+            for i in target_chain..=(target_chain + 4) {
+                receiver.on_cdm(&sender.cdm(i).unwrap(), at(&params, i, 1), &mut rng);
+                if let Some(rec) = receiver
+                    .recoveries()
+                    .iter()
+                    .find(|r| r.high == target_chain)
+                {
+                    resolved.insert(linkage, rec.resolved_at);
+                    break;
+                }
+            }
+        }
+        let advantage = resolved[&Linkage::Original].since(resolved[&Linkage::Eftp]);
+        assert_eq!(
+            advantage,
+            ml_params(Linkage::Eftp).high_interval(),
+            "chain {target_chain}"
+        );
+    }
+}
+
+/// EDRP under sustained flooding: every genuine CDM authenticates
+/// instantly, forged ones never reach a buffer.
+#[test]
+fn edrp_sustains_instant_authentication() {
+    let params = ml_params(Linkage::Eftp);
+    let sender = EdrpSender::new(b"edrp-it", params);
+    let mut receiver = EdrpReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(2);
+
+    for i in 1..=20u64 {
+        let t = at(&params, i, 1);
+        for _ in 0..10 {
+            let mut forged = sender.cdm(i).unwrap().clone();
+            forged.low_commitment = Key::random(&mut rng);
+            let (disp, _) = receiver.on_cdm(&forged, t, &mut rng);
+            assert_eq!(disp, CdmDisposition::RejectedByHash, "CDM_{i}");
+        }
+        let (disp, _) = receiver.on_cdm(sender.cdm(i).unwrap(), t, &mut rng);
+        assert_eq!(disp, CdmDisposition::Instant, "CDM_{i}");
+    }
+    assert_eq!(receiver.stats().cdm_instant, 20);
+    assert_eq!(receiver.stats().cdm_buffered, 0);
+    assert_eq!(receiver.stats().cdm_rejected_by_hash, 200);
+}
+
+/// EDRP data path: messages authenticate through commitments installed
+/// by instantly-verified CDMs, across the whole horizon.
+#[test]
+fn edrp_data_flows_through_instant_commitments() {
+    let params = ml_params(Linkage::Eftp);
+    let sender = EdrpSender::new(b"edrp-data", params);
+    let mut receiver = EdrpReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(3);
+
+    for i in 1..=12u64 {
+        receiver.on_cdm(sender.cdm(i).unwrap(), at(&params, i, 1), &mut rng);
+        receiver.on_low_packet(&sender.data_packet(i, 2, b"d"), at(&params, i, 2));
+        if let Some(d) = sender.low_disclosure(i, 3) {
+            receiver.on_low_disclosure(&d, at(&params, i, 3));
+        }
+    }
+    assert_eq!(receiver.inner().stats().low_authenticated, 12);
+    assert_eq!(receiver.inner().stats().low_rejected, 0);
+}
+
+/// The motivating contrast: plain TESLA's buffer grows with the flood
+/// (unbounded memory-DoS exposure), which is exactly what DAP's m-buffer
+/// pool removes (`tests/end_to_end_dap.rs` asserts the DAP bound).
+#[test]
+fn tesla_memory_grows_with_flood_intensity() {
+    let mut peaks = Vec::new();
+    for p in [0.0, 0.5, 0.8] {
+        let params = TeslaParams::new(SimDuration(100), 2, 0);
+        let sender = TeslaSender::new(b"contrast", 30, params);
+        let bootstrap = sender.bootstrap();
+        let mut net = Network::new(4);
+        net.add_node(
+            TeslaSenderNode::new(sender, 2, b"m".to_vec()),
+            ChannelModel::perfect(),
+        );
+        if p > 0.0 {
+            net.add_node(
+                TeslaFloodAttacker::new(bootstrap, FloodIntensity::of_bandwidth(p), 2, 30, 25),
+                ChannelModel::perfect(),
+            );
+        }
+        let rx = net.add_node(TeslaReceiverNode::new(bootstrap), ChannelModel::perfect());
+        net.run_until(SimTime(35 * 100));
+        peaks.push(
+            net.node_as::<TeslaReceiverNode>(rx)
+                .unwrap()
+                .peak_buffered_bits(),
+        );
+    }
+    assert!(peaks[0] < peaks[1], "{peaks:?}");
+    assert!(peaks[1] < peaks[2], "{peaks:?}");
+}

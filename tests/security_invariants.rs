@@ -1,0 +1,259 @@
+//! Cross-protocol security invariant: **no forged message ever
+//! authenticates**, in any protocol of the family, under floods of every
+//! shape we can construct without the sender's keys.
+
+use bytes::Bytes;
+use crowdsense_dap::crypto::{Key, Mac80};
+use crowdsense_dap::dap::{DapParams, DapReceiver, DapSender};
+use crowdsense_dap::simnet::{SimDuration, SimRng, SimTime};
+use crowdsense_dap::tesla::multilevel::{
+    Linkage, MultiLevelParams, MultiLevelReceiver, MultiLevelSender,
+};
+use crowdsense_dap::tesla::mutesla::{DataPacket, MuTeslaMessage, MuTeslaReceiver, MuTeslaSender};
+use crowdsense_dap::tesla::tesla::{ReceiverEvent, TeslaPacket, TeslaReceiver, TeslaSender};
+use crowdsense_dap::tesla::teslapp::{TeslaPpMessage, TeslaPpReceiver, TeslaPpSender};
+use crowdsense_dap::tesla::TeslaParams;
+use rand::RngCore;
+
+const FORGERY_MARK: &[u8] = b"FORGED";
+
+fn forged_mac(rng: &mut SimRng) -> Mac80 {
+    let mut b = [0u8; 10];
+    rng.fill_bytes(&mut b);
+    Mac80::from_slice(&b).unwrap()
+}
+
+#[test]
+fn tesla_never_authenticates_forgeries() {
+    let params = TeslaParams::new(SimDuration(100), 2, 0);
+    let sender = TeslaSender::new(b"t", 40, params);
+    let mut receiver = TeslaReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(1);
+
+    for i in 1..=38u64 {
+        let t = SimTime((i - 1) * 100 + 10);
+        // Attacker: random-MAC packets, message-swapped packets, and
+        // packets with forged disclosed keys.
+        for _ in 0..3 {
+            let forged = TeslaPacket {
+                index: i,
+                message: Bytes::from_static(FORGERY_MARK),
+                mac: forged_mac(&mut rng),
+                disclosed: None,
+            };
+            receiver.on_packet(&forged, t);
+        }
+        let mut swapped = sender.packet(i, b"real");
+        swapped.message = Bytes::from_static(FORGERY_MARK);
+        receiver.on_packet(&swapped, t);
+        let mut bad_key = sender.packet(i, b"real2");
+        if let Some(d) = &mut bad_key.disclosed {
+            d.key = Key::random(&mut rng);
+        }
+        let events = receiver.on_packet(&bad_key, t);
+        // Forged keys must never advance the anchor.
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ReceiverEvent::KeyAccepted { .. })
+                    && bad_key.disclosed.is_some()
+                    && i > 2),
+            "interval {i}"
+        );
+        // Genuine traffic.
+        receiver.on_packet(&sender.packet(i, format!("real {i}").as_bytes()), t);
+    }
+    for (_, msg) in receiver.authenticated() {
+        assert!(
+            !msg.starts_with(FORGERY_MARK),
+            "forged message authenticated"
+        );
+        assert!(msg.starts_with(b"real"), "unexpected message {msg:?}");
+    }
+    assert!(
+        !receiver.authenticated().is_empty(),
+        "genuine traffic must pass"
+    );
+}
+
+#[test]
+fn mutesla_never_authenticates_forgeries() {
+    let params = TeslaParams::new(SimDuration(100), 1, 0);
+    let sender = MuTeslaSender::new(b"m", 30, params);
+    let mut receiver = MuTeslaReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(2);
+
+    for i in 1..=29u64 {
+        let t = SimTime((i - 1) * 100 + 10);
+        for _ in 0..3 {
+            receiver.on_message(
+                &MuTeslaMessage::Data(DataPacket {
+                    index: i,
+                    message: Bytes::from_static(FORGERY_MARK),
+                    mac: forged_mac(&mut rng),
+                }),
+                t,
+            );
+        }
+        receiver.on_message(
+            &MuTeslaMessage::KeyDisclosure {
+                index: i,
+                key: Key::random(&mut rng),
+            },
+            t,
+        );
+        receiver.on_message(&sender.data(i, format!("real {i}").as_bytes()), t);
+        if let Some(d) = sender.disclosure(i) {
+            receiver.on_message(&d, t);
+        }
+    }
+    for (_, msg) in receiver.authenticated() {
+        assert!(msg.starts_with(b"real"));
+    }
+    assert!(!receiver.authenticated().is_empty());
+}
+
+#[test]
+fn teslapp_never_authenticates_forgeries() {
+    let params = TeslaParams::new(SimDuration(100), 1, 0);
+    let mut sender = TeslaPpSender::new(b"pp", 30, params);
+    let mut receiver = TeslaPpReceiver::new(sender.bootstrap(), b"rx");
+    let mut rng = SimRng::new(3);
+
+    let mut authenticated = Vec::new();
+    for i in 1..=29u64 {
+        let t_a = SimTime((i - 1) * 100 + 10);
+        let t_r = SimTime(i * 100 + 10);
+        for _ in 0..5 {
+            receiver.on_message(
+                &TeslaPpMessage::MacAnnounce {
+                    index: i,
+                    mac: forged_mac(&mut rng),
+                },
+                t_a,
+            );
+        }
+        receiver.on_message(&sender.announce(i, format!("real {i}").as_bytes()), t_a);
+        // Attacker reveal with forged message + random key.
+        let out = receiver.on_message(
+            &TeslaPpMessage::Reveal {
+                index: i,
+                message: Bytes::from_static(FORGERY_MARK),
+                key: Key::random(&mut rng),
+            },
+            t_r,
+        );
+        assert!(
+            !matches!(
+                out,
+                crowdsense_dap::tesla::teslapp::TeslaPpOutcome::Authenticated { .. }
+            ),
+            "forged reveal authenticated at {i}"
+        );
+        if let Some(rev) = sender.reveal(i) {
+            if let crowdsense_dap::tesla::teslapp::TeslaPpOutcome::Authenticated {
+                message, ..
+            } = receiver.on_message(&rev, t_r)
+            {
+                authenticated.push(message);
+            }
+        }
+    }
+    assert!(!authenticated.is_empty());
+    for msg in &authenticated {
+        assert!(msg.starts_with(b"real"));
+    }
+}
+
+#[test]
+fn multilevel_never_authenticates_forgeries() {
+    let params = MultiLevelParams::new(SimDuration(25), 4, 20, 3, Linkage::Eftp);
+    let sender = MultiLevelSender::new(b"ml", params);
+    let mut receiver = MultiLevelReceiver::new(sender.bootstrap());
+    let mut rng = SimRng::new(4);
+
+    for i in 1..=18u64 {
+        let t = SimTime((params.global_low_index(i, 1) - 1) * 25 + 1);
+        // Forged CDMs.
+        if let Some(genuine_cdm) = sender.cdm(i) {
+            for _ in 0..5 {
+                let mut forged = genuine_cdm.clone();
+                forged.low_commitment = Key::random(&mut rng);
+                receiver.on_cdm(&forged, t, &mut rng);
+            }
+            receiver.on_cdm(&genuine_cdm, t, &mut rng);
+        }
+        // Forged + genuine data in (i, 2).
+        let t2 = SimTime((params.global_low_index(i, 2) - 1) * 25 + 1);
+        let mut forged_pkt = sender.data_packet(i, 2, b"real");
+        forged_pkt.message = Bytes::from_static(FORGERY_MARK);
+        receiver.on_low_packet(&forged_pkt, t2);
+        receiver.on_low_packet(
+            &sender.data_packet(i, 2, format!("real {i}").as_bytes()),
+            t2,
+        );
+        // Disclosure in (i, 3).
+        let t3 = SimTime((params.global_low_index(i, 3) - 1) * 25 + 1);
+        if let Some(d) = sender.low_disclosure(i, 3) {
+            receiver.on_low_disclosure(&d, t3);
+        }
+    }
+    assert!(!receiver.authenticated().is_empty());
+    for (_, _, msg) in receiver.authenticated() {
+        assert!(msg.starts_with(b"real"), "forged low packet authenticated");
+    }
+    // Forged commitments must never be installed: every installed chain
+    // authenticates genuine traffic, which we just verified.
+    assert!(receiver.stats().cdm_forged_rejected > 0);
+}
+
+#[test]
+fn dap_never_authenticates_forgeries() {
+    let params = DapParams::default().with_buffers(4);
+    let mut sender = DapSender::new(b"dap", 64, params);
+    let mut receiver = DapReceiver::new(sender.bootstrap(), b"rx");
+    let mut rng = SimRng::new(5);
+
+    for i in 1..=60u64 {
+        let t_a = SimTime((i - 1) * 100 + 10);
+        let t_r = SimTime(i * 100 + 10);
+        for _ in 0..4 {
+            receiver.on_announce(
+                &crowdsense_dap::dap::wire::Announce {
+                    index: i,
+                    mac: forged_mac(&mut rng),
+                },
+                t_a,
+                &mut rng,
+            );
+        }
+        let genuine = sender.announce(i, format!("real {i}").as_bytes());
+        receiver.on_announce(&genuine, t_a, &mut rng);
+
+        // The genuine reveal authenticates; a tampered replay of it (same
+        // genuine key, attacker message) must then fail. A tampered
+        // reveal *racing* the genuine one would consume the interval's
+        // candidates — an availability loss equivalent to jamming the
+        // reveal, never an authentication break (asserted at the end).
+        let rev = sender.reveal(i).unwrap();
+        // With m = 4 buffers against 4 forged copies the genuine entry
+        // survives with probability 4/5 — most intervals authenticate.
+        let _ = receiver.on_reveal(&rev, t_r);
+        let mut tampered = rev.clone();
+        tampered.message = Bytes::from_static(FORGERY_MARK);
+        let out_tampered = receiver.on_reveal(&tampered, t_r);
+        assert!(!out_tampered.is_authenticated(), "interval {i}");
+    }
+    for (_, msg) in receiver.authenticated() {
+        assert!(msg.starts_with(b"real"), "forged DAP message authenticated");
+    }
+    assert!(
+        receiver.stats().authenticated > 35,
+        "{:?}",
+        receiver.stats()
+    );
+    assert_eq!(
+        receiver.stats().authenticated,
+        receiver.authenticated().len() as u64
+    );
+}
