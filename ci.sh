@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The full offline gate. The workspace is hermetic — everything here
+# must succeed with no network and an empty registry cache.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "ci.sh: all green"

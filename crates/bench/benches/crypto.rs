@@ -1,77 +1,69 @@
 //! Micro-benchmarks of the crypto substrate: the per-packet costs every
-//! protocol in the workspace pays.
+//! protocol in the workspace pays. Run with `cargo bench -p dap-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dap_bench::timer::{section, smoke};
 use dap_crypto::hmac::hmac_sha256;
 use dap_crypto::mac::{mac80, micro_mac, verify_mac80};
 use dap_crypto::oneway::{one_way, one_way_iter};
 use dap_crypto::sha256::digest;
 use dap_crypto::{Domain, Key, KeyChain};
+use std::hint::black_box;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256() {
+    section("sha256");
     for size in [64usize, 256, 1024] {
         let data = vec![0xa5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("digest_{size}B"), |b| {
-            b.iter(|| digest(black_box(&data)))
-        });
+        smoke(&format!("digest_{size}B"), || digest(black_box(&data)));
     }
-    group.finish();
 }
 
-fn bench_hmac(c: &mut Criterion) {
+fn bench_hmac() {
+    section("hmac");
     let data = vec![0x5au8; 200 / 8]; // the paper's 200-bit message
-    c.bench_function("hmac_sha256_200bit_msg", |b| {
-        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)))
+    smoke("hmac_sha256_200bit_msg", || {
+        hmac_sha256(black_box(b"key"), black_box(&data))
     });
 }
 
-fn bench_macs(c: &mut Criterion) {
+fn bench_macs() {
+    section("macs");
     let key = Key::derive(b"bench", b"k");
     let msg = vec![1u8; 25];
     let tag = mac80(&key, &msg);
-    c.bench_function("mac80_compute", |b| {
-        b.iter(|| mac80(black_box(&key), black_box(&msg)))
+    smoke("mac80_compute", || mac80(black_box(&key), black_box(&msg)));
+    smoke("mac80_verify", || {
+        verify_mac80(black_box(&key), black_box(&msg), black_box(&tag))
     });
-    c.bench_function("mac80_verify", |b| {
-        b.iter(|| verify_mac80(black_box(&key), black_box(&msg), black_box(&tag)))
-    });
-    c.bench_function("micro_mac", |b| {
-        b.iter(|| micro_mac(black_box(&key), black_box(&tag)))
-    });
+    smoke("micro_mac", || micro_mac(black_box(&key), black_box(&tag)));
 }
 
-fn bench_keychain(c: &mut Criterion) {
-    c.bench_function("keychain_generate_1000", |b| {
-        b.iter(|| KeyChain::generate(black_box(b"seed"), 1000, Domain::F))
+fn bench_keychain() {
+    section("keychain");
+    smoke("keychain_generate_1000", || {
+        KeyChain::generate(black_box(b"seed"), 1000, Domain::F)
     });
 
     let chain = KeyChain::generate(b"seed", 256, Domain::F);
     let anchor = chain.anchor();
     let k1 = *chain.key(1).unwrap();
     let k100 = *chain.key(100).unwrap();
-    c.bench_function("anchor_verify_1_step", |b| {
-        b.iter(|| anchor.verify(black_box(&k1), 1).unwrap())
+    smoke("anchor_verify_1_step", || {
+        anchor.verify(black_box(&k1), 1).unwrap()
     });
-    c.bench_function("anchor_verify_100_steps", |b| {
-        b.iter(|| anchor.verify(black_box(&k100), 100).unwrap())
+    smoke("anchor_verify_100_steps", || {
+        anchor.verify(black_box(&k100), 100).unwrap()
     });
 
     let key = Key::derive(b"x", b"y");
-    c.bench_function("one_way_single", |b| {
-        b.iter(|| one_way(Domain::F, black_box(&key)))
-    });
-    c.bench_function("one_way_iter_64", |b| {
-        b.iter(|| one_way_iter(Domain::F, black_box(&key), 64))
+    smoke("one_way_single", || one_way(Domain::F, black_box(&key)));
+    smoke("one_way_iter_64", || {
+        one_way_iter(Domain::F, black_box(&key), 64)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_hmac,
-    bench_macs,
-    bench_keychain
-);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_hmac();
+    bench_macs();
+    bench_keychain();
+}

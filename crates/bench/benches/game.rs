@@ -1,61 +1,57 @@
 //! Evolutionary-game benchmarks: the cost of the analysis a QoS-balanced
 //! DAP node runs when re-provisioning its buffers.
+//! Run with `cargo bench -p dap-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dap_bench::timer::{section, smoke};
 use dap_game::dynamics::{evolve, EulerIntegrator};
 use dap_game::ess::{ess_candidates, predict_ess};
 use dap_game::optimize::optimal_buffer_count;
 use dap_game::{DosGameParams, PopulationState};
+use std::hint::black_box;
 
-fn bench_euler_step(c: &mut Criterion) {
+fn bench_euler_step() {
+    section("dynamics");
     let game = DosGameParams::paper_defaults(0.8, 30).into_game();
     let euler = EulerIntegrator::paper();
-    c.bench_function("euler_step", |b| {
-        b.iter(|| euler.step(black_box(&game), black_box(PopulationState::CENTER)))
+    smoke("euler_step", || {
+        euler.step(black_box(&game), black_box(PopulationState::CENTER))
     });
 }
 
-fn bench_evolution(c: &mut Criterion) {
+fn bench_evolution() {
     let game = DosGameParams::paper_defaults(0.8, 30).into_game();
-    c.bench_function("evolve_1000_steps_interior", |b| {
-        b.iter(|| evolve(black_box(&game), PopulationState::CENTER, 1000))
+    smoke("evolve_1000_steps_interior", || {
+        evolve(black_box(&game), PopulationState::CENTER, 1000)
     });
 }
 
-fn bench_predict_ess(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predict_ess");
-    group.sample_size(20);
+fn bench_predict_ess() {
+    section("predict_ess");
     for m in [5u32, 14, 30, 70] {
         let game = DosGameParams::paper_defaults(0.8, m).into_game();
-        group.bench_function(format!("m{m}"), |b| {
-            b.iter(|| predict_ess(black_box(&game)))
+        smoke(&format!("predict_ess_m{m}"), || {
+            predict_ess(black_box(&game))
         });
     }
-    group.finish();
 }
 
-fn bench_candidates(c: &mut Criterion) {
+fn bench_candidates() {
+    section("candidates");
     let game = DosGameParams::paper_defaults(0.8, 30).into_game();
-    c.bench_function("ess_candidates", |b| {
-        b.iter(|| ess_candidates(black_box(&game)))
+    smoke("ess_candidates", || ess_candidates(black_box(&game)));
+}
+
+fn bench_optimize() {
+    section("algorithm3");
+    smoke("optimal_buffer_count_cap20_p08", || {
+        optimal_buffer_count(DosGameParams::paper_defaults(0.8, 1), 20)
     });
 }
 
-fn bench_optimize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm3");
-    group.sample_size(10);
-    group.bench_function("optimal_buffer_count_cap20_p08", |b| {
-        b.iter(|| optimal_buffer_count(DosGameParams::paper_defaults(0.8, 1), 20))
-    });
-    group.finish();
+fn main() {
+    bench_euler_step();
+    bench_evolution();
+    bench_predict_ess();
+    bench_candidates();
+    bench_optimize();
 }
-
-criterion_group!(
-    benches,
-    bench_euler_step,
-    bench_evolution,
-    bench_predict_ess,
-    bench_candidates,
-    bench_optimize
-);
-criterion_main!(benches);

@@ -1,102 +1,92 @@
 //! Protocol-level benchmarks: what a receiver pays per packet under
 //! normal traffic and under flood, across DAP and the TESLA baselines.
+//! Run with `cargo bench -p dap-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use dap_bench::timer::{section, smoke};
 use dap_core::sim::{run_campaign, CampaignSpec};
 use dap_core::{DapParams, DapReceiver, DapSender};
 use dap_simnet::{SimRng, SimTime};
 use dap_tesla::tesla::{TeslaReceiver, TeslaSender};
 use dap_tesla::{ReservoirBuffer, TeslaParams};
+use std::hint::black_box;
 
-fn bench_reservoir(c: &mut Criterion) {
-    c.bench_function("reservoir_offer_under_flood_m8", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter_batched(
-            || ReservoirBuffer::<u64>::new(8),
-            |mut pool| {
-                for i in 0..100u64 {
-                    pool.offer(black_box(i), &mut rng);
-                }
-                pool
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_reservoir() {
+    section("reservoir");
+    let mut rng = SimRng::new(1);
+    smoke("reservoir_offer_under_flood_m8", || {
+        let mut pool = ReservoirBuffer::<u64>::new(8);
+        for i in 0..100u64 {
+            pool.offer(black_box(i), &mut rng);
+        }
+        pool
     });
 }
 
-fn bench_dap_roundtrip(c: &mut Criterion) {
-    c.bench_function("dap_announce_reveal_roundtrip", |b| {
-        let params = DapParams::default();
-        let mut rng = SimRng::new(2);
-        let mut interval = 0u64;
-        let mut sender = DapSender::new(b"bench", 1_000_000, params);
-        let mut receiver = DapReceiver::new(sender.bootstrap(), b"rx");
-        b.iter(|| {
-            interval += 1;
-            let t_announce = SimTime((interval - 1) * 100 + 1);
-            let t_reveal = SimTime(interval * 100 + 1);
-            let ann = sender.announce(interval, b"sensor reading payload !!");
-            receiver.on_announce(&ann, t_announce, &mut rng);
-            let rev = sender.reveal(interval).unwrap();
-            black_box(receiver.on_reveal(&rev, t_reveal))
+fn bench_dap_roundtrip() {
+    section("dap");
+    let params = DapParams::default();
+    let mut rng = SimRng::new(2);
+    let mut interval = 0u64;
+    let mut sender = DapSender::new(b"bench", 1_000_000, params);
+    let mut receiver = DapReceiver::new(sender.bootstrap(), b"rx");
+    smoke("dap_announce_reveal_roundtrip", || {
+        interval += 1;
+        let t_announce = SimTime((interval - 1) * 100 + 1);
+        let t_reveal = SimTime(interval * 100 + 1);
+        let ann = sender.announce(interval, b"sensor reading payload !!");
+        receiver.on_announce(&ann, t_announce, &mut rng);
+        let rev = sender.reveal(interval).unwrap();
+        black_box(receiver.on_reveal(&rev, t_reveal))
+    });
+}
+
+fn bench_dap_flooded_announce() {
+    let params = DapParams::default().with_buffers(8);
+    let sender = DapSender::new(b"bench", 16, params);
+    let mut receiver = DapReceiver::new(sender.bootstrap(), b"rx");
+    let mut rng = SimRng::new(3);
+    let forged = dap_core::wire::Announce {
+        index: 1,
+        mac: dap_crypto::Mac80::from_slice(&[7u8; 10]).unwrap(),
+    };
+    smoke("dap_on_announce_flooded", || {
+        black_box(receiver.on_announce(&forged, SimTime(10), &mut rng))
+    });
+}
+
+fn bench_tesla_packet() {
+    section("tesla");
+    let params = TeslaParams::new(dap_simnet::SimDuration(100), 2, 0);
+    let mut interval = 0u64;
+    let sender = TeslaSender::new(b"bench", 1_000_000, params);
+    let mut receiver = TeslaReceiver::new(sender.bootstrap());
+    smoke("tesla_on_packet_and_disclose", || {
+        interval += 1;
+        let pkt = sender.packet(interval, b"payload");
+        black_box(receiver.on_packet(&pkt, SimTime((interval - 1) * 100 + 1)))
+    });
+}
+
+fn bench_campaign() {
+    section("campaign");
+    let mut seed = 0u64;
+    smoke("dap_campaign_100_intervals_p08_m5", || {
+        seed += 1;
+        run_campaign(&CampaignSpec {
+            attack_fraction: 0.8,
+            announce_copies: 1,
+            buffers: 5,
+            intervals: 100,
+            loss: 0.1,
+            seed,
         })
     });
 }
 
-fn bench_dap_flooded_announce(c: &mut Criterion) {
-    c.bench_function("dap_on_announce_flooded", |b| {
-        let params = DapParams::default().with_buffers(8);
-        let sender = DapSender::new(b"bench", 16, params);
-        let mut receiver = DapReceiver::new(sender.bootstrap(), b"rx");
-        let mut rng = SimRng::new(3);
-        let forged = dap_core::wire::Announce {
-            index: 1,
-            mac: dap_crypto::Mac80::from_slice(&[7u8; 10]).unwrap(),
-        };
-        b.iter(|| black_box(receiver.on_announce(&forged, SimTime(10), &mut rng)))
-    });
+fn main() {
+    bench_reservoir();
+    bench_dap_roundtrip();
+    bench_dap_flooded_announce();
+    bench_tesla_packet();
+    bench_campaign();
 }
-
-fn bench_tesla_packet(c: &mut Criterion) {
-    c.bench_function("tesla_on_packet_and_disclose", |b| {
-        let params = TeslaParams::new(dap_simnet::SimDuration(100), 2, 0);
-        let mut interval = 0u64;
-        let sender = TeslaSender::new(b"bench", 1_000_000, params);
-        let mut receiver = TeslaReceiver::new(sender.bootstrap());
-        b.iter(|| {
-            interval += 1;
-            let pkt = sender.packet(interval, b"payload");
-            black_box(receiver.on_packet(&pkt, SimTime((interval - 1) * 100 + 1)))
-        })
-    });
-}
-
-fn bench_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("campaign");
-    group.sample_size(10);
-    group.bench_function("dap_campaign_100_intervals_p08_m5", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_campaign(&CampaignSpec {
-                attack_fraction: 0.8,
-                announce_copies: 1,
-                buffers: 5,
-                intervals: 100,
-                loss: 0.1,
-                seed,
-            })
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_reservoir,
-    bench_dap_roundtrip,
-    bench_dap_flooded_announce,
-    bench_tesla_packet,
-    bench_campaign
-);
-criterion_main!(benches);

@@ -14,7 +14,6 @@ use dap_game::ess::{classify_coordinates, EssKind};
 use dap_game::{DosGameParams, PopulationState};
 use dap_simnet::SimRng;
 use dap_tesla::{FirstComeBuffer, ReservoirBuffer};
-use rand::RngCore;
 
 // ---------------------------------------------------------------- 1 ----
 

@@ -2,9 +2,26 @@
 //! levels of DoS attack.
 
 use dap_bench::fig7::{default_sweep, sweep, BUFFER_CAP};
+use dap_bench::json::{self, JsonObject};
 use dap_bench::table;
 
 fn main() {
+    if json::json_requested() {
+        let points = sweep(&default_sweep());
+        println!(
+            "{}",
+            json::array(&points, |pt| {
+                JsonObject::new()
+                    .f64("p", pt.p)
+                    .u64("m_star", u64::from(pt.m_star))
+                    .str("ess", &pt.kind.to_string())
+                    .f64("cost", pt.cost)
+                    .u64("m_literal", u64::from(pt.m_literal))
+                    .bool("saturated", pt.saturated)
+            })
+        );
+        return;
+    }
     println!("Fig. 7 — optimal buffer count m* vs attack level p (cap M = {BUFFER_CAP})");
     println!("Settings: R_a = 200, k1 = 20, k2 = 4; ESS from (0.5, 0.5), Euler t = 0.01");
     println!();

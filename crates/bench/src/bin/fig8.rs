@@ -3,9 +3,25 @@
 
 use dap_bench::fig7::default_sweep;
 use dap_bench::fig8::sweep;
+use dap_bench::json::{self, JsonObject};
 use dap_bench::table;
 
 fn main() {
+    if json::json_requested() {
+        let points = sweep(&default_sweep());
+        println!(
+            "{}",
+            json::array(&points, |pt| {
+                JsonObject::new()
+                    .f64("p", pt.p)
+                    .f64("game_guided", pt.game_guided)
+                    .f64("naive", pt.naive)
+                    .f64("naive_literal", pt.naive_literal)
+                    .u64("m_star", u64::from(pt.m_star))
+            })
+        );
+        return;
+    }
     println!("Fig. 8 — average defense cost vs attack level");
     println!("E: cost at the ESS with the Fig.-7 optimal m*");
     println!("N: naive full defense (every node, m = M = 50), attackers at Y'(M)");

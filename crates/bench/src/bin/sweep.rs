@@ -1,7 +1,8 @@
 //! Parameter sweep over (attack level x buffers x loss), CSV output.
 //!
-//! Usage: `cargo run --release -p dap-bench --bin sweep [intervals]`
+//! Usage: `cargo run --release -p dap-bench --bin sweep [intervals] [--json]`
 
+use dap_bench::json::{self, JsonObject};
 use dap_bench::sweep::{run_sweep, to_csv, SweepConfig};
 
 fn main() {
@@ -17,5 +18,21 @@ fn main() {
         announce_copies: 1,
         seed: 2016,
     };
-    print!("{}", to_csv(&run_sweep(&config)));
+    let rows = run_sweep(&config);
+    if json::json_requested() {
+        println!(
+            "{}",
+            json::array(&rows, |r| {
+                JsonObject::new()
+                    .f64("p", r.p)
+                    .u64("m", r.m as u64)
+                    .f64("loss", r.loss)
+                    .f64("rate", r.rate)
+                    .f64("predicted", r.predicted)
+                    .u64("peak_memory_bits", r.peak_memory_bits)
+            })
+        );
+    } else {
+        print!("{}", to_csv(&rows));
+    }
 }

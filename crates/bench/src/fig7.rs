@@ -11,7 +11,6 @@
 //!   defender cost equals `R_a` for *every* `m` — the paper's
 //!   `p > 0.94` "give up / pin m = M" regime.
 
-use crossbeam::thread;
 use dap_game::ess::EssKind;
 use dap_game::optimize::{optimal_buffer_count, optimal_buffer_count_paper_literal};
 use dap_game::DosGameParams;
@@ -69,14 +68,13 @@ pub fn default_sweep() -> Vec<f64> {
 /// Computes the whole sweep, in parallel.
 #[must_use]
 pub fn sweep(ps: &[f64]) -> Vec<Fig7Point> {
-    thread::scope(|s| {
-        let handles: Vec<_> = ps.iter().map(|&p| s.spawn(move |_| point(p))).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ps.iter().map(|&p| s.spawn(move || point(p))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep worker"))
             .collect()
     })
-    .expect("scope")
 }
 
 #[cfg(test)]

@@ -49,14 +49,13 @@ pub fn point(p: f64) -> Fig8Point {
 /// The full sweep (same x-axis as Fig. 7).
 #[must_use]
 pub fn sweep(ps: &[f64]) -> Vec<Fig8Point> {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ps.iter().map(|&p| s.spawn(move |_| point(p))).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ps.iter().map(|&p| s.spawn(move || point(p))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker"))
             .collect()
     })
-    .expect("scope")
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fleet;
+pub mod json;
 pub mod recovery;
 pub mod sweep;
 pub mod table;
+pub mod timer;

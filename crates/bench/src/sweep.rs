@@ -9,7 +9,7 @@ use dap_core::analysis::authentic_presence;
 use dap_core::sim::{run_campaign, CampaignSpec};
 
 /// One cell of the sweep grid.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// Forged-traffic fraction.
     pub p: f64,
@@ -58,14 +58,14 @@ impl Default for SweepConfig {
 /// Runs the full grid, one thread per attack level.
 #[must_use]
 pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
-    let mut rows: Vec<SweepRow> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<SweepRow> = std::thread::scope(|scope| {
         let handles: Vec<_> = config
             .attack_levels
             .iter()
             .enumerate()
             .map(|(pi, &p)| {
                 let config = config.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     for (mi, &m) in config.buffer_counts.iter().enumerate() {
                         for (li, &loss) in config.loss_rates.iter().enumerate() {
@@ -100,8 +100,7 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
             .into_iter()
             .flat_map(|h| h.join().expect("sweep worker"))
             .collect()
-    })
-    .expect("scope");
+    });
     rows.sort_by(|a, b| {
         (a.p, a.m, a.loss)
             .partial_cmp(&(b.p, b.m, b.loss))

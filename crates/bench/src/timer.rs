@@ -1,0 +1,43 @@
+//! A minimal smoke-timer harness for the `benches/` targets.
+//!
+//! The workspace builds hermetically, so there is no criterion. These
+//! timers are deliberately simple: calibrate an iteration count against a
+//! wall-clock budget, run, and print nanoseconds per iteration. They are
+//! smoke benchmarks — good for spotting order-of-magnitude regressions
+//! and for profiling hot paths, not for sub-percent comparisons.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark. Override with `DAP_BENCH_MS`.
+fn budget() -> Duration {
+    let ms = std::env::var("DAP_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms)
+}
+
+/// Times `f`, printing `name`, the iteration count and the mean time per
+/// iteration. The closure's result is passed through [`black_box`] so the
+/// optimiser cannot delete the work.
+pub fn smoke<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (budget().as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u32;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / u128::from(iters);
+    println!("{name:<44} {iters:>9} iters   {per_iter:>12} ns/iter");
+}
+
+/// Prints a section header so multi-group bench binaries stay readable.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}

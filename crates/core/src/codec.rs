@@ -10,7 +10,6 @@
 //! total: any byte string yields either a frame or a [`DecodeError`],
 //! never a panic — receivers parse attacker-controlled bytes.
 
-use bytes::Bytes;
 use dap_crypto::{Key, Mac80};
 
 use crate::wire::{Announce, DapMessage, Reveal};
@@ -145,7 +144,7 @@ pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
             Ok(DapMessage::Reveal(Reveal {
                 index: u64::from(index),
                 key,
-                message: Bytes::copy_from_slice(message),
+                message: message.to_vec(),
             }))
         }
         other => Err(DecodeError::UnknownTag(other)),
@@ -207,7 +206,7 @@ mod tests {
         DapMessage::Reveal(Reveal {
             index: 42,
             key: Key::derive(b"codec", b"k"),
-            message: Bytes::from_static(b"sensor reading"),
+            message: b"sensor reading".to_vec(),
         })
     }
 
@@ -230,7 +229,7 @@ mod tests {
         let msg = DapMessage::Reveal(Reveal {
             index: 1,
             key: Key::derive(b"c", b"k"),
-            message: Bytes::new(),
+            message: Vec::new(),
         });
         let encoded = encode(&msg).unwrap();
         assert_eq!(decode(&encoded).unwrap(), msg);
@@ -254,7 +253,7 @@ mod tests {
         let msg = DapMessage::Reveal(Reveal {
             index: 1,
             key: Key::derive(b"c", b"k"),
-            message: Bytes::from(vec![0u8; 70_000]),
+            message: vec![0u8; 70_000],
         });
         assert!(matches!(
             encode(&msg),

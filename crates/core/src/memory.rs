@@ -10,7 +10,7 @@
 use dap_crypto::sizes;
 
 /// Which protocol's storage layout to account for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum StorageScheme {
     /// TESLA / μTESLA: full message + MAC buffered (280 b; the paper
@@ -47,7 +47,7 @@ impl StorageScheme {
 }
 
 /// One row of the memory-cost table the `memory_table` experiment prints.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryRow {
     /// Scheme label.
     pub scheme: String,

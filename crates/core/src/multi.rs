@@ -25,7 +25,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use dap_crypto::mac::{mac80, micro_mac, MicroMac};
 use dap_crypto::oneway::{one_way_iter, Domain};
 use dap_crypto::{ChainAnchor, Key};
@@ -37,9 +36,7 @@ use crate::sender::DapBootstrap;
 use crate::wire::{Announce, DapParams, Reveal};
 
 /// Identifies a registered sender (task distributor).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SenderId(pub u64);
 
 impl std::fmt::Display for SenderId {
@@ -93,7 +90,7 @@ pub struct DapMultiReceiver {
     anchors: BTreeMap<SenderId, ChainAnchor>,
     pool: ReservoirBuffer<Entry>,
     rx_interval: u64,
-    authenticated: Vec<(SenderId, u64, Bytes)>,
+    authenticated: Vec<(SenderId, u64, Vec<u8>)>,
     stats: MultiStats,
 }
 
@@ -135,7 +132,7 @@ impl DapMultiReceiver {
 
     /// Authenticated `(sender, interval, message)` triples.
     #[must_use]
-    pub fn authenticated(&self) -> &[(SenderId, u64, Bytes)] {
+    pub fn authenticated(&self) -> &[(SenderId, u64, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -363,7 +360,7 @@ mod tests {
             // 9 forged copies claiming sender A.
             for _ in 0..9 {
                 let mut mac = [0u8; 10];
-                rand::RngCore::fill_bytes(&mut rng, &mut mac);
+                rng.fill_bytes(&mut mac);
                 rx.on_announce(
                     SenderId(1),
                     &Announce {

@@ -17,7 +17,6 @@
 //!    `μMAC′ = MAC_{K_recv}(MAC_{K'_i}(M_i))` and search the buffers for
 //!    a matching entry with index `i`; equality authenticates `M_i`.
 
-use bytes::Bytes;
 use dap_crypto::mac::{mac80, micro_mac, MicroMac};
 use dap_crypto::oneway::{one_way_iter, Domain};
 use dap_crypto::{ChainAnchor, Key};
@@ -46,7 +45,7 @@ pub enum RevealOutcome {
         /// Interval index.
         index: u64,
         /// The trusted message.
-        message: Bytes,
+        message: Vec<u8>,
     },
     /// The disclosed key failed chain verification (line 16).
     WeakRejected {
@@ -129,7 +128,7 @@ pub struct DapReceiver {
     /// is bounded by `(d + 2)·m·56` bits.
     pools: std::collections::BTreeMap<u64, ReservoirBuffer<MicroMac>>,
     rx_interval: u64,
-    authenticated: Vec<(u64, Bytes)>,
+    authenticated: Vec<(u64, Vec<u8>)>,
     stats: DapStats,
 }
 
@@ -158,7 +157,7 @@ impl DapReceiver {
 
     /// Messages authenticated so far, in order.
     #[must_use]
-    pub fn authenticated(&self) -> &[(u64, Bytes)] {
+    pub fn authenticated(&self) -> &[(u64, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -403,7 +402,7 @@ mod tests {
         let ann = sender.announce(1, b"genuine");
         receiver.on_announce(&ann, during(1), &mut rng);
         let mut rev = sender.reveal(1).unwrap();
-        rev.message = Bytes::from_static(b"tampered");
+        rev.message = b"tampered".to_vec();
         assert_eq!(
             receiver.on_reveal(&rev, during(2)),
             RevealOutcome::StrongRejected { index: 1 }
@@ -431,7 +430,7 @@ mod tests {
                 index: 1,
                 mac: {
                     let mut b = [0u8; 10];
-                    rand::RngCore::fill_bytes(&mut rng, &mut b);
+                    rng.fill_bytes(&mut b);
                     dap_crypto::Mac80::from_slice(&b).unwrap()
                 },
             };
@@ -461,7 +460,7 @@ mod tests {
             let mut copies: Vec<Announce> = Vec::new();
             for _ in 0..4 {
                 let mut b = [0u8; 10];
-                rand::RngCore::fill_bytes(&mut rng, &mut b);
+                rng.fill_bytes(&mut b);
                 copies.push(Announce {
                     index: 1,
                     mac: dap_crypto::Mac80::from_slice(&b).unwrap(),

@@ -6,7 +6,6 @@
 //! message delivery ride together (as in TESLA++), so the receiver never
 //! buffers a full message.
 
-use bytes::Bytes;
 use dap_crypto::mac::mac80;
 use dap_crypto::oneway::Domain;
 use dap_crypto::{Key, KeyChain};
@@ -37,7 +36,7 @@ pub struct DapBootstrap {
 pub struct DapSender {
     chain: KeyChain,
     params: DapParams,
-    pending: std::collections::BTreeMap<u64, Bytes>,
+    pending: std::collections::BTreeMap<u64, Vec<u8>>,
 }
 
 impl DapSender {
@@ -94,7 +93,7 @@ impl DapSender {
             .key(index as usize)
             .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
         let mac = mac80(key, message);
-        self.pending.insert(index, Bytes::copy_from_slice(message));
+        self.pending.insert(index, message.to_vec());
         Announce { index, mac }
     }
 

@@ -11,7 +11,6 @@ use std::any::Any;
 
 use dap_crypto::Mac80;
 use dap_simnet::{Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
-use rand::RngCore;
 
 use crate::receiver::{AnnounceOutcome, DapReceiver, RevealOutcome};
 use crate::sender::{DapBootstrap, DapSender};
@@ -272,6 +271,11 @@ pub struct CampaignOutcome {
     pub peak_memory_bits: u64,
     /// Authenticated / reveals, the empirical `P`.
     pub authentication_rate: f64,
+    /// Total bits put on the air — the transmit-energy tally an
+    /// [`dap_simnet::EnergyModel`] converts to joules.
+    pub bits_sent: u64,
+    /// Total bits delivered to receivers — the receive-energy tally.
+    pub bits_delivered: u64,
 }
 
 /// Runs a one-sender, one-attacker, one-receiver campaign.
@@ -319,6 +323,8 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
         } else {
             stats.authenticated as f64 / reveals as f64
         },
+        bits_sent: net.metrics().get("net.bits_sent"),
+        bits_delivered: net.metrics().get("net.bits_delivered"),
     }
 }
 

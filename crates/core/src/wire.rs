@@ -1,6 +1,5 @@
 //! DAP wire formats and parameters (Fig. 4 of the paper).
 
-use bytes::Bytes;
 use dap_crypto::{Key, Mac80};
 use dap_simnet::{IntervalSchedule, SimDuration, SimTime};
 use dap_tesla::SafetyCheck;
@@ -99,7 +98,7 @@ pub struct Reveal {
     /// Interval index `i`.
     pub index: u64,
     /// The message `M_i`.
-    pub message: Bytes,
+    pub message: Vec<u8>,
     /// The disclosed key `K_i`.
     pub key: Key,
 }
@@ -178,7 +177,7 @@ mod tests {
     fn reveal_is_312_bits_for_paper_message() {
         let r = Reveal {
             index: 1,
-            message: Bytes::from(vec![0u8; 25]),
+            message: vec![0u8; 25],
             key: Key::derive(b"t", b"k"),
         };
         assert_eq!(r.size_bits(), 312);

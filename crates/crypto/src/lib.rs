@@ -38,6 +38,7 @@ pub mod hmac;
 pub mod keychain;
 pub mod mac;
 pub mod oneway;
+pub mod rng;
 pub mod sha256;
 pub mod sizes;
 
@@ -47,6 +48,7 @@ pub use error::ChainVerifyError;
 pub use keychain::{ChainAnchor, Key, KeyChain};
 pub use mac::{Mac80, MicroMac};
 pub use oneway::Domain;
+pub use rng::{FillBytes, UniformF64};
 
 /// Constant-time equality over byte slices of equal length.
 ///

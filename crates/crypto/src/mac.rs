@@ -16,9 +16,7 @@ use crate::keychain::Key;
 use crate::oneway::{one_way, Domain};
 
 /// An 80-bit packet MAC (`MAC_i` in the paper, 80 b on the wire).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Mac80([u8; Mac80::LEN]);
 
 impl Mac80 {
@@ -66,9 +64,7 @@ impl AsRef<[u8]> for Mac80 {
 /// Stored instead of the full packet while waiting for key disclosure:
 /// 24 bits of μMAC + 32 bits of interval index = 56 bits per buffer entry,
 /// versus 280 bits for message+MAC — the ~80 % memory saving DAP claims.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MicroMac([u8; MicroMac::LEN]);
 
 impl MicroMac {

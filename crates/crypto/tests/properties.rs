@@ -1,86 +1,109 @@
-//! Property-based tests for the crypto substrate.
+//! Property-based tests for the crypto substrate, on the in-tree
+//! `dap-testkit` harness (deterministic, seeded, shrinking).
 
 use dap_crypto::oneway::one_way_iter;
 use dap_crypto::sha256::Sha256;
 use dap_crypto::{ct_eq, Domain, Key, KeyChain};
-use proptest::prelude::*;
+use dap_testkit::{check, Gen, Strategy};
 
-fn arb_key() -> impl Strategy<Value = Key> {
-    proptest::array::uniform10(any::<u8>()).prop_map(|bytes| Key::from_slice(&bytes).unwrap())
+fn arb_key() -> Strategy<Key> {
+    Strategy::new(|g: &mut Gen| {
+        let bytes: [u8; 10] = g.byte_array();
+        Key::from_slice(&bytes).unwrap()
+    })
 }
 
-fn arb_domain() -> impl Strategy<Value = Domain> {
-    prop_oneof![
-        Just(Domain::F),
-        Just(Domain::MacKey),
-        Just(Domain::F0),
-        Just(Domain::F1),
-        Just(Domain::F01),
-        Just(Domain::CdmCommit),
-    ]
+const DOMAINS: [Domain; 6] = [
+    Domain::F,
+    Domain::MacKey,
+    Domain::F0,
+    Domain::F1,
+    Domain::F01,
+    Domain::CdmCommit,
+];
+
+fn arb_domain(g: &mut Gen) -> Domain {
+    *g.pick(&DOMAINS)
 }
 
-proptest! {
-    #[test]
-    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                       split in 0usize..512) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    check("sha256_streaming_equals_oneshot", |g| {
+        let data = g.bytes(0..512);
+        let split = g.usize_in(0..512).min(data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), dap_crypto::sha256::digest(&data));
-    }
+        assert_eq!(h.finalize(), dap_crypto::sha256::digest(&data));
+    });
+}
 
-    #[test]
-    fn ct_eq_matches_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
-                              b in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(ct_eq(&a, &b), a == b);
-    }
+#[test]
+fn ct_eq_matches_slice_eq() {
+    check("ct_eq_matches_slice_eq", |g| {
+        let a = g.bytes(0..64);
+        let b = g.bytes(0..64);
+        assert_eq!(ct_eq(&a, &b), a == b);
+    });
+}
 
-    #[test]
-    fn one_way_iter_composes(key in arb_key(), domain in arb_domain(),
-                             a in 0usize..8, b in 0usize..8) {
+#[test]
+fn one_way_iter_composes() {
+    let key = arb_key();
+    check("one_way_iter_composes", move |g| {
+        let key = key.sample(g);
+        let domain = arb_domain(g);
+        let a = g.usize_in(0..8);
+        let b = g.usize_in(0..8);
         let left = one_way_iter(domain, &one_way_iter(domain, &key, a), b);
         let right = one_way_iter(domain, &key, a + b);
-        prop_assert_eq!(left, right);
-    }
+        assert_eq!(left, right);
+    });
+}
 
-    #[test]
-    fn chain_anchor_accepts_every_key_in_any_order_of_gaps(
-        seed in any::<u64>(),
-        indices in proptest::collection::btree_set(1u64..40, 1..10),
-    ) {
+#[test]
+fn chain_anchor_accepts_every_key_in_any_order_of_gaps() {
+    check("chain_anchor_accepts_gaps", |g| {
+        let seed = g.any_u64();
+        let indices = g.btree_set_u64(1..40, 1..10);
         let chain = KeyChain::generate(&seed.to_le_bytes(), 40, Domain::F);
         let mut anchor = chain.anchor();
         // Strictly increasing subsets of disclosures must all verify.
         for &i in &indices {
-            prop_assert!(anchor.accept(chain.key(i as usize).unwrap(), i).is_ok());
+            assert!(anchor.accept(chain.key(i as usize).unwrap(), i).is_ok());
         }
-    }
+    });
+}
 
-    #[test]
-    fn chain_anchor_rejects_random_keys(seed in any::<u64>(), forged in arb_key(),
-                                        index in 1u64..40) {
+#[test]
+fn chain_anchor_rejects_random_keys() {
+    let forged = arb_key();
+    check("chain_anchor_rejects_random_keys", move |g| {
+        let seed = g.any_u64();
+        let forged = forged.sample(g);
+        let index = g.u64_in(1..40);
         let chain = KeyChain::generate(&seed.to_le_bytes(), 40, Domain::F);
         // A random 80-bit key is on the chain with probability 2^-80.
-        prop_assume!(&forged != chain.key(index as usize).unwrap());
+        dap_testkit::assume(&forged != chain.key(index as usize).unwrap());
         let anchor = chain.anchor();
-        prop_assert!(anchor.verify(&forged, index).is_err());
-    }
+        assert!(anchor.verify(&forged, index).is_err());
+    });
+}
 
-    #[test]
-    fn mac80_deterministic_and_message_binding(
-        key in arb_key(),
-        m1 in proptest::collection::vec(any::<u8>(), 0..64),
-        m2 in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
-        use dap_crypto::mac::{mac80, verify_mac80};
+#[test]
+fn mac80_deterministic_and_message_binding() {
+    use dap_crypto::mac::{mac80, verify_mac80};
+    let key = arb_key();
+    check("mac80_deterministic_and_message_binding", move |g| {
+        let key = key.sample(g);
+        let m1 = g.bytes(0..64);
+        let m2 = g.bytes(0..64);
         let t1 = mac80(&key, &m1);
-        prop_assert!(verify_mac80(&key, &m1, &t1));
+        assert!(verify_mac80(&key, &m1, &t1));
         if m1 != m2 {
             // 80-bit tags: collision probability is negligible for the
-            // test-case counts proptest runs.
-            prop_assert_ne!(t1, mac80(&key, &m2));
+            // case counts the harness runs.
+            assert_ne!(t1, mac80(&key, &m2));
         }
-    }
+    });
 }

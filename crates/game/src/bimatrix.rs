@@ -16,7 +16,7 @@ use crate::state::PopulationState;
 /// Rows index the *defender* strategies (0 = defend, 1 = don't), columns
 /// the *attacker* strategies (0 = attack, 1 = don't); `defender[r][c]`
 /// and `attacker[r][c]` are the respective pay-offs for that profile.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstantBimatrix {
     /// Defender pay-offs by `[defender strategy][attacker strategy]`.
     pub defender: [[f64; 2]; 2],

@@ -24,7 +24,7 @@ use crate::payoff::DosGame;
 use crate::state::PopulationState;
 
 /// Which of the paper's five ESS shapes a point belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum EssKind {
     /// `(0, 1)` — defense is hopeless/uneconomical; nodes stop buffering

@@ -22,7 +22,7 @@ use crate::dynamics::TwoPopulationGame;
 use crate::state::PopulationState;
 
 /// Scenario parameters of one concrete game instance.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DosGameParams {
     /// Reward of a successful attack, `R_a` (= the defender damage `L_d`).
     pub ra: f64,

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// `(X, Y)` — the fraction of defenders playing *buffer selection* and of
 /// attackers playing *DoS attack*. Both coordinates live in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PopulationState {
     x: f64,
     y: f64,

@@ -8,7 +8,7 @@
 //! authentic packet" view the simulator needs.
 
 /// An attacker consuming a fraction of the broadcast channel.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FloodIntensity {
     /// Fraction of relevant bandwidth spent on forged packets (`x_a = p`).
     fraction: f64,

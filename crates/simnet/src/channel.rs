@@ -11,7 +11,7 @@ use crate::rng::SimRng;
 use crate::time::SimDuration;
 
 /// How frames get lost.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossModel {
     /// Independent loss with a fixed probability.
     Bernoulli {
@@ -92,7 +92,7 @@ impl LossModel {
 }
 
 /// Per-receiver channel behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelModel {
     loss: LossModel,
     /// Fixed propagation delay applied to every delivered frame.

@@ -13,7 +13,7 @@
 use crate::rng::SimRng;
 
 /// Assigns each node a clock offset drawn uniformly from `[-Δ, +Δ]` ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClockOffsets {
     /// The synchronisation error bound `Δ`, in ticks.
     max_offset: u64,

@@ -15,7 +15,7 @@
 use crate::metrics::Metrics;
 
 /// Per-bit radio energy costs, in nanojoules.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Transmit cost per bit.
     pub tx_nj_per_bit: f64,

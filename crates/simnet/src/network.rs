@@ -16,9 +16,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a node within one [`Network`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 impl std::fmt::Display for NodeId {
@@ -29,9 +27,7 @@ impl std::fmt::Display for NodeId {
 
 /// An opaque timer tag a node hands to [`Context::set_timer`] and receives
 /// back in [`Node::on_timer`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerToken(pub u64);
 
 /// A frame as delivered to a node: who sent it, what it carries, and how

@@ -8,35 +8,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in virtual time (ticks since simulation start).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time in ticks.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Default,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -136,7 +112,7 @@ impl fmt::Display for SimDuration {
 /// assert_eq!(grid.index_at(SimTime(110)), 2);
 /// assert_eq!(grid.start_of(2), SimTime(110));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntervalSchedule {
     start: SimTime,
     interval: SimDuration,

@@ -31,7 +31,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use dap_crypto::mac::{mac80, verify_mac80, Mac80};
 use dap_crypto::oneway::{one_way, one_way_iter, Domain};
 use dap_crypto::{ChainAnchor, Key, KeyChain};
@@ -41,9 +40,7 @@ use crate::buffer::ReservoirBuffer;
 use crate::params::SafetyCheck;
 
 /// How low-level chain heads are tied to the high-level chain.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Linkage {
     /// `K_{i,n} = F01(K_{i+1})` — the dashed line in Fig. 2; recovery of
     /// chain `i` needs `K_{i+1}`, disclosed in `CDM_{i+2}`.
@@ -233,7 +230,7 @@ pub struct LowPacket {
     /// Low-level interval within it (1-based).
     pub low: u32,
     /// Payload.
-    pub message: Bytes,
+    pub message: Vec<u8>,
     /// `MAC_{K'_{high,low}}(message)`.
     pub mac: Mac80,
 }
@@ -355,7 +352,7 @@ impl MultiLevelSender {
         LowPacket {
             high,
             low,
-            message: Bytes::copy_from_slice(message),
+            message: message.to_vec(),
             mac: mac80(key, message),
         }
     }
@@ -431,7 +428,7 @@ pub enum MlEvent {
         /// Low-level interval.
         low: u32,
         /// The trusted payload.
-        message: Bytes,
+        message: Vec<u8>,
     },
     /// A buffered data packet failed its MAC.
     LowRejected {
@@ -472,7 +469,7 @@ pub struct MlStats {
 struct PendingLow {
     high: u64,
     low: u32,
-    message: Bytes,
+    message: Vec<u8>,
     mac: Mac80,
     buffered_at: SimTime,
 }
@@ -507,7 +504,7 @@ pub struct MultiLevelReceiver {
     pending_low_keys: Vec<LowKeyDisclosure>,
     needed_since: BTreeMap<u64, SimTime>,
     recoveries: Vec<RecoveryRecord>,
-    authenticated: Vec<(u64, u32, Bytes)>,
+    authenticated: Vec<(u64, u32, Vec<u8>)>,
     stats: MlStats,
 }
 
@@ -541,7 +538,7 @@ impl MultiLevelReceiver {
 
     /// Authenticated `(high, low, message)` triples in verification order.
     #[must_use]
-    pub fn authenticated(&self) -> &[(u64, u32, Bytes)] {
+    pub fn authenticated(&self) -> &[(u64, u32, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -1082,7 +1079,7 @@ mod tests {
         let (sender, mut receiver, _) = setup(Linkage::Eftp);
         let p = *sender.params();
         let mut forged = sender.data_packet(1, 1, b"real");
-        forged.message = Bytes::from_static(b"fake");
+        forged.message = b"fake".to_vec();
         receiver.on_low_packet(&forged, at(&p, 1, 1));
         let events =
             receiver.on_low_disclosure(&sender.low_disclosure(1, 2).unwrap(), at(&p, 1, 2));

@@ -14,7 +14,6 @@
 //! The receiver logic is otherwise TESLA's; packet-loss recovery through
 //! the one-way chain carries over unchanged.
 
-use bytes::Bytes;
 use dap_crypto::mac::{mac80, verify_mac80};
 use dap_crypto::oneway::{one_way_iter, Domain};
 use dap_crypto::{ChainAnchor, Key, KeyChain, Mac80};
@@ -60,7 +59,7 @@ pub struct DataPacket {
     /// Interval index.
     pub index: u64,
     /// Payload.
-    pub message: Bytes,
+    pub message: Vec<u8>,
     /// `MAC_{K'_i}(message)`.
     pub mac: Mac80,
 }
@@ -123,7 +122,7 @@ impl MuTeslaSender {
             .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
         MuTeslaMessage::Data(DataPacket {
             index,
-            message: Bytes::copy_from_slice(message),
+            message: message.to_vec(),
             mac: mac80(key, message),
         })
     }
@@ -234,7 +233,7 @@ pub struct MuTeslaReceiver {
     anchor: ChainAnchor,
     params: TeslaParams,
     buffer: Vec<DataPacket>,
-    authenticated: Vec<(u64, Bytes)>,
+    authenticated: Vec<(u64, Vec<u8>)>,
 }
 
 impl MuTeslaReceiver {
@@ -310,7 +309,7 @@ impl MuTeslaReceiver {
 
     /// Messages authenticated so far.
     #[must_use]
-    pub fn authenticated(&self) -> &[(u64, Bytes)] {
+    pub fn authenticated(&self) -> &[(u64, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -399,7 +398,7 @@ mod tests {
         let (sender, mut receiver) = setup();
         let forged = MuTeslaMessage::Data(DataPacket {
             index: 1,
-            message: Bytes::from_static(b"evil"),
+            message: b"evil".to_vec(),
             mac: Mac80::from_slice(&[0u8; 10]).unwrap(),
         });
         receiver.on_message(&forged, during(1));

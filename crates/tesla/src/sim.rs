@@ -9,10 +9,8 @@
 
 use std::any::Any;
 
-use bytes::Bytes;
 use dap_crypto::Mac80;
 use dap_simnet::{Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
-use rand::RngCore;
 
 use crate::tesla::{
     Bootstrap, DisclosedKey, ReceiverEvent, TeslaPacket, TeslaReceiver, TeslaSender,
@@ -196,7 +194,7 @@ impl Node<TeslaNet> for TeslaFloodAttacker {
             ctx.rng().fill_bytes(&mut mac);
             let packet = TeslaPacket {
                 index: self.interval,
-                message: Bytes::from(message),
+                message: message,
                 mac: Mac80::from_slice(&mac).expect("fixed length"),
                 disclosed: None,
             };

@@ -10,7 +10,6 @@ use std::any::Any;
 
 use dap_crypto::{Key, Mac80};
 use dap_simnet::{Context, Frame, Node, SimDuration, TimerToken};
-use rand::RngCore;
 
 use crate::edrp::{EdrpCdm, EdrpReceiver, EdrpSender};
 use crate::multilevel::{

@@ -8,7 +8,6 @@ use std::any::Any;
 
 use dap_crypto::Mac80;
 use dap_simnet::{Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
-use rand::RngCore;
 
 use crate::mutesla::{MuTeslaMessage, MuTeslaReceiver, MuTeslaSender};
 use crate::params::TeslaParams;

@@ -12,7 +12,6 @@
 //! safe-packet test — which is the weakness the rest of this workspace
 //! is about.
 
-use bytes::Bytes;
 use dap_crypto::mac::{mac80, verify_mac80};
 use dap_crypto::oneway::{one_way_iter, Domain};
 use dap_crypto::{Key, KeyChain, Mac80};
@@ -35,7 +34,7 @@ pub struct TeslaPacket {
     /// Interval the packet belongs to (the MAC key's index).
     pub index: u64,
     /// Application payload.
-    pub message: Bytes,
+    pub message: Vec<u8>,
     /// `MAC_{K'_index}(message)`.
     pub mac: Mac80,
     /// The key of `d` intervals ago, once one exists.
@@ -147,7 +146,7 @@ impl TeslaSender {
             });
         TeslaPacket {
             index,
-            message: Bytes::copy_from_slice(message),
+            message: message.to_vec(),
             mac: mac80(key, message),
             disclosed,
         }
@@ -162,7 +161,7 @@ pub enum ReceiverEvent {
         /// Interval of the authenticated message.
         index: u64,
         /// The now-trusted payload.
-        message: Bytes,
+        message: Vec<u8>,
     },
     /// A buffered message failed MAC verification — forged or corrupted.
     RejectedMac {
@@ -193,7 +192,7 @@ pub enum ReceiverEvent {
 #[derive(Debug, Clone)]
 struct BufferedPacket {
     index: u64,
-    message: Bytes,
+    message: Vec<u8>,
     mac: Mac80,
 }
 
@@ -204,7 +203,7 @@ pub struct TeslaReceiver {
     anchor: dap_crypto::ChainAnchor,
     params: TeslaParams,
     buffer: Vec<BufferedPacket>,
-    authenticated: Vec<(u64, Bytes)>,
+    authenticated: Vec<(u64, Vec<u8>)>,
 }
 
 impl TeslaReceiver {
@@ -286,7 +285,7 @@ impl TeslaReceiver {
 
     /// Messages authenticated so far, in verification order.
     #[must_use]
-    pub fn authenticated(&self) -> &[(u64, Bytes)] {
+    pub fn authenticated(&self) -> &[(u64, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -370,7 +369,7 @@ mod tests {
     fn forged_mac_is_rejected_at_disclosure() {
         let (sender, mut receiver) = setup();
         let mut forged = sender.packet(1, b"real");
-        forged.message = Bytes::from_static(b"fake");
+        forged.message = b"fake".to_vec();
         receiver.on_packet(&forged, during(1));
 
         let p3 = sender.packet(3, b"later");

@@ -19,7 +19,6 @@
 //! paper's comparison never touches it, so it is out of scope — see
 //! DESIGN.md §4.)
 
-use bytes::Bytes;
 use dap_crypto::hmac::hmac_sha256;
 use dap_crypto::mac::{mac80, Mac80};
 use dap_crypto::oneway::Domain;
@@ -51,7 +50,7 @@ pub enum TeslaPpMessage {
         /// Interval index.
         index: u64,
         /// The message.
-        message: Bytes,
+        message: Vec<u8>,
         /// The now-disclosed key.
         key: Key,
     },
@@ -79,7 +78,7 @@ impl TeslaPpMessage {
 pub struct TeslaPpSender {
     chain: KeyChain,
     params: TeslaParams,
-    pending: std::collections::BTreeMap<u64, Bytes>,
+    pending: std::collections::BTreeMap<u64, Vec<u8>>,
 }
 
 impl TeslaPpSender {
@@ -118,7 +117,7 @@ impl TeslaPpSender {
             .key(index as usize)
             .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
         let mac = mac80(key, message);
-        self.pending.insert(index, Bytes::copy_from_slice(message));
+        self.pending.insert(index, message.to_vec());
         TeslaPpMessage::MacAnnounce { index, mac }
     }
 
@@ -143,7 +142,7 @@ pub enum TeslaPpOutcome {
         /// Interval index.
         index: u64,
         /// The trusted message.
-        message: Bytes,
+        message: Vec<u8>,
     },
     /// The key failed chain verification (weak authentication).
     KeyRejected {
@@ -174,7 +173,7 @@ pub struct TeslaPpReceiver {
     params: TeslaParams,
     local_key: Key,
     stored: Vec<(u64, Mac80)>,
-    authenticated: Vec<(u64, Bytes)>,
+    authenticated: Vec<(u64, Vec<u8>)>,
     expired: u64,
 }
 
@@ -243,7 +242,7 @@ impl TeslaPpReceiver {
         TeslaPpOutcome::AnnouncementStored { index }
     }
 
-    fn on_reveal(&mut self, index: u64, message: &Bytes, key: &Key) -> TeslaPpOutcome {
+    fn on_reveal(&mut self, index: u64, message: &Vec<u8>, key: &Key) -> TeslaPpOutcome {
         // Weak authentication: the key must extend the chain.
         match self.anchor.accept(key, index) {
             Ok(_) => {}
@@ -268,7 +267,7 @@ impl TeslaPpReceiver {
 
     /// Messages authenticated so far.
     #[must_use]
-    pub fn authenticated(&self) -> &[(u64, Bytes)] {
+    pub fn authenticated(&self) -> &[(u64, Vec<u8>)] {
         &self.authenticated
     }
 
@@ -339,7 +338,7 @@ mod tests {
         let rev = match sender.reveal(1).unwrap() {
             TeslaPpMessage::Reveal { index, key, .. } => TeslaPpMessage::Reveal {
                 index,
-                message: Bytes::from_static(b"fake"),
+                message: b"fake".to_vec(),
                 key,
             },
             other => panic!("unexpected {other:?}"),
@@ -359,7 +358,7 @@ mod tests {
         let mut rng = dap_simnet::SimRng::new(3);
         let rev = TeslaPpMessage::Reveal {
             index: 1,
-            message: Bytes::from_static(b"real"),
+            message: b"real".to_vec(),
             key: Key::random(&mut rng),
         };
         assert_eq!(
@@ -389,7 +388,7 @@ mod tests {
                 index: 1,
                 mac: Mac80::from_slice(&{
                     let mut b = [0u8; 10];
-                    rand::RngCore::fill_bytes(&mut rng, &mut b);
+                    rng.fill_bytes(&mut b);
                     b
                 })
                 .unwrap(),

@@ -1,21 +1,20 @@
-//! Property-based tests for the TESLA protocol family.
+//! Property-based tests for the TESLA protocol family, on the in-tree
+//! `dap-testkit` harness (deterministic, seeded, shrinking).
 
-use bytes::Bytes;
 use dap_crypto::Mac80;
 use dap_simnet::{SimDuration, SimRng, SimTime};
 use dap_tesla::multilevel::{Linkage, MultiLevelParams, MultiLevelReceiver, MultiLevelSender};
 use dap_tesla::tesla::{TeslaPacket, TeslaReceiver, TeslaSender};
 use dap_tesla::{ReservoirBuffer, SafetyCheck, TeslaParams};
-use proptest::prelude::*;
+use dap_testkit::{check, check_with, Config};
 
-proptest! {
-    /// TESLA authenticates exactly the sender's messages regardless of
-    /// which packets are lost.
-    #[test]
-    fn tesla_sound_under_arbitrary_loss(
-        seed in any::<u64>(),
-        loss_mask in proptest::collection::vec(any::<bool>(), 30),
-    ) {
+/// TESLA authenticates exactly the sender's messages regardless of
+/// which packets are lost.
+#[test]
+fn tesla_sound_under_arbitrary_loss() {
+    check("tesla_sound_under_arbitrary_loss", |g| {
+        let seed = g.any_u64();
+        let loss_mask: Vec<bool> = (0..30).map(|_| g.any_bool()).collect();
         let params = TeslaParams::new(SimDuration(100), 2, 0);
         let sender = TeslaSender::new(&seed.to_le_bytes(), 30, params);
         let mut receiver = TeslaReceiver::new(sender.bootstrap());
@@ -29,22 +28,23 @@ proptest! {
         }
         for (i, msg) in receiver.authenticated() {
             let expected = format!("msg {i}");
-            prop_assert_eq!(&msg[..], expected.as_bytes());
+            assert_eq!(&msg[..], expected.as_bytes());
         }
         // Everything delivered whose key was later disclosed by another
         // delivered packet must have authenticated: count an upper bound.
-        prop_assert!(receiver.authenticated().len() <= 30);
-    }
+        assert!(receiver.authenticated().len() <= 30);
+    });
+}
 
-    /// The safe-packet test is monotone: once a packet is unsafe it can
-    /// never become safe again at a later local time.
-    #[test]
-    fn safety_is_monotone_in_time(
-        interval in 1u64..1000,
-        d in 1u64..5,
-        delta in 0u64..200,
-        index in 1u64..50,
-    ) {
+/// The safe-packet test is monotone: once a packet is unsafe it can
+/// never become safe again at a later local time.
+#[test]
+fn safety_is_monotone_in_time() {
+    check("safety_is_monotone_in_time", |g| {
+        let interval = g.u64_in(1..1000);
+        let d = g.u64_in(1..5);
+        let delta = g.u64_in(0..200);
+        let index = g.u64_in(1..50);
         let check = SafetyCheck {
             schedule: dap_simnet::IntervalSchedule::new(SimTime::ZERO, SimDuration(interval)),
             disclosure_delay: d,
@@ -54,17 +54,27 @@ proptest! {
         for t in (0..interval * 60).step_by((interval / 2).max(1) as usize) {
             let safe = check.is_safe(index, SimTime(t));
             if was_unsafe {
-                prop_assert!(!safe, "index {index} became safe again at t={t}");
+                assert!(!safe, "index {index} became safe again at t={t}");
             }
             was_unsafe |= !safe;
         }
-    }
+    });
+}
 
-    /// Reservoir survival is order-independent: shuffling the offer
-    /// order does not change the marked item's survival *probability*
-    /// (checked by frequency over many trials for two fixed orders).
-    #[test]
-    fn reservoir_order_independence(seed in any::<u64>(), m in 1usize..6) {
+/// Reservoir survival is order-independent: shuffling the offer order
+/// does not change the marked item's survival *probability* (checked by
+/// frequency over many trials for two fixed orders). Statistical trials
+/// are expensive, so this one runs the 64-case floor rather than the
+/// default 96.
+#[test]
+fn reservoir_order_independence() {
+    let config = Config {
+        cases: 64,
+        ..Config::default()
+    };
+    check_with(config, "reservoir_order_independence", |g| {
+        let seed = g.any_u64();
+        let m = g.usize_in(1..6);
         let trials = 4000;
         let n = 15u32;
         let survival = |mark_last: bool, seed: u64| {
@@ -85,32 +95,41 @@ proptest! {
         let first = survival(false, seed);
         let last = survival(true, seed.wrapping_add(1));
         let expect = m as f64 / f64::from(n);
-        prop_assert!((first - expect).abs() < 0.05, "first {first} vs {expect}");
-        prop_assert!((last - expect).abs() < 0.05, "last {last} vs {expect}");
-    }
+        assert!((first - expect).abs() < 0.05, "first {first} vs {expect}");
+        assert!((last - expect).abs() < 0.05, "last {last} vs {expect}");
+    });
+}
 
-    /// Multi-level index arithmetic round-trips for any geometry.
-    #[test]
-    fn multilevel_index_roundtrip(n in 1u32..20, high in 1u64..100, low_seed in any::<u32>()) {
+/// Multi-level index arithmetic round-trips for any geometry.
+#[test]
+fn multilevel_index_roundtrip() {
+    check("multilevel_index_roundtrip", |g| {
+        let n = g.u32_in(1..20);
+        let high = g.u64_in(1..100);
+        let low_seed = g.any_u32();
         let params = MultiLevelParams::new(SimDuration(10), n, 4, 1, Linkage::Eftp);
         let low = low_seed % n + 1;
-        let g = params.global_low_index(high, low);
-        prop_assert_eq!(params.split_low_index(g), (high, low));
-    }
+        let global = params.global_low_index(high, low);
+        assert_eq!(params.split_low_index(global), (high, low));
+    });
+}
 
-    /// Forged TESLA packets (random MAC) never authenticate, whatever
-    /// their claimed interval.
-    #[test]
-    fn tesla_rejects_random_macs(seed in any::<u64>(), claimed in 1u64..20) {
+/// Forged TESLA packets (random MAC) never authenticate, whatever their
+/// claimed interval.
+#[test]
+fn tesla_rejects_random_macs() {
+    check("tesla_rejects_random_macs", |g| {
+        let seed = g.any_u64();
+        let claimed = g.u64_in(1..20);
         let params = TeslaParams::new(SimDuration(100), 2, 0);
         let sender = TeslaSender::new(&seed.to_le_bytes(), 30, params);
         let mut receiver = TeslaReceiver::new(sender.bootstrap());
         let mut rng = SimRng::new(seed);
         let mut mac = [0u8; 10];
-        rand::RngCore::fill_bytes(&mut rng, &mut mac);
+        rng.fill_bytes(&mut mac);
         let forged = TeslaPacket {
             index: claimed,
-            message: Bytes::from_static(b"evil"),
+            message: b"evil".to_vec(),
             mac: Mac80::from_slice(&mac).unwrap(),
             disclosed: None,
         };
@@ -121,32 +140,37 @@ proptest! {
             receiver.on_packet(&pkt, SimTime((i - 1) * 100 + 20));
         }
         for (_, msg) in receiver.authenticated() {
-            prop_assert_ne!(&msg[..], b"evil");
+            assert_ne!(&msg[..], b"evil");
         }
-    }
+    });
+}
 
-    /// Low-level chains derived from the same seed agree between sender
-    /// instances (deterministic provisioning), and differ across seeds.
-    #[test]
-    fn multilevel_chains_deterministic(seed in any::<u64>(), chain in 1u64..10) {
+/// Low-level chains derived from the same seed agree between sender
+/// instances (deterministic provisioning), and differ across seeds.
+#[test]
+fn multilevel_chains_deterministic() {
+    check("multilevel_chains_deterministic", |g| {
+        let seed = g.any_u64();
+        let chain = g.u64_in(1..10);
         let params = MultiLevelParams::new(SimDuration(10), 4, 16, 1, Linkage::Eftp);
         let a = MultiLevelSender::new(&seed.to_le_bytes(), params);
         let b = MultiLevelSender::new(&seed.to_le_bytes(), params);
         let ca = *a.low_chain(chain).unwrap().commitment();
         let cb = *b.low_chain(chain).unwrap().commitment();
-        prop_assert_eq!(ca, cb);
+        assert_eq!(ca, cb);
         let c = MultiLevelSender::new(&seed.wrapping_add(1).to_le_bytes(), params);
         let cc = *c.low_chain(chain).unwrap().commitment();
-        prop_assert_ne!(ca, cc);
-    }
+        assert_ne!(ca, cc);
+    });
+}
 
-    /// A receiver fed any subsequence of the CDM stream never installs a
-    /// commitment that disagrees with the sender's chains.
-    #[test]
-    fn multilevel_commitments_always_genuine(
-        seed in any::<u64>(),
-        delivered in proptest::collection::vec(any::<bool>(), 12),
-    ) {
+/// A receiver fed any subsequence of the CDM stream never installs a
+/// commitment that disagrees with the sender's chains.
+#[test]
+fn multilevel_commitments_always_genuine() {
+    check("multilevel_commitments_always_genuine", |g| {
+        let seed = g.any_u64();
+        let delivered: Vec<bool> = (0..12).map(|_| g.any_bool()).collect();
         let params = MultiLevelParams::new(SimDuration(25), 4, 16, 3, Linkage::Eftp);
         let sender = MultiLevelSender::new(&seed.to_le_bytes(), params);
         let mut receiver = MultiLevelReceiver::new(sender.bootstrap());
@@ -170,13 +194,12 @@ proptest! {
                 if let Some(d) = sender.low_disclosure(chain, 2) {
                     let td = SimTime((params.global_low_index(chain, 2) - 1) * 25 + 1);
                     let events = receiver.on_low_disclosure(&d, td);
-                    let rejected = events.iter().any(|e| matches!(
-                        e,
-                        dap_tesla::multilevel::MlEvent::LowRejected { .. }
-                    ));
-                    prop_assert!(!rejected, "chain {chain} rejected genuine data");
+                    let rejected = events
+                        .iter()
+                        .any(|e| matches!(e, dap_tesla::multilevel::MlEvent::LowRejected { .. }));
+                    assert!(!rejected, "chain {chain} rejected genuine data");
                 }
             }
         }
-    }
+    });
 }

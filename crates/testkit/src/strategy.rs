@@ -1,0 +1,88 @@
+//! Composable value generators on top of [`Gen`](crate::Gen).
+//!
+//! Most properties draw directly from the source (`g.u64_in(..)` etc.);
+//! a [`Strategy`] packages a recipe so it can be named once, mapped, and
+//! reused across properties — the thin analogue of proptest strategies.
+
+use crate::Gen;
+use std::rc::Rc;
+
+/// A reusable recipe for generating `T`s from a draw source.
+#[derive(Clone)]
+pub struct Strategy<T> {
+    sample: Rc<dyn Fn(&mut Gen) -> T>,
+}
+
+impl<T: 'static> Strategy<T> {
+    /// Wraps a sampling function.
+    pub fn new(sample: impl Fn(&mut Gen) -> T + 'static) -> Self {
+        Self {
+            sample: Rc::new(sample),
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, gen: &mut Gen) -> T {
+        (self.sample)(gen)
+    }
+
+    /// Post-processes every generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Strategy<U> {
+        Strategy::new(move |gen| f(self.sample(gen)))
+    }
+
+    /// Chains generation: the second stage sees the first stage's value.
+    pub fn and_then<U: 'static>(self, f: impl Fn(T, &mut Gen) -> U + 'static) -> Strategy<U> {
+        Strategy::new(move |gen| {
+            let value = self.sample(gen);
+            f(value, gen)
+        })
+    }
+}
+
+/// A strategy yielding vectors of `item`, with length uniform in `len`.
+pub fn vec_of<T: 'static>(item: Strategy<T>, len: std::ops::Range<usize>) -> Strategy<Vec<T>> {
+    Strategy::new(move |gen| {
+        let n = gen.usize_in(len.clone());
+        (0..n).map(|_| item.sample(gen)).collect()
+    })
+}
+
+/// A strategy picking uniformly from a fixed list of values.
+///
+/// # Panics
+///
+/// `sample` panics if `choices` is empty.
+pub fn one_of<T: Clone + 'static>(choices: Vec<T>) -> Strategy<T> {
+    Strategy::new(move |gen| gen.pick(&choices).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_then_compose() {
+        let evens = Strategy::new(|g: &mut Gen| g.u64_in(0..100)).map(|v| v * 2);
+        let pairs = evens.clone().and_then(|a, g| (a, g.u64_in(0..a + 1)));
+        let mut gen = Gen::from_seed(5);
+        for _ in 0..200 {
+            let v = evens.sample(&mut gen);
+            assert_eq!(v % 2, 0);
+            let (a, b) = pairs.sample(&mut gen);
+            assert!(b <= a);
+        }
+    }
+
+    #[test]
+    fn vec_of_and_one_of() {
+        let digits = one_of(vec![1u8, 3, 7]);
+        let vecs = vec_of(digits, 2..6);
+        let mut gen = Gen::from_seed(6);
+        for _ in 0..200 {
+            let v = vecs.sample(&mut gen);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|d| [1, 3, 7].contains(d)));
+        }
+    }
+}

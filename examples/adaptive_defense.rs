@@ -11,7 +11,6 @@ use crowdsense_dap::dap::{AdaptiveConfig, AdaptiveController, DapParams, DapRece
 use crowdsense_dap::game::cost::naive_defense_cost;
 use crowdsense_dap::game::DosGameParams;
 use crowdsense_dap::simnet::{SimRng, SimTime};
-use rand::RngCore;
 
 /// Attack intensity per epoch: calm → moderate → severe → jammed → calm.
 const EPOCH_ATTACK: &[f64] = &[0.0, 0.5, 0.75, 0.8, 0.9, 0.96, 0.99, 0.99, 0.5];

@@ -24,12 +24,8 @@ fn run(front_running: bool) -> f64 {
         DapSenderNode::new(sender, 1, b"r".to_vec()),
         ChannelModel::perfect(),
     );
-    let attacker = DapFloodAttacker::new(
-        bootstrap,
-        FloodIntensity::of_bandwidth(0.8),
-        1,
-        intervals,
-    );
+    let attacker =
+        DapFloodAttacker::new(bootstrap, FloodIntensity::of_bandwidth(0.8), 1, intervals);
     net.add_node(
         if front_running {
             attacker.front_running()
@@ -43,7 +39,11 @@ fn run(front_running: bool) -> f64 {
         ChannelModel::perfect().with_delay(SimDuration(1)),
     );
     net.run_until(SimTime((intervals + 3) * 100));
-    let stats = net.node_as::<DapReceiverNode>(rx).unwrap().receiver().stats();
+    let stats = net
+        .node_as::<DapReceiverNode>(rx)
+        .unwrap()
+        .receiver()
+        .stats();
     stats.authenticated as f64 / stats.reveals.max(1) as f64
 }
 

@@ -7,7 +7,6 @@ use crowdsense_dap::crypto::Mac80;
 use crowdsense_dap::dap::wire::Announce;
 use crowdsense_dap::dap::{DapParams, DapReceiver, DapSender};
 use crowdsense_dap::simnet::{SimRng, SimTime};
-use rand::RngCore;
 
 fn main() {
     // --- 1. Plain protocol flow -----------------------------------------

@@ -10,7 +10,6 @@ use crowdsense_dap::dap::{
 use crowdsense_dap::game::cost::naive_defense_cost;
 use crowdsense_dap::game::DosGameParams;
 use crowdsense_dap::simnet::{SimRng, SimTime};
-use rand::RngCore;
 
 struct Epoch {
     true_p: f64,

@@ -15,6 +15,11 @@ fn golden_key_chain_commitment() {
     assert_eq!(chain.commitment().to_string(), "ce19bb2d59f86cc544aa");
 }
 
+// The campaign goldens below pin the current RNG byte stream: the
+// in-tree SplitMix64-seeded xoshiro256++ that replaced the external
+// `rand` generator when the workspace went hermetic. That swap was a
+// conscious stream change and these values were regenerated for it.
+
 #[test]
 fn golden_flooded_campaign() {
     let out = run_campaign(&CampaignSpec {
@@ -25,13 +30,15 @@ fn golden_flooded_campaign() {
         loss: 0.1,
         seed: 20160706,
     });
-    assert_eq!(out.authenticated, 346);
+    assert_eq!(out.authenticated, 364);
     assert_eq!(out.no_candidate, 0);
-    assert_eq!(out.reveals, 448);
+    assert_eq!(out.reveals, 456);
     // Lost reveals leave pools pending across intervals; the peak stays
     // within the documented (d + 2)·m·56 bound.
     assert_eq!(out.peak_memory_bits, 672);
-    assert!((out.authentication_rate - 346.0 / 448.0).abs() < 1e-12);
+    assert!((out.authentication_rate - 364.0 / 456.0).abs() < 1e-12);
+    assert_eq!(out.bits_sent, 396_000);
+    assert_eq!(out.bits_delivered, 753_568);
 }
 
 #[test]
@@ -44,10 +51,48 @@ fn golden_lossy_campaign() {
         loss: 0.25,
         seed: 99,
     });
-    assert_eq!(out.authenticated, 206);
-    assert_eq!(out.no_candidate, 17);
-    assert_eq!(out.reveals, 223);
+    assert_eq!(out.authenticated, 212);
+    assert_eq!(out.no_candidate, 10);
+    assert_eq!(out.reveals, 222);
     assert_eq!(out.peak_memory_bits, 336);
+    assert_eq!(out.bits_sent, 136_800);
+    assert_eq!(out.bits_delivered, 103_248);
+}
+
+/// Two runs of the same campaign spec must agree on *every* observable:
+/// receiver outcomes and the radio-energy tallies. This is the whole
+/// premise of a seeded simulator — any divergence means hidden state
+/// (a shared global RNG, map iteration order, wall-clock leakage).
+#[test]
+fn same_seed_campaigns_are_identical() {
+    let spec = CampaignSpec {
+        attack_fraction: 0.6,
+        announce_copies: 2,
+        buffers: 3,
+        intervals: 200,
+        loss: 0.15,
+        seed: 0xD0_5EED,
+    };
+    let a = run_campaign(&spec);
+    let b = run_campaign(&spec);
+    assert_eq!(a, b);
+    // The tallies convert to identical energy figures as well.
+    let model = crowdsense_dap::simnet::EnergyModel::cc2420();
+    let mj = |o: &crowdsense_dap::dap::sim::CampaignOutcome| {
+        o.bits_sent as f64 * model.tx_nj_per_bit * 1e-6
+            + o.bits_delivered as f64 * model.rx_nj_per_bit * 1e-6
+    };
+    assert_eq!(mj(&a).to_bits(), mj(&b).to_bits());
+    // And a different seed actually changes the run (the spec isn't
+    // being ignored).
+    let c = run_campaign(&CampaignSpec {
+        seed: 0xD1_5EED,
+        ..spec
+    });
+    assert_ne!(
+        (a.authenticated, a.bits_delivered),
+        (c.authenticated, c.bits_delivered)
+    );
 }
 
 #[test]

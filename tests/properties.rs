@@ -1,7 +1,7 @@
 //! Cross-crate property-based tests: protocol invariants under arbitrary
-//! parameters, adversarial inputs and interleavings.
+//! parameters, adversarial inputs and interleavings. Runs on the in-tree
+//! `dap-testkit` harness (deterministic, seeded, shrinking).
 
-use bytes::Bytes;
 use crowdsense_dap::crypto::{Key, Mac80};
 use crowdsense_dap::dap::wire::Announce;
 use crowdsense_dap::dap::{DapParams, DapReceiver, DapSender};
@@ -9,18 +9,17 @@ use crowdsense_dap::game::dynamics::{evolve, ReplicatorField, TwoPopulationGame}
 use crowdsense_dap::game::{DosGameParams, PopulationState};
 use crowdsense_dap::simnet::{SimDuration, SimRng, SimTime};
 use crowdsense_dap::tesla::ReservoirBuffer;
-use proptest::prelude::*;
+use dap_testkit::check;
 
-proptest! {
-    /// DAP authenticates exactly the sender's messages under any
-    /// interleaving of forged announcements, for any buffer count.
-    #[test]
-    fn dap_soundness_under_arbitrary_floods(
-        m in 1usize..12,
-        seed in any::<u64>(),
-        forged_per_interval in 0u32..12,
-        intervals in 1u64..25,
-    ) {
+/// DAP authenticates exactly the sender's messages under any
+/// interleaving of forged announcements, for any buffer count.
+#[test]
+fn dap_soundness_under_arbitrary_floods() {
+    check("dap_soundness_under_arbitrary_floods", |g| {
+        let m = g.usize_in(1..12);
+        let seed = g.any_u64();
+        let forged_per_interval = g.u32_in(0..12);
+        let intervals = g.u64_in(1..25);
         let params = DapParams::new(SimDuration(100), 1, 0, m);
         let mut sender = DapSender::new(&seed.to_le_bytes(), intervals as usize, params);
         let mut receiver = DapReceiver::new(sender.bootstrap(), b"prop");
@@ -37,9 +36,12 @@ proptest! {
                     receiver.on_announce(&genuine, t_a, &mut rng);
                 } else {
                     let mut mac = [0u8; 10];
-                    rand::RngCore::fill_bytes(&mut rng, &mut mac);
+                    rng.fill_bytes(&mut mac);
                     receiver.on_announce(
-                        &Announce { index: i, mac: Mac80::from_slice(&mac).unwrap() },
+                        &Announce {
+                            index: i,
+                            mac: Mac80::from_slice(&mac).unwrap(),
+                        },
                         t_a,
                         &mut rng,
                     );
@@ -47,27 +49,28 @@ proptest! {
             }
             let _ = receiver.on_reveal(&sender.reveal(i).unwrap(), t_r);
             // Hard memory bound at all times.
-            prop_assert!(receiver.memory_bits() <= (m as u64) * 56);
+            assert!(receiver.memory_bits() <= (m as u64) * 56);
         }
         for (idx, msg) in receiver.authenticated() {
             let expected = format!("real {idx}");
-            prop_assert_eq!(&msg[..], expected.as_bytes());
+            assert_eq!(&msg[..], expected.as_bytes());
         }
         // With no forged traffic everything must authenticate.
         if forged_per_interval == 0 {
-            prop_assert_eq!(receiver.stats().authenticated, intervals);
+            assert_eq!(receiver.stats().authenticated, intervals);
         }
-    }
+    });
+}
 
-    /// Tampering any byte of the reveal (message or key) is always
-    /// rejected.
-    #[test]
-    fn dap_rejects_any_single_tampering(
-        seed in any::<u64>(),
-        flip_key in any::<bool>(),
-        byte in 0usize..10,
-        bit in 0u8..8,
-    ) {
+/// Tampering any byte of the reveal (message or key) is always
+/// rejected.
+#[test]
+fn dap_rejects_any_single_tampering() {
+    check("dap_rejects_any_single_tampering", |g| {
+        let seed = g.any_u64();
+        let flip_key = g.any_bool();
+        let byte = g.usize_in(0..10);
+        let bit = g.u32_in(0..8) as u8;
         let params = DapParams::default();
         let mut sender = DapSender::new(&seed.to_le_bytes(), 4, params);
         let mut receiver = DapReceiver::new(sender.bootstrap(), b"prop2");
@@ -82,113 +85,118 @@ proptest! {
         } else {
             let mut mb = rev.message.to_vec();
             mb[byte] ^= 1 << bit;
-            rev.message = Bytes::from(mb);
+            rev.message = mb;
         }
         let out = receiver.on_reveal(&rev, SimTime(110));
-        prop_assert!(!out.is_authenticated());
-    }
+        assert!(!out.is_authenticated());
+    });
+}
 
-    /// Reservoir pool: never exceeds capacity; total stored+dropped
-    /// equals offered; survival of a marked item matches m/n within
-    /// statistical tolerance is covered by unit tests — here we check
-    /// the structural invariants for arbitrary offer counts.
-    #[test]
-    fn reservoir_structural_invariants(
-        capacity in 1usize..20,
-        offers in 0u64..200,
-        seed in any::<u64>(),
-    ) {
+/// Reservoir pool: never exceeds capacity; total stored+dropped equals
+/// offered; survival of a marked item matching m/n within statistical
+/// tolerance is covered by unit tests — here we check the structural
+/// invariants for arbitrary offer counts.
+#[test]
+fn reservoir_structural_invariants() {
+    check("reservoir_structural_invariants", |g| {
+        let capacity = g.usize_in(1..20);
+        let offers = g.u64_in(0..200);
+        let seed = g.any_u64();
         let mut rng = SimRng::new(seed);
         let mut pool = ReservoirBuffer::new(capacity);
         for i in 0..offers {
             pool.offer(i, &mut rng);
-            prop_assert!(pool.len() <= capacity);
+            assert!(pool.len() <= capacity);
         }
-        prop_assert_eq!(pool.offered(), offers);
-        prop_assert_eq!(pool.len() as u64, offers.min(capacity as u64));
+        assert_eq!(pool.offered(), offers);
+        assert_eq!(pool.len() as u64, offers.min(capacity as u64));
         // Stored entries are a subset of what was offered (no invention).
         for &e in pool.iter() {
-            prop_assert!(e < offers);
+            assert!(e < offers);
         }
-    }
+    });
+}
 
-    /// Replicator dynamics keep the state in the unit square and leave
-    /// every corner fixed, for any valid game parameters.
-    #[test]
-    fn replicator_respects_simplex(
-        p in 0.0f64..0.999,
-        m in 1u32..100,
-        x0 in 0.001f64..0.999,
-        y0 in 0.001f64..0.999,
-    ) {
+/// Replicator dynamics keep the state in the unit square and leave
+/// every corner fixed, for any valid game parameters.
+#[test]
+fn replicator_respects_simplex() {
+    check("replicator_respects_simplex", |g| {
+        let p = g.f64_in(0.0, 0.999);
+        let m = g.u32_in(1..100);
+        let x0 = g.f64_in(0.001, 0.999);
+        let y0 = g.f64_in(0.001, 0.999);
         let game = DosGameParams::paper_defaults(p, m).into_game();
         let t = evolve(&game, PopulationState::new(x0, y0), 2_000);
         for s in t.states() {
-            prop_assert!((0.0..=1.0).contains(&s.x()));
-            prop_assert!((0.0..=1.0).contains(&s.y()));
+            assert!((0.0..=1.0).contains(&s.x()));
+            assert!((0.0..=1.0).contains(&s.y()));
         }
         let field = ReplicatorField::new(&game);
         for &(cx, cy) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
             let (dx, dy) = field.derivative(PopulationState::new(cx, cy));
-            prop_assert_eq!((dx, dy), (0.0, 0.0));
+            assert_eq!((dx, dy), (0.0, 0.0));
         }
-    }
+    });
+}
 
-    /// Mean pay-offs are convex combinations of the strategy pay-offs.
-    #[test]
-    fn mean_payoff_is_bounded_by_strategies(
-        p in 0.0f64..0.999,
-        m in 1u32..60,
-        x in 0.0f64..=1.0,
-        y in 0.0f64..=1.0,
-    ) {
+/// Mean pay-offs are convex combinations of the strategy pay-offs.
+#[test]
+fn mean_payoff_is_bounded_by_strategies() {
+    check("mean_payoff_is_bounded_by_strategies", |g| {
+        let p = g.f64_in(0.0, 0.999);
+        let m = g.u32_in(1..60);
+        let x = g.f64_in(0.0, 1.0);
+        let y = g.f64_in(0.0, 1.0);
         let game = DosGameParams::paper_defaults(p, m).into_game();
         let s = PopulationState::new(x, y);
         let d = game.mean_defender_payoff(s);
         let lo = game.payoff_defend(s).min(game.payoff_no_defend(s));
         let hi = game.payoff_defend(s).max(game.payoff_no_defend(s));
-        prop_assert!(d >= lo - 1e-9 && d <= hi + 1e-9);
+        assert!(d >= lo - 1e-9 && d <= hi + 1e-9);
         let a = game.mean_attacker_payoff(s);
         let lo = game.payoff_attack(s).min(game.payoff_no_attack(s));
         let hi = game.payoff_attack(s).max(game.payoff_no_attack(s));
-        prop_assert!(a >= lo - 1e-9 && a <= hi + 1e-9);
-    }
+        assert!(a >= lo - 1e-9 && a <= hi + 1e-9);
+    });
+}
 
-    /// The DAP wire codec round-trips every encodable frame and never
-    /// panics on arbitrary input bytes.
-    #[test]
-    fn codec_roundtrip_and_total_decode(
-        index in 0u64..(u32::MAX as u64),
-        mac_bytes in proptest::array::uniform10(any::<u8>()),
-        msg in proptest::collection::vec(any::<u8>(), 0..200),
-        garbage in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// The DAP wire codec round-trips every encodable frame and never
+/// panics on arbitrary input bytes.
+#[test]
+fn codec_roundtrip_and_total_decode() {
+    check("codec_roundtrip_and_total_decode", |g| {
         use crowdsense_dap::dap::codec::{decode, encode};
         use crowdsense_dap::dap::wire::{DapMessage, Reveal};
+        let index = g.u64_in(0..u64::from(u32::MAX));
+        let mac_bytes: [u8; 10] = g.byte_array();
+        let msg = g.bytes(0..200);
+        let garbage = g.bytes(0..64);
         let ann = DapMessage::Announce(Announce {
             index,
             mac: Mac80::from_slice(&mac_bytes).unwrap(),
         });
-        prop_assert_eq!(decode(&encode(&ann).unwrap()).unwrap(), ann);
+        assert_eq!(decode(&encode(&ann).unwrap()).unwrap(), ann);
         let rev = DapMessage::Reveal(Reveal {
             index,
             key: Key::derive(b"prop", &index.to_le_bytes()),
-            message: Bytes::from(msg),
+            message: msg,
         });
-        prop_assert_eq!(decode(&encode(&rev).unwrap()).unwrap(), rev);
+        assert_eq!(decode(&encode(&rev).unwrap()).unwrap(), rev);
         // Total decode: arbitrary bytes give Ok or Err, never a panic.
         let _ = decode(&garbage);
-    }
+    });
+}
 
-    /// The analytic presence probability is monotone in m and antitone
-    /// in p.
-    #[test]
-    fn presence_probability_monotonicity(
-        p in 0.01f64..0.99,
-        m in 1u32..99,
-    ) {
+/// The analytic presence probability is monotone in m and antitone
+/// in p.
+#[test]
+fn presence_probability_monotonicity() {
+    check("presence_probability_monotonicity", |g| {
         use crowdsense_dap::dap::analysis::authentic_presence;
-        prop_assert!(authentic_presence(p, m + 1) >= authentic_presence(p, m));
-        prop_assert!(authentic_presence(p * 0.99, m) >= authentic_presence(p, m));
-    }
+        let p = g.f64_in(0.01, 0.99);
+        let m = g.u32_in(1..99);
+        assert!(authentic_presence(p, m + 1) >= authentic_presence(p, m));
+        assert!(authentic_presence(p * 0.99, m) >= authentic_presence(p, m));
+    });
 }

@@ -2,7 +2,6 @@
 //! authenticates**, in any protocol of the family, under floods of every
 //! shape we can construct without the sender's keys.
 
-use bytes::Bytes;
 use crowdsense_dap::crypto::{Key, Mac80};
 use crowdsense_dap::dap::{DapParams, DapReceiver, DapSender};
 use crowdsense_dap::simnet::{SimDuration, SimRng, SimTime};
@@ -13,7 +12,6 @@ use crowdsense_dap::tesla::mutesla::{DataPacket, MuTeslaMessage, MuTeslaReceiver
 use crowdsense_dap::tesla::tesla::{ReceiverEvent, TeslaPacket, TeslaReceiver, TeslaSender};
 use crowdsense_dap::tesla::teslapp::{TeslaPpMessage, TeslaPpReceiver, TeslaPpSender};
 use crowdsense_dap::tesla::TeslaParams;
-use rand::RngCore;
 
 const FORGERY_MARK: &[u8] = b"FORGED";
 
@@ -37,14 +35,14 @@ fn tesla_never_authenticates_forgeries() {
         for _ in 0..3 {
             let forged = TeslaPacket {
                 index: i,
-                message: Bytes::from_static(FORGERY_MARK),
+                message: FORGERY_MARK.to_vec(),
                 mac: forged_mac(&mut rng),
                 disclosed: None,
             };
             receiver.on_packet(&forged, t);
         }
         let mut swapped = sender.packet(i, b"real");
-        swapped.message = Bytes::from_static(FORGERY_MARK);
+        swapped.message = FORGERY_MARK.to_vec();
         receiver.on_packet(&swapped, t);
         let mut bad_key = sender.packet(i, b"real2");
         if let Some(d) = &mut bad_key.disclosed {
@@ -89,7 +87,7 @@ fn mutesla_never_authenticates_forgeries() {
             receiver.on_message(
                 &MuTeslaMessage::Data(DataPacket {
                     index: i,
-                    message: Bytes::from_static(FORGERY_MARK),
+                    message: FORGERY_MARK.to_vec(),
                     mac: forged_mac(&mut rng),
                 }),
                 t,
@@ -138,7 +136,7 @@ fn teslapp_never_authenticates_forgeries() {
         let out = receiver.on_message(
             &TeslaPpMessage::Reveal {
                 index: i,
-                message: Bytes::from_static(FORGERY_MARK),
+                message: FORGERY_MARK.to_vec(),
                 key: Key::random(&mut rng),
             },
             t_r,
@@ -186,7 +184,7 @@ fn multilevel_never_authenticates_forgeries() {
         // Forged + genuine data in (i, 2).
         let t2 = SimTime((params.global_low_index(i, 2) - 1) * 25 + 1);
         let mut forged_pkt = sender.data_packet(i, 2, b"real");
-        forged_pkt.message = Bytes::from_static(FORGERY_MARK);
+        forged_pkt.message = FORGERY_MARK.to_vec();
         receiver.on_low_packet(&forged_pkt, t2);
         receiver.on_low_packet(
             &sender.data_packet(i, 2, format!("real {i}").as_bytes()),
@@ -240,7 +238,7 @@ fn dap_never_authenticates_forgeries() {
         // survives with probability 4/5 — most intervals authenticate.
         let _ = receiver.on_reveal(&rev, t_r);
         let mut tampered = rev.clone();
-        tampered.message = Bytes::from_static(FORGERY_MARK);
+        tampered.message = FORGERY_MARK.to_vec();
         let out_tampered = receiver.on_reveal(&tampered, t_r);
         assert!(!out_tampered.is_authenticated(), "interval {i}");
     }
