@@ -11,6 +11,9 @@ cargo build --release --offline --workspace
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
 
+echo "== clippy (offline, deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== formatting =="
 cargo fmt --check
 

@@ -33,7 +33,9 @@ fn bench_dap_roundtrip() {
         interval += 1;
         let t_announce = SimTime((interval - 1) * 100 + 1);
         let t_reveal = SimTime(interval * 100 + 1);
-        let ann = sender.announce(interval, b"sensor reading payload !!");
+        let ann = sender
+            .announce(interval, b"sensor reading payload !!")
+            .unwrap();
         receiver.on_announce(&ann, t_announce, &mut rng);
         let rev = sender.reveal(interval).unwrap();
         black_box(receiver.on_reveal(&rev, t_reveal))
@@ -62,7 +64,7 @@ fn bench_tesla_packet() {
     let mut receiver = TeslaReceiver::new(sender.bootstrap());
     smoke("tesla_on_packet_and_disclose", || {
         interval += 1;
-        let pkt = sender.packet(interval, b"payload");
+        let pkt = sender.packet(interval, b"payload").unwrap();
         black_box(receiver.on_packet(&pkt, SimTime((interval - 1) * 100 + 1)))
     });
 }

@@ -52,7 +52,9 @@ fn run_lossy(linkage: Linkage, cdm_loss: f64, seed: u64) -> Vec<u64> {
         // demand so lost commitments register as "needed".
         if i >= 3 {
             let t_pkt = SimTime((params.global_low_index(i, 1) - 1) * 25 + 3);
-            receiver.on_low_packet(&sender.data_packet(i, 1, b"sample"), t_pkt);
+            if let Ok(pkt) = sender.data_packet(i, 1, b"sample") {
+                receiver.on_low_packet(&pkt, t_pkt);
+            }
             let t_disc = SimTime((params.global_low_index(i, 2) - 1) * 25 + 3);
             if let Some(d) = sender.low_disclosure(i, 2) {
                 receiver.on_low_disclosure(&d, t_disc);

@@ -6,7 +6,8 @@
 //! space; the figure binaries are special cases of it.
 
 use dap_core::analysis::authentic_presence;
-use dap_core::sim::{run_campaign, CampaignSpec};
+use dap_core::sim::{run_campaign_with_faults, CampaignSpec};
+use dap_simnet::FaultPlan;
 
 /// One cell of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,17 @@ pub struct SweepRow {
     pub predicted: f64,
     /// Peak receiver memory in bits.
     pub peak_memory_bits: u64,
+    /// Every `fault.*` counter from the cell's campaign, sorted by name
+    /// (empty without a fault plan).
+    pub fault_counters: Vec<(String, u64)>,
+}
+
+impl SweepRow {
+    /// Total injected-fault events in this cell.
+    #[must_use]
+    pub fn fault_events(&self) -> u64 {
+        self.fault_counters.iter().map(|(_, v)| v).sum()
+    }
 }
 
 /// The sweep configuration.
@@ -40,6 +52,9 @@ pub struct SweepConfig {
     pub announce_copies: u32,
     /// Base RNG seed; each cell derives its own.
     pub seed: u64,
+    /// Optional fault plan injected into every cell's campaign (the
+    /// windows are interpreted against each campaign's own timeline).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SweepConfig {
@@ -51,6 +66,7 @@ impl Default for SweepConfig {
             intervals: 400,
             announce_copies: 1,
             seed: 7,
+            fault: None,
         }
     }
 }
@@ -74,14 +90,17 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
                                 .wrapping_add((pi as u64) << 40)
                                 .wrapping_add((mi as u64) << 20)
                                 .wrapping_add(li as u64);
-                            let outcome = run_campaign(&CampaignSpec {
-                                attack_fraction: p,
-                                announce_copies: config.announce_copies,
-                                buffers: m,
-                                intervals: config.intervals,
-                                loss,
-                                seed,
-                            });
+                            let outcome = run_campaign_with_faults(
+                                &CampaignSpec {
+                                    attack_fraction: p,
+                                    announce_copies: config.announce_copies,
+                                    buffers: m,
+                                    intervals: config.intervals,
+                                    loss,
+                                    seed,
+                                },
+                                config.fault.clone(),
+                            );
                             out.push(SweepRow {
                                 p,
                                 m,
@@ -89,6 +108,7 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
                                 rate: outcome.authentication_rate,
                                 predicted: authentic_presence(p, m as u32),
                                 peak_memory_bits: outcome.peak_memory_bits,
+                                fault_counters: outcome.fault_counters,
                             });
                         }
                     }
@@ -112,11 +132,17 @@ pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
 /// Renders rows as CSV (header + lines).
 #[must_use]
 pub fn to_csv(rows: &[SweepRow]) -> String {
-    let mut out = String::from("p,m,loss,rate,predicted,peak_memory_bits\n");
+    let mut out = String::from("p,m,loss,rate,predicted,peak_memory_bits,fault_events\n");
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{:.4},{:.4},{}\n",
-            r.p, r.m, r.loss, r.rate, r.predicted, r.peak_memory_bits
+            "{},{},{},{:.4},{:.4},{},{}\n",
+            r.p,
+            r.m,
+            r.loss,
+            r.rate,
+            r.predicted,
+            r.peak_memory_bits,
+            r.fault_events()
         ));
     }
     out
@@ -134,6 +160,7 @@ mod tests {
             intervals: 300,
             announce_copies: 1,
             seed: 3,
+            fault: None,
         }
     }
 
@@ -175,5 +202,34 @@ mod tests {
         let csv = to_csv(&rows);
         assert!(csv.starts_with("p,m,loss,rate"));
         assert_eq!(csv.lines().count(), rows.len() + 1);
+        // Without a fault plan the fault_events column is all zeros.
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(",0"), "{line}");
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_records_counters_in_every_cell() {
+        use dap_simnet::{FaultWindow, SimTime};
+        let config = SweepConfig {
+            fault: Some(
+                FaultPlan::new(9).blackout(FaultWindow::new(SimTime(5_000), SimTime(8_000))),
+            ),
+            ..small_config()
+        };
+        let rows = run_sweep(&config);
+        for row in &rows {
+            assert!(
+                row.fault_counters
+                    .iter()
+                    .any(|(n, v)| n == "fault.blackout_dropped" && *v > 0),
+                "cell p={} m={} saw no blackout",
+                row.p,
+                row.m
+            );
+            assert!(row.fault_events() > 0);
+        }
+        // Fault injection is part of the deterministic fingerprint.
+        assert_eq!(rows, run_sweep(&config));
     }
 }

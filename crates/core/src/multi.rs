@@ -281,8 +281,8 @@ mod tests {
     #[test]
     fn interleaved_senders_both_authenticate() {
         let (mut a, mut b, mut rx, mut rng) = setup(8);
-        let ann_a = a.announce(1, b"from A");
-        let ann_b = b.announce(1, b"from B");
+        let ann_a = a.announce(1, b"from A").unwrap();
+        let ann_b = b.announce(1, b"from B").unwrap();
         rx.on_announce(SenderId(1), &ann_a, during(1), &mut rng)
             .unwrap();
         rx.on_announce(SenderId(2), &ann_b, during(1), &mut rng)
@@ -302,12 +302,12 @@ mod tests {
     #[test]
     fn cross_sender_key_is_rejected() {
         let (mut a, mut b, mut rx, mut rng) = setup(8);
-        let ann = a.announce(1, b"msg");
+        let ann = a.announce(1, b"msg").unwrap();
         rx.on_announce(SenderId(1), &ann, during(1), &mut rng)
             .unwrap();
         // Replay sender B's reveal under sender A's identity: B's key is
         // not on A's chain → weak rejection.
-        b.announce(1, b"msg");
+        b.announce(1, b"msg").unwrap();
         let rev_b = b.reveal(1).unwrap();
         let out = rx.on_reveal(SenderId(1), &rev_b, during(2)).unwrap();
         assert_eq!(out, RevealOutcome::WeakRejected { index: 1 });
@@ -316,13 +316,13 @@ mod tests {
     #[test]
     fn unknown_sender_is_an_error() {
         let (mut a, _, mut rx, mut rng) = setup(4);
-        let ann = a.announce(1, b"m");
+        let ann = a.announce(1, b"m").unwrap();
         assert_eq!(
             rx.on_announce(SenderId(9), &ann, during(1), &mut rng),
             Err(UnknownSender(SenderId(9)))
         );
         let rev = {
-            a.announce(2, b"m2");
+            a.announce(2, b"m2").unwrap();
             a.reveal(2).unwrap()
         };
         assert!(rx.on_reveal(SenderId(9), &rev, during(3)).is_err());
@@ -336,8 +336,8 @@ mod tests {
     fn shared_pool_is_bounded_across_senders() {
         let (mut a, mut b, mut rx, mut rng) = setup(3);
         for i in [1u64] {
-            let ann_a = a.announce(i, b"a");
-            let ann_b = b.announce(i, b"b");
+            let ann_a = a.announce(i, b"a").unwrap();
+            let ann_b = b.announce(i, b"b").unwrap();
             for _ in 0..10 {
                 rx.on_announce(SenderId(1), &ann_a, during(i), &mut rng)
                     .unwrap();
@@ -356,7 +356,7 @@ mod tests {
         let (mut a, mut b, mut rx, mut rng) = setup(2);
         let mut b_ok = 0;
         for i in 1..=30u64 {
-            let ann_b = b.announce(i, b"b");
+            let ann_b = b.announce(i, b"b").unwrap();
             // 9 forged copies claiming sender A.
             for _ in 0..9 {
                 let mut mac = [0u8; 10];
@@ -374,7 +374,7 @@ mod tests {
             }
             rx.on_announce(SenderId(2), &ann_b, during(i), &mut rng)
                 .unwrap();
-            let _ = a.announce(i, b"a");
+            let _ = a.announce(i, b"a").unwrap();
             if rx
                 .on_reveal(SenderId(2), &b.reveal(i).unwrap(), during(i + 1))
                 .unwrap()
@@ -393,13 +393,13 @@ mod tests {
         let (mut a, mut b, mut rx, mut rng) = setup(8);
         // Sender A active in intervals 1..=3; B only at 3.
         for i in 1..=3u64 {
-            let ann = a.announce(i, b"a");
+            let ann = a.announce(i, b"a").unwrap();
             rx.on_announce(SenderId(1), &ann, during(i), &mut rng)
                 .unwrap();
             rx.on_reveal(SenderId(1), &a.reveal(i).unwrap(), during(i + 1))
                 .unwrap();
         }
-        let ann = b.announce(3, b"b late start");
+        let ann = b.announce(3, b"b late start").unwrap();
         rx.on_announce(SenderId(2), &ann, during(3), &mut rng)
             .unwrap();
         // B's anchor must recover the 3-step gap on its own chain.

@@ -95,7 +95,20 @@ pub struct DapStats {
     pub no_candidate: u64,
     /// Stale buffer entries garbage-collected (reveal never arrived).
     pub entries_expired: u64,
+    /// Times the receiver noticed its chain anchor had fallen more than
+    /// [`DESYNC_GRACE_INTERVALS`] behind the current interval (blackout,
+    /// crash, or sustained loss).
+    pub desyncs: u64,
+    /// Weak authentications that re-anchored across a gap (more than one
+    /// one-way step) — the bounded multi-step recovery path.
+    pub chain_recoveries: u64,
+    /// Largest number of one-way steps walked in a single re-anchoring.
+    pub max_recovery_depth: u64,
 }
+
+/// Intervals the anchor may lag behind the receiver's clock (beyond the
+/// disclosure delay) before the receiver declares itself desynchronised.
+pub const DESYNC_GRACE_INTERVALS: u64 = 2;
 
 /// The receiving side of DAP.
 ///
@@ -107,7 +120,7 @@ pub struct DapStats {
 /// let mut receiver = DapReceiver::new(sender.bootstrap(), b"node-local");
 /// let mut rng = SimRng::new(1);
 ///
-/// let announce = sender.announce(1, b"reading");
+/// let announce = sender.announce(1, b"reading").unwrap();
 /// receiver.on_announce(&announce, SimTime(10), &mut rng);
 /// let outcome = receiver.on_reveal(&sender.reveal(1).unwrap(), SimTime(110));
 /// assert!(outcome.is_authenticated());
@@ -128,6 +141,7 @@ pub struct DapReceiver {
     /// is bounded by `(d + 2)·m·56` bits.
     pools: std::collections::BTreeMap<u64, ReservoirBuffer<MicroMac>>,
     rx_interval: u64,
+    desynced: bool,
     authenticated: Vec<(u64, Vec<u8>)>,
     stats: DapStats,
 }
@@ -144,9 +158,18 @@ impl DapReceiver {
             buffers: bootstrap.params.buffers,
             pools: std::collections::BTreeMap::new(),
             rx_interval: 0,
+            desynced: false,
             authenticated: Vec::new(),
             stats: DapStats::default(),
         }
+    }
+
+    /// Whether the receiver currently considers itself desynchronised
+    /// (anchor more than `d +` [`DESYNC_GRACE_INTERVALS`] behind the
+    /// clock). Cleared by the next successful weak authentication.
+    #[must_use]
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
     }
 
     /// Receiver counters.
@@ -299,6 +322,17 @@ impl DapReceiver {
         }
         self.rx_interval = now;
         let d = self.params.disclosure_delay;
+        // Desync detection: the anchor should track `now − d` under
+        // normal delivery; falling further behind than the grace window
+        // means a blackout/crash interrupted the disclosure stream.
+        if now > self.anchor.index() + d + DESYNC_GRACE_INTERVALS {
+            if !self.desynced {
+                self.desynced = true;
+                self.stats.desyncs += 1;
+            }
+        } else {
+            self.desynced = false;
+        }
         let stale: Vec<u64> = self
             .pools
             .keys()
@@ -314,7 +348,14 @@ impl DapReceiver {
 
     fn weak_authenticate(&mut self, key: &Key, index: u64) -> bool {
         match self.anchor.accept(key, index) {
-            Ok(_) => true,
+            Ok(steps) => {
+                if steps > 1 {
+                    self.stats.chain_recoveries += 1;
+                }
+                self.stats.max_recovery_depth = self.stats.max_recovery_depth.max(steps);
+                self.desynced = false;
+                true
+            }
             Err(dap_crypto::ChainVerifyError::NotAhead { .. }) => {
                 // Key for an interval at or before the anchor: re-derive
                 // and compare (duplicate reveal of a known interval).
@@ -357,7 +398,7 @@ mod tests {
     #[test]
     fn happy_path_authenticates() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"temp 21.5");
+        let ann = sender.announce(1, b"temp 21.5").unwrap();
         assert_eq!(
             receiver.on_announce(&ann, during(1), &mut rng),
             AnnounceOutcome::Stored
@@ -374,7 +415,7 @@ mod tests {
     #[test]
     fn stale_announce_fails_safety() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         // Received during interval 2: K_1 is being disclosed → unsafe.
         assert_eq!(
             receiver.on_announce(&ann, during(2), &mut rng),
@@ -386,7 +427,7 @@ mod tests {
     #[test]
     fn forged_key_weakly_rejected() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         receiver.on_announce(&ann, during(1), &mut rng);
         let mut rev = sender.reveal(1).unwrap();
         rev.key = Key::random(&mut rng);
@@ -399,7 +440,7 @@ mod tests {
     #[test]
     fn tampered_message_strongly_rejected() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"genuine");
+        let ann = sender.announce(1, b"genuine").unwrap();
         receiver.on_announce(&ann, during(1), &mut rng);
         let mut rev = sender.reveal(1).unwrap();
         rev.message = b"tampered".to_vec();
@@ -413,7 +454,7 @@ mod tests {
     #[test]
     fn lost_announcement_reports_no_candidate() {
         let (mut sender, mut receiver, _rng) = setup(4);
-        sender.announce(1, b"m");
+        sender.announce(1, b"m").unwrap();
         let rev = sender.reveal(1).unwrap();
         assert_eq!(
             receiver.on_reveal(&rev, during(2)),
@@ -455,7 +496,7 @@ mod tests {
         for trial in 0..trials {
             let mut sender = DapSender::new(&trial.to_be_bytes(), 4, params_with(m));
             let mut receiver = DapReceiver::new(sender.bootstrap(), b"n");
-            let ann = sender.announce(1, b"real");
+            let ann = sender.announce(1, b"real").unwrap();
             // 1 authentic copy among 5 total (p = 0.8): interleave.
             let mut copies: Vec<Announce> = Vec::new();
             for _ in 0..4 {
@@ -484,8 +525,8 @@ mod tests {
     #[test]
     fn duplicate_reveal_keeps_weak_auth_passing() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let a1 = sender.announce(1, b"m1");
-        let a2 = sender.announce(2, b"m2");
+        let a1 = sender.announce(1, b"m1").unwrap();
+        let a2 = sender.announce(2, b"m2").unwrap();
         receiver.on_announce(&a1, during(1), &mut rng);
         let r1 = sender.reveal(1).unwrap();
         assert!(receiver.on_reveal(&r1, during(2)).is_authenticated());
@@ -503,12 +544,12 @@ mod tests {
     #[test]
     fn stale_entries_expire() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         receiver.on_announce(&ann, during(1), &mut rng);
         assert_eq!(receiver.buffered_count(), 1);
         // No reveal ever arrives; by interval 4 the entry is GC'd
         // (i + d + 1 = 3 < 4).
-        let a4 = sender.announce(4, b"m4");
+        let a4 = sender.announce(4, b"m4").unwrap();
         receiver.on_announce(&a4, during(4), &mut rng);
         assert_eq!(receiver.stats().entries_expired, 1);
         assert_eq!(receiver.buffered_count(), 1); // only interval 4's entry
@@ -517,7 +558,7 @@ mod tests {
     #[test]
     fn memory_accounting_is_56_bits_per_entry() {
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         receiver.on_announce(&ann, during(1), &mut rng);
         assert_eq!(receiver.memory_bits(), 56);
         assert_eq!(receiver.memory_capacity_bits(), 3 * 4 * 56);
@@ -538,7 +579,7 @@ mod tests {
         // never rolls the m/k coin against a stale k).
         let (mut sender, mut receiver, mut rng) = setup(1);
         for i in 1..=5u64 {
-            let ann = sender.announce(i, b"x");
+            let ann = sender.announce(i, b"x").unwrap();
             receiver.on_announce(&ann, during(i), &mut rng);
             let rev = sender.reveal(i).unwrap();
             assert!(
@@ -552,7 +593,7 @@ mod tests {
     fn reveal_before_announce_reports_no_candidate_then_announce_expires() {
         // Jitter can reorder frames: the reveal overtakes the announce.
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         let rev = sender.reveal(1).unwrap();
         assert_eq!(
             receiver.on_reveal(&rev, during(2)),
@@ -573,8 +614,8 @@ mod tests {
         // announcing twice replaces the pending reveal payload, and only
         // the matching (second) announcement authenticates.
         let (mut sender, mut receiver, mut rng) = setup(4);
-        let first = sender.announce(1, b"v1");
-        let second = sender.announce(1, b"v2");
+        let first = sender.announce(1, b"v1").unwrap();
+        let second = sender.announce(1, b"v2").unwrap();
         receiver.on_announce(&first, during(1), &mut rng);
         receiver.on_announce(&second, during(1), &mut rng);
         let rev = sender.reveal(1).unwrap();
@@ -590,8 +631,8 @@ mod tests {
         let mut sender = DapSender::new(b"s", 16, params);
         let mut receiver = DapReceiver::new(sender.bootstrap(), b"n");
         let mut rng = SimRng::new(5);
-        let a1 = sender.announce(1, b"m1");
-        let a2 = sender.announce(2, b"m2");
+        let a1 = sender.announce(1, b"m1").unwrap();
+        let a2 = sender.announce(2, b"m2").unwrap();
         receiver.on_announce(&a1, during(1), &mut rng);
         receiver.on_announce(&a2, during(2), &mut rng);
         assert_eq!(receiver.buffered_count(), 2);
@@ -601,5 +642,31 @@ mod tests {
         assert!(receiver
             .on_reveal(&sender.reveal(2).unwrap(), during(4))
             .is_authenticated());
+    }
+
+    #[test]
+    fn blackout_gap_triggers_desync_then_bounded_recovery() {
+        let (mut sender, mut receiver, mut rng) = setup(4);
+        // Interval 1 authenticates normally.
+        let a1 = sender.announce(1, b"pre-blackout").unwrap();
+        receiver.on_announce(&a1, during(1), &mut rng);
+        assert!(receiver
+            .on_reveal(&sender.reveal(1).unwrap(), during(2))
+            .is_authenticated());
+        assert!(!receiver.is_desynced());
+
+        // Blackout: intervals 2..=7 never arrive. The first frame after
+        // the fault clears exposes the gap.
+        let a8 = sender.announce(8, b"post-blackout").unwrap();
+        receiver.on_announce(&a8, during(8), &mut rng);
+        assert!(receiver.is_desynced());
+        assert_eq!(receiver.stats().desyncs, 1);
+
+        // The next genuine reveal re-anchors across the whole gap.
+        let out = receiver.on_reveal(&sender.reveal(8).unwrap(), during(9));
+        assert!(out.is_authenticated());
+        assert!(!receiver.is_desynced());
+        assert_eq!(receiver.stats().chain_recoveries, 1);
+        assert_eq!(receiver.stats().max_recovery_depth, 7);
     }
 }

@@ -8,7 +8,7 @@
 
 use dap_crypto::mac::mac80;
 use dap_crypto::oneway::Domain;
-use dap_crypto::{Key, KeyChain};
+use dap_crypto::{ChainExhausted, Key, KeyChain};
 use dap_simnet::SimTime;
 
 use crate::wire::{Announce, DapParams, Reveal};
@@ -28,7 +28,7 @@ pub struct DapBootstrap {
 /// use dap_core::{DapParams, DapSender};
 ///
 /// let mut sender = DapSender::new(b"secret", 16, DapParams::default());
-/// let announce = sender.announce(1, b"task");        // interval 1
+/// let announce = sender.announce(1, b"task").unwrap(); // interval 1
 /// let reveal = sender.reveal(1).expect("announced");
 /// assert_eq!(announce.index, reveal.index);
 /// ```
@@ -84,17 +84,19 @@ impl DapSender {
     /// Algorithm 1 lines 1–4: announce `message` for interval `index`.
     /// The message is retained for the later [`reveal`](Self::reveal).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is 0 or beyond the chain horizon.
-    pub fn announce(&mut self, index: u64, message: &[u8]) -> Announce {
+    /// Returns [`ChainExhausted`] when `index` lies beyond the chain
+    /// horizon — an operational end-of-chain condition, not a bug.
+    pub fn announce(&mut self, index: u64, message: &[u8]) -> Result<Announce, ChainExhausted> {
+        let horizon = self.horizon();
         let key = self
             .chain
             .key(index as usize)
-            .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
+            .ok_or(ChainExhausted { index, horizon })?;
         let mac = mac80(key, message);
         self.pending.insert(index, message.to_vec());
-        Announce { index, mac }
+        Ok(Announce { index, mac })
     }
 
     /// Algorithm 1 line 6: reveal `(M_i, K_i, i)` for a previously
@@ -125,7 +127,7 @@ mod tests {
     #[test]
     fn announce_mac_matches_reveal() {
         let mut sender = DapSender::new(b"s", 16, DapParams::default());
-        let ann = sender.announce(3, b"m3");
+        let ann = sender.announce(3, b"m3").unwrap();
         let rev = sender.reveal(3).unwrap();
         assert_eq!(ann.index, rev.index);
         assert!(verify_mac80(&rev.key, &rev.message, &ann.mac));
@@ -135,7 +137,7 @@ mod tests {
     fn reveal_requires_prior_announce() {
         let mut sender = DapSender::new(b"s", 16, DapParams::default());
         assert!(sender.reveal(1).is_none());
-        sender.announce(1, b"x");
+        sender.announce(1, b"x").unwrap();
         assert_eq!(sender.pending_count(), 1);
         assert!(sender.reveal(1).is_some());
         assert!(sender.reveal(1).is_none());
@@ -145,8 +147,8 @@ mod tests {
     #[test]
     fn distinct_intervals_use_distinct_keys() {
         let mut sender = DapSender::new(b"s", 16, DapParams::default());
-        sender.announce(1, b"same");
-        sender.announce(2, b"same");
+        sender.announce(1, b"same").unwrap();
+        sender.announce(2, b"same").unwrap();
         let r1 = sender.reveal(1).unwrap();
         let r2 = sender.reveal(2).unwrap();
         assert_ne!(r1.key, r2.key);
@@ -169,9 +171,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond chain horizon")]
-    fn announce_past_horizon_panics() {
+    fn announce_past_horizon_is_typed_error() {
         let mut sender = DapSender::new(b"s", 4, DapParams::default());
-        let _ = sender.announce(5, b"x");
+        assert_eq!(
+            sender.announce(5, b"x"),
+            Err(ChainExhausted {
+                index: 5,
+                horizon: 4
+            })
+        );
+        // The failed announce retains nothing.
+        assert_eq!(sender.pending_count(), 0);
     }
 }

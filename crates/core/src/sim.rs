@@ -68,10 +68,14 @@ impl Node<DapMessage> for DapSenderNode {
         if self.interval <= self.sender.horizon() {
             let mut message = self.payload.clone();
             message.extend_from_slice(&self.interval.to_be_bytes());
-            let announce = self.sender.announce(self.interval, &message);
-            for _ in 0..self.announce_copies {
-                ctx.metrics().incr("dap.sender.announces");
-                ctx.broadcast(DapMessage::Announce(announce), announce.size_bits());
+            match self.sender.announce(self.interval, &message) {
+                Ok(announce) => {
+                    for _ in 0..self.announce_copies {
+                        ctx.metrics().incr("dap.sender.announces");
+                        ctx.broadcast(DapMessage::Announce(announce), announce.size_bits());
+                    }
+                }
+                Err(_) => ctx.metrics().incr("dap.sender.exhausted"),
             }
         }
         if self.interval <= self.sender.horizon() {
@@ -276,11 +280,28 @@ pub struct CampaignOutcome {
     pub bits_sent: u64,
     /// Total bits delivered to receivers — the receive-energy tally.
     pub bits_delivered: u64,
+    /// Every `fault.*` counter the run produced, sorted by name (empty
+    /// when no fault plan was installed or no window fired).
+    pub fault_counters: Vec<(String, u64)>,
 }
 
 /// Runs a one-sender, one-attacker, one-receiver campaign.
 #[must_use]
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
+    run_campaign_with_faults(spec, None)
+}
+
+/// [`run_campaign`] with a scripted [`FaultPlan`](dap_simnet::FaultPlan)
+/// layered on the channel: blackouts, crashes, duplication, reorder
+/// spikes and bit corruption (routed through the wire codec — a frame
+/// whose mutated bytes no longer parse is dropped like a bad checksum).
+/// The injected-fault tally comes back in
+/// [`CampaignOutcome::fault_counters`].
+#[must_use]
+pub fn run_campaign_with_faults(
+    spec: &CampaignSpec,
+    plan: Option<dap_simnet::FaultPlan>,
+) -> CampaignOutcome {
     use dap_simnet::{ChannelModel, Network, SimTime};
 
     let params = crate::wire::DapParams::default().with_buffers(spec.buffers);
@@ -308,6 +329,15 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
         DapReceiverNode::new(bootstrap, b"campaign-rx"),
         ChannelModel::lossy(spec.loss).with_delay(SimDuration(1)),
     );
+    if let Some(plan) = plan {
+        net.set_fault_plan(plan);
+        net.set_corruptor(|m: &DapMessage, rng| {
+            let mut bytes = crate::codec::encode(m).ok()?;
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.below(8);
+            crate::codec::decode(&bytes).ok()
+        });
+    }
     net.run_until(SimTime((spec.intervals + 3) * params.interval.ticks()));
 
     let node = net.node_as::<DapReceiverNode>(rx).expect("receiver node");
@@ -325,6 +355,16 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignOutcome {
         },
         bits_sent: net.metrics().get("net.bits_sent"),
         bits_delivered: net.metrics().get("net.bits_delivered"),
+        fault_counters: {
+            let mut counters: Vec<(String, u64)> = net
+                .metrics()
+                .iter()
+                .filter(|(name, _)| name.starts_with("fault."))
+                .map(|(name, value)| (name.to_string(), value))
+                .collect();
+            counters.sort();
+            counters
+        },
     }
 }
 
@@ -457,6 +497,36 @@ mod tests {
         // Reveal or announce may be lost; what authenticates is genuine.
         assert!(out.authenticated > 50);
         assert!(out.authenticated < 200);
+    }
+
+    #[test]
+    fn faulted_campaign_counts_faults_and_recovers() {
+        use dap_simnet::{FaultPlan, FaultWindow};
+        let spec = CampaignSpec {
+            attack_fraction: 0.0,
+            announce_copies: 1,
+            buffers: 4,
+            intervals: 40,
+            loss: 0.0,
+            seed: 11,
+        };
+        let plan = FaultPlan::new(5)
+            .blackout(FaultWindow::new(SimTime(800), SimTime(1200)))
+            .corrupt(FaultWindow::new(SimTime(1500), SimTime(2000)), 0.8);
+        let out = run_campaign_with_faults(&spec, Some(plan.clone()));
+        assert!(out
+            .fault_counters
+            .iter()
+            .any(|(n, v)| n == "fault.blackout_dropped" && *v > 0));
+        // Faults cost intervals, but the clean tail recovers.
+        assert!(out.authenticated < 40, "{out:?}");
+        assert!(out.authenticated > 20, "{out:?}");
+        // Same plan, same seed: bit-identical outcome.
+        assert_eq!(out, run_campaign_with_faults(&spec, Some(plan)));
+        // No plan: no counters, and identical to the plain entry point.
+        let plain = run_campaign(&spec);
+        assert!(plain.fault_counters.is_empty());
+        assert_eq!(plain, run_campaign_with_faults(&spec, None));
     }
 
     #[test]

@@ -47,6 +47,32 @@ impl fmt::Display for ChainVerifyError {
 
 impl Error for ChainVerifyError {}
 
+/// A sender asked for an interval past the end of its one-way key chain.
+///
+/// Running off the chain is an operational condition — the chain simply
+/// has a finite horizon — not a bug, so sender APIs return this instead
+/// of panicking. The caller can stop broadcasting, roll a new chain, or
+/// re-bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainExhausted {
+    /// The interval that was requested.
+    pub index: u64,
+    /// The last interval the chain can serve.
+    pub horizon: u64,
+}
+
+impl fmt::Display for ChainExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interval {} beyond chain horizon {}",
+            self.index, self.horizon
+        )
+    }
+}
+
+impl Error for ChainExhausted {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +98,15 @@ mod tests {
     fn is_std_error() {
         fn assert_error<E: Error + Send + Sync + 'static>() {}
         assert_error::<ChainVerifyError>();
+        assert_error::<ChainExhausted>();
+    }
+
+    #[test]
+    fn chain_exhausted_display() {
+        let e = ChainExhausted {
+            index: 65,
+            horizon: 64,
+        };
+        assert_eq!(e.to_string(), "interval 65 beyond chain horizon 64");
     }
 }

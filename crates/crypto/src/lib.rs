@@ -44,7 +44,7 @@ pub mod sizes;
 
 mod error;
 
-pub use error::ChainVerifyError;
+pub use error::{ChainExhausted, ChainVerifyError};
 pub use keychain::{ChainAnchor, Key, KeyChain};
 pub use mac::{Mac80, MicroMac};
 pub use oneway::Domain;

@@ -64,6 +64,29 @@ impl LossModel {
         }
     }
 
+    /// Asserts that every probability field is in `[0, 1]` (NaN fails
+    /// the range check and panics too).
+    fn validate(&self) {
+        let fields: &[(&str, f64)] = match self {
+            LossModel::Bernoulli { loss } => &[("loss", *loss)],
+            LossModel::GilbertElliott {
+                to_bad,
+                to_good,
+                loss_good,
+                loss_bad,
+                ..
+            } => &[
+                ("to_bad", *to_bad),
+                ("to_good", *to_good),
+                ("loss_good", *loss_good),
+                ("loss_bad", *loss_bad),
+            ],
+        };
+        for (name, v) in fields {
+            assert!((0.0..=1.0).contains(v), "{name} must be in [0,1], got {v}");
+        }
+    }
+
     /// Long-run average loss probability.
     #[must_use]
     pub fn mean_loss(&self) -> f64 {
@@ -166,8 +189,14 @@ impl ChannelModel {
     }
 
     /// Replaces the loss process wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability field of `loss` is NaN or outside
+    /// `[0, 1]` — the same contract the dedicated constructors enforce.
     #[must_use]
     pub fn with_loss_model(mut self, loss: LossModel) -> Self {
+        loss.validate();
         self.loss = loss;
         self
     }
@@ -352,5 +381,49 @@ mod tests {
     fn loss_model_accessor() {
         let ch = ChannelModel::perfect().with_burst_loss(0.1, 0.2, 0.8);
         assert!(matches!(ch.loss_model(), LossModel::GilbertElliott { .. }));
+    }
+
+    #[test]
+    fn with_loss_model_accepts_valid_models() {
+        let ch = ChannelModel::perfect().with_loss_model(LossModel::Bernoulli { loss: 0.4 });
+        assert!((ch.loss_probability() - 0.4).abs() < 1e-12);
+        let ch = ChannelModel::perfect().with_loss_model(LossModel::GilbertElliott {
+            to_bad: 0.05,
+            to_good: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+            in_bad: false,
+        });
+        assert!(matches!(ch.loss_model(), LossModel::GilbertElliott { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0,1]")]
+    fn with_loss_model_rejects_nan_bernoulli() {
+        let _ = ChannelModel::perfect().with_loss_model(LossModel::Bernoulli { loss: f64::NAN });
+    }
+
+    #[test]
+    #[should_panic(expected = "to_good must be in [0,1]")]
+    fn with_loss_model_rejects_out_of_range_burst() {
+        let _ = ChannelModel::perfect().with_loss_model(LossModel::GilbertElliott {
+            to_bad: 0.1,
+            to_good: -0.2,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+            in_bad: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_bad must be in [0,1]")]
+    fn with_loss_model_rejects_infinite_loss_bad() {
+        let _ = ChannelModel::perfect().with_loss_model(LossModel::GilbertElliott {
+            to_bad: 0.1,
+            to_good: 0.2,
+            loss_good: 0.0,
+            loss_bad: f64::INFINITY,
+            in_bad: false,
+        });
     }
 }

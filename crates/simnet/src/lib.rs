@@ -14,6 +14,9 @@
 //!   the TESLA "safe packet test" rests on;
 //! * **flooding adversaries** ([`adversary`]) — an attacker spends a
 //!   fraction `x_a` of the channel bandwidth on forged packets;
+//! * **scripted faults** ([`fault`]) — seeded blackout / corruption /
+//!   duplication / reorder / crash / drift windows layered on top of the
+//!   channel model, every injection counted under `fault.*` metrics;
 //! * **deterministic randomness** ([`rng`]) and **metrics** ([`metrics`]).
 //!
 //! The simulator is generic over the message type `M`, so each protocol
@@ -60,6 +63,7 @@ pub mod adversary;
 pub mod channel;
 pub mod clock;
 pub mod energy;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod rng;
@@ -70,6 +74,7 @@ pub use adversary::FloodIntensity;
 pub use channel::{ChannelModel, LossModel};
 pub use clock::ClockOffsets;
 pub use energy::EnergyModel;
+pub use fault::{DriftSchedule, FaultPlan, FaultWindow};
 pub use metrics::Metrics;
 pub use network::{Context, Frame, Network, Node, NodeId, TimerToken};
 pub use rng::SimRng;

@@ -11,6 +11,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::channel::ChannelModel;
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -188,7 +189,15 @@ struct NodeSlot<M> {
     behavior: Option<Box<dyn Node<M>>>,
     channel: ChannelModel,
     clock_offset: i64,
+    // Last scheduled drift seen for this node, so dispatch can count
+    // `fault.drift_shifts` exactly once per step change.
+    last_drift: i64,
 }
+
+/// How an installed corruptor mangles an in-flight message: `Some` is the
+/// corrupted-but-parseable replacement, `None` means the frame became
+/// unparseable garbage and the link layer drops it.
+type Corruptor<M> = Box<dyn FnMut(&M, &mut SimRng) -> Option<M>>;
 
 /// The simulated network: a set of nodes on a shared broadcast medium.
 pub struct Network<M> {
@@ -199,6 +208,8 @@ pub struct Network<M> {
     started: bool,
     rng: SimRng,
     metrics: Metrics,
+    fault: Option<FaultPlan>,
+    corruptor: Option<Corruptor<M>>,
 }
 
 impl<M> std::fmt::Debug for Network<M> {
@@ -207,6 +218,7 @@ impl<M> std::fmt::Debug for Network<M> {
             .field("nodes", &self.nodes.len())
             .field("now", &self.now)
             .field("pending_events", &self.queue.len())
+            .field("fault_plan", &self.fault.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -223,7 +235,34 @@ impl<M: Clone + 'static> Network<M> {
             started: false,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
+            fault: None,
+            corruptor: None,
         }
+    }
+
+    /// Installs a [`FaultPlan`] layering scripted fault windows on top of
+    /// the per-receiver channel models (replacing any previous plan).
+    /// Every injected fault is counted under a `fault.*` metric.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Installs the corruptor that implements corruption windows: given
+    /// an in-flight message and the fault RNG it returns the mangled
+    /// message, or `None` when the mangled bytes no longer parse and the
+    /// link layer drops the frame. Without a corruptor every corrupted
+    /// frame is dropped (`fault.corrupt_dropped`).
+    pub fn set_corruptor<F>(&mut self, corrupt: F)
+    where
+        F: FnMut(&M, &mut SimRng) -> Option<M> + 'static,
+    {
+        self.corruptor = Some(Box::new(corrupt));
     }
 
     /// Adds a node with a perfectly synchronised clock.
@@ -244,6 +283,7 @@ impl<M: Clone + 'static> Network<M> {
             behavior: Some(Box::new(behavior)),
             channel,
             clock_offset,
+            last_drift: 0,
         });
         id
     }
@@ -328,10 +368,18 @@ impl<M: Clone + 'static> Network<M> {
     }
 
     fn dispatch(&mut self, id: NodeId, kind: Option<DispatchKind<M>>) {
+        let drift = self
+            .fault
+            .as_ref()
+            .map_or(0, |plan| plan.drift_at(id, self.now));
         let Some(slot) = self.nodes.get_mut(id.0) else {
             return;
         };
-        let clock_offset = slot.clock_offset;
+        if drift != slot.last_drift {
+            slot.last_drift = drift;
+            self.metrics.incr("fault.drift_shifts");
+        }
+        let clock_offset = slot.clock_offset.saturating_add(drift);
         let Some(mut behavior) = slot.behavior.take() else {
             return;
         };
@@ -356,8 +404,20 @@ impl<M: Clone + 'static> Network<M> {
     }
 
     fn apply(&mut self, src: NodeId, action: Action<M>) {
+        let now = self.now;
+        // A crashed node's radio is off: its transmissions are silenced,
+        // but its timers keep firing so the state machine resumes
+        // mid-chain once the crash window closes.
+        let silenced = self
+            .fault
+            .as_ref()
+            .is_some_and(|plan| plan.crashed(src, now));
         match action {
             Action::Broadcast { message, size_bits } => {
+                if silenced {
+                    self.metrics.incr("fault.crash_silenced");
+                    return;
+                }
                 self.metrics.incr("net.frames_broadcast");
                 self.metrics.add("net.bits_sent", u64::from(size_bits));
                 for i in 0..self.nodes.len() {
@@ -372,6 +432,10 @@ impl<M: Clone + 'static> Network<M> {
                 message,
                 size_bits,
             } => {
+                if silenced {
+                    self.metrics.incr("fault.crash_silenced");
+                    return;
+                }
                 self.metrics.incr("net.frames_unicast");
                 self.metrics.add("net.bits_sent", u64::from(size_bits));
                 self.deliver_one(src, to, message, size_bits);
@@ -384,29 +448,77 @@ impl<M: Clone + 'static> Network<M> {
     }
 
     fn deliver_one(&mut self, src: NodeId, to: NodeId, message: M, size_bits: u32) {
-        let Some(slot) = self.nodes.get_mut(to.0) else {
+        if to.0 >= self.nodes.len() {
+            return;
+        }
+        let now = self.now;
+        if let Some(plan) = &self.fault {
+            // Blackouts gate the send instant: nothing new enters the
+            // medium, but frames already in flight still land.
+            if plan.blackout_at(now) {
+                self.metrics.incr("fault.blackout_dropped");
+                return;
+            }
+            // A crashed receiver's radio is off.
+            if plan.crashed(to, now) {
+                self.metrics.incr("fault.crash_dropped");
+                return;
+            }
+        }
+        let slot = &mut self.nodes[to.0];
+        let Some(latency) = slot.channel.sample(&mut self.rng) else {
+            self.metrics.incr("net.frames_lost");
             return;
         };
-        match slot.channel.sample(&mut self.rng) {
-            Some(latency) => {
-                self.metrics.incr("net.frames_delivered");
-                self.metrics.add("net.bits_delivered", u64::from(size_bits));
-                let at = self.now + latency;
-                self.schedule(
-                    at,
-                    Event::Deliver {
-                        to,
-                        frame: Frame {
-                            src,
-                            message,
-                            size_bits,
-                        },
+        let copies = if self
+            .fault
+            .as_mut()
+            .is_some_and(|plan| plan.duplicate_frame(now))
+        {
+            self.metrics.incr("fault.duplicated");
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut at = now + latency;
+            let mut delivered = message.clone();
+            if let Some(plan) = &mut self.fault {
+                if let Some(extra) = plan.reorder_extra(now) {
+                    self.metrics.incr("fault.reordered");
+                    at += extra;
+                }
+                if plan.corrupt_frame(now) {
+                    let mangled = self
+                        .corruptor
+                        .as_mut()
+                        .and_then(|corrupt| corrupt(&delivered, plan.rng_mut()));
+                    match mangled {
+                        Some(corrupted) => {
+                            self.metrics.incr("fault.corrupted");
+                            delivered = corrupted;
+                        }
+                        None => {
+                            // Unparseable garbage: the link layer drops it.
+                            self.metrics.incr("fault.corrupt_dropped");
+                            continue;
+                        }
+                    }
+                }
+            }
+            self.metrics.incr("net.frames_delivered");
+            self.metrics.add("net.bits_delivered", u64::from(size_bits));
+            self.schedule(
+                at,
+                Event::Deliver {
+                    to,
+                    frame: Frame {
+                        src,
+                        message: delivered,
+                        size_bits,
                     },
-                );
-            }
-            None => {
-                self.metrics.incr("net.frames_lost");
-            }
+                },
+            );
         }
     }
 }
@@ -701,5 +813,239 @@ mod tests {
     fn debug_output_mentions_nodes() {
         let net: Network<Msg> = Network::new(9);
         assert!(format!("{net:?}").contains("Network"));
+    }
+
+    // --- fault-plan integration -------------------------------------
+
+    use crate::fault::{DriftSchedule, FaultPlan, FaultWindow};
+
+    /// Broadcasts one `Ping(i)` every 10 ticks, forever (until deadline).
+    struct Beacon(u32);
+    impl Node<Msg> for Beacon {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(SimDuration(10), TimerToken(0));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerToken) {
+            ctx.broadcast(Msg::Ping(self.0), 8);
+            self.0 += 1;
+            ctx.set_timer(SimDuration(10), TimerToken(0));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Collect(Vec<u32>);
+    impl Node<Msg> for Collect {
+        fn on_frame(&mut self, _c: &mut Context<'_, Msg>, f: &Frame<Msg>) {
+            if let Msg::Ping(n) = f.message {
+                self.0.push(n);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn beacon_net(seed: u64) -> (Network<Msg>, NodeId) {
+        let mut net = Network::new(seed);
+        net.add_node(Beacon(0), ChannelModel::perfect());
+        let rx = net.add_node(Collect(Vec::new()), ChannelModel::perfect());
+        (net, rx)
+    }
+
+    #[test]
+    fn blackout_drops_frames_sent_in_window() {
+        let (mut net, rx) = beacon_net(10);
+        net.set_fault_plan(FaultPlan::new(1).blackout(FaultWindow::new(SimTime(25), SimTime(55))));
+        net.run_until(SimTime(100));
+        // Beacons at 30, 40, 50 fall inside [25, 55): pings 2, 3, 4 lost.
+        assert_eq!(
+            net.node_as::<Collect>(rx).unwrap().0,
+            vec![0, 1, 5, 6, 7, 8, 9]
+        );
+        assert_eq!(net.metrics().get("fault.blackout_dropped"), 3);
+    }
+
+    #[test]
+    fn crashed_sender_is_silenced_and_resumes_mid_chain() {
+        let (mut net, rx) = beacon_net(11);
+        net.set_fault_plan(
+            FaultPlan::new(1).crash(NodeId(0), FaultWindow::new(SimTime(25), SimTime(55))),
+        );
+        net.run_until(SimTime(100));
+        // The beacon's timers kept firing while crashed, so it resumes
+        // at ping 5, not ping 2 — a genuine mid-chain restart.
+        assert_eq!(
+            net.node_as::<Collect>(rx).unwrap().0,
+            vec![0, 1, 5, 6, 7, 8, 9]
+        );
+        assert_eq!(net.metrics().get("fault.crash_silenced"), 3);
+    }
+
+    #[test]
+    fn crashed_receiver_drops_inbound_frames() {
+        let (mut net, rx) = beacon_net(12);
+        net.set_fault_plan(
+            FaultPlan::new(1).crash(NodeId(1), FaultWindow::new(SimTime(25), SimTime(55))),
+        );
+        net.run_until(SimTime(100));
+        assert_eq!(
+            net.node_as::<Collect>(rx).unwrap().0,
+            vec![0, 1, 5, 6, 7, 8, 9]
+        );
+        assert_eq!(net.metrics().get("fault.crash_dropped"), 3);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let (mut net, rx) = beacon_net(13);
+        net.set_fault_plan(
+            FaultPlan::new(1).duplicate(FaultWindow::new(SimTime(0), SimTime(1000)), 1.0),
+        );
+        net.run_until(SimTime(100));
+        // Every ping arrives twice.
+        assert_eq!(
+            net.node_as::<Collect>(rx).unwrap().0,
+            vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9]
+        );
+        assert_eq!(net.metrics().get("fault.duplicated"), 10);
+        assert_eq!(net.metrics().get("net.frames_delivered"), 20);
+    }
+
+    #[test]
+    fn corruption_without_corruptor_drops_frames() {
+        let (mut net, rx) = beacon_net(14);
+        net.set_fault_plan(
+            FaultPlan::new(1).corrupt(FaultWindow::new(SimTime(0), SimTime(1000)), 1.0),
+        );
+        net.run_until(SimTime(100));
+        assert!(net.node_as::<Collect>(rx).unwrap().0.is_empty());
+        assert_eq!(net.metrics().get("fault.corrupt_dropped"), 10);
+    }
+
+    #[test]
+    fn corruptor_mangles_frames_deterministically() {
+        let (mut net, rx) = beacon_net(15);
+        net.set_fault_plan(
+            FaultPlan::new(1).corrupt(FaultWindow::new(SimTime(0), SimTime(1000)), 1.0),
+        );
+        net.set_corruptor(|m: &Msg, rng| match m {
+            Msg::Ping(n) => Some(Msg::Ping(n ^ (1 << rng.below(8)))),
+            Msg::Pong(_) => None,
+        });
+        net.run_until(SimTime(100));
+        let got = &net.node_as::<Collect>(rx).unwrap().0;
+        assert_eq!(got.len(), 10);
+        // Every frame was bit-flipped away from its original value.
+        for (i, n) in got.iter().enumerate() {
+            assert_ne!(*n, i as u32, "frame {i} arrived uncorrupted");
+        }
+        assert_eq!(net.metrics().get("fault.corrupted"), 10);
+    }
+
+    #[test]
+    fn reorder_spike_delays_frames() {
+        let (mut net, rx) = beacon_net(16);
+        net.set_fault_plan(FaultPlan::new(1).reorder(
+            FaultWindow::new(SimTime(0), SimTime(1000)),
+            1.0,
+            SimDuration(50),
+        ));
+        net.run_until(SimTime(200));
+        // Every sent ping was delayed; the ones whose spike pushed them
+        // past the deadline are still queued, the rest landed.
+        let got = &net.node_as::<Collect>(rx).unwrap().0;
+        assert_eq!(net.metrics().get("fault.reordered"), 20);
+        assert!((10..=20).contains(&got.len()), "got {got:?}");
+    }
+
+    #[test]
+    fn drift_schedule_shifts_local_clock() {
+        struct Probe(Vec<u64>);
+        impl Node<Msg> for Probe {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration(10), TimerToken(0));
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerToken) {
+                self.0.push(ctx.local_time().ticks());
+                ctx.set_timer(SimDuration(10), TimerToken(0));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(17);
+        let id = net.add_node_with_offset(Probe(Vec::new()), ChannelModel::perfect(), 100);
+        net.set_fault_plan(
+            FaultPlan::new(1).drift(
+                id,
+                DriftSchedule::new()
+                    .step(SimTime(25), 7)
+                    .step(SimTime(45), -3),
+            ),
+        );
+        net.run_until(SimTime(60));
+        // Static offset 100, drift 0 → 7 (from t=25) → −3 (from t=45).
+        assert_eq!(
+            net.node_as::<Probe>(id).unwrap().0,
+            vec![110, 120, 137, 147, 147, 157]
+        );
+        assert_eq!(net.metrics().get("fault.drift_shifts"), 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_run_bit_identical() {
+        fn run(plan: Option<FaultPlan>) -> (Vec<u32>, u64, u64) {
+            let mut net = Network::new(18);
+            net.add_node(Beacon(0), ChannelModel::perfect());
+            let rx = net.add_node(Collect(Vec::new()), ChannelModel::lossy(0.3));
+            if let Some(plan) = plan {
+                net.set_fault_plan(plan);
+            }
+            net.run_until(SimTime(500));
+            (
+                net.node_as::<Collect>(rx).unwrap().0.clone(),
+                net.metrics().get("net.frames_delivered"),
+                net.metrics().get("net.frames_lost"),
+            )
+        }
+        assert_eq!(run(None), run(Some(FaultPlan::new(99))));
+    }
+
+    #[test]
+    fn same_seed_same_faulted_run() {
+        fn run() -> (Vec<u32>, u64, u64, u64) {
+            let mut net = Network::new(19);
+            net.add_node(Beacon(0), ChannelModel::perfect());
+            let rx = net.add_node(Collect(Vec::new()), ChannelModel::lossy(0.2));
+            net.set_fault_plan(
+                FaultPlan::new(7)
+                    .blackout(FaultWindow::new(SimTime(100), SimTime(150)))
+                    .corrupt(FaultWindow::new(SimTime(200), SimTime(300)), 0.5)
+                    .duplicate(FaultWindow::new(SimTime(300), SimTime(400)), 0.5),
+            );
+            net.set_corruptor(|m: &Msg, rng| match m {
+                Msg::Ping(n) => Some(Msg::Ping(n ^ (1 << rng.below(8)))),
+                Msg::Pong(_) => None,
+            });
+            net.run_until(SimTime(500));
+            (
+                net.node_as::<Collect>(rx).unwrap().0.clone(),
+                net.metrics().get("fault.blackout_dropped"),
+                net.metrics().get("fault.corrupted"),
+                net.metrics().get("fault.duplicated"),
+            )
+        }
+        assert_eq!(run(), run());
     }
 }

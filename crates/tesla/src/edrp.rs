@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use dap_crypto::mac::{mac80, verify_mac80, Mac80};
-use dap_crypto::Key;
+use dap_crypto::{ChainExhausted, Key};
 use dap_simnet::{SimRng, SimTime};
 
 use crate::buffer::ReservoirBuffer;
@@ -157,11 +157,16 @@ impl EdrpSender {
 
     /// Delegates to [`MultiLevelSender::data_packet`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the indices are out of range.
-    #[must_use]
-    pub fn data_packet(&self, high: u64, low: u32, message: &[u8]) -> LowPacket {
+    /// Returns [`ChainExhausted`] when the indices lie beyond the chain
+    /// horizon.
+    pub fn data_packet(
+        &self,
+        high: u64,
+        low: u32,
+        message: &[u8],
+    ) -> Result<LowPacket, ChainExhausted> {
         self.ml.data_packet(high, low, message)
     }
 
@@ -507,7 +512,7 @@ mod tests {
     fn data_path_works_through_edrp() {
         let (sender, mut receiver, _rng) = setup();
         let p = *sender.params();
-        receiver.on_low_packet(&sender.data_packet(1, 1, b"reading"), at(&p, 1, 1));
+        receiver.on_low_packet(&sender.data_packet(1, 1, b"reading").unwrap(), at(&p, 1, 1));
         let events =
             receiver.on_low_disclosure(&sender.low_disclosure(1, 2).unwrap(), at(&p, 1, 2));
         assert!(events.iter().any(|e| matches!(

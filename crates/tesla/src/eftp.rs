@@ -132,7 +132,7 @@ mod tests {
 
             // Need chain 4 at interval (4,1); CDMs 1..=3 lost.
             let need_at = SimTime((params.global_low_index(4, 1) - 1) * 25 + 2);
-            receiver.on_low_packet(&sender.data_packet(4, 1, b"x"), need_at);
+            receiver.on_low_packet(&sender.data_packet(4, 1, b"x").unwrap(), need_at);
 
             let mut resolved_time = None;
             for i in 4..=8u64 {

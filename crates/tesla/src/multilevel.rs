@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 
 use dap_crypto::mac::{mac80, verify_mac80, Mac80};
 use dap_crypto::oneway::{one_way, one_way_iter, Domain};
-use dap_crypto::{ChainAnchor, Key, KeyChain};
+use dap_crypto::{ChainAnchor, ChainExhausted, Key, KeyChain};
 use dap_simnet::{IntervalSchedule, SimDuration, SimRng, SimTime};
 
 use crate::buffer::ReservoirBuffer;
@@ -338,23 +338,31 @@ impl MultiLevelSender {
 
     /// Builds the data packet for `(high, low)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the indices are out of range.
-    #[must_use]
-    pub fn data_packet(&self, high: u64, low: u32, message: &[u8]) -> LowPacket {
-        let chain = self
-            .low_chain(high)
-            .unwrap_or_else(|| panic!("high interval {high} beyond horizon"));
-        let key = chain
-            .key(low as usize)
-            .unwrap_or_else(|| panic!("low interval {low} out of range"));
-        LowPacket {
+    /// Returns [`ChainExhausted`] when `high` lies beyond the high-chain
+    /// horizon or `low` exceeds the per-interval chain length — an
+    /// operational end-of-chain condition, not a bug.
+    pub fn data_packet(
+        &self,
+        high: u64,
+        low: u32,
+        message: &[u8],
+    ) -> Result<LowPacket, ChainExhausted> {
+        let chain = self.low_chain(high).ok_or(ChainExhausted {
+            index: high,
+            horizon: self.params.high_chain_len as u64,
+        })?;
+        let key = chain.key(low as usize).ok_or(ChainExhausted {
+            index: u64::from(low),
+            horizon: u64::from(self.params.low_per_high),
+        })?;
+        Ok(LowPacket {
             high,
             low,
             message: message.to_vec(),
             mac: mac80(key, message),
-        }
+        })
     }
 
     /// The low-level key disclosure to broadcast during `(high, low)`
@@ -463,6 +471,12 @@ pub struct MlStats {
     pub low_rejected: u64,
     /// Commitments recovered through the chain linkage.
     pub chain_recoveries: u64,
+    /// High-level anchor advances that walked more than one chain step —
+    /// re-anchoring after lost CDMs (blackout/crash recovery).
+    pub high_reanchors: u64,
+    /// Largest number of one-way steps walked in a single high-level
+    /// anchor advance.
+    pub max_recovery_depth: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -666,6 +680,10 @@ impl MultiLevelReceiver {
         let previous = self.high_anchor.index();
         match self.high_anchor.accept(key, index) {
             Ok(steps) => {
+                if steps > 1 {
+                    self.stats.high_reanchors += 1;
+                }
+                self.stats.max_recovery_depth = self.stats.max_recovery_depth.max(steps);
                 events.push(MlEvent::HighKeyAccepted { index, steps });
                 // Every interval in (previous, index] now has a known key.
                 for v in (previous + 1)..=index {
@@ -921,7 +939,7 @@ mod tests {
 
         // Chain 1 commitment is preloaded; send data in (1,1), disclose
         // its key in (1,2).
-        let pkt = sender.data_packet(1, 1, b"hello");
+        let pkt = sender.data_packet(1, 1, b"hello").unwrap();
         let events = receiver.on_low_packet(&pkt, at(&p, 1, 1));
         assert!(events.is_empty());
 
@@ -965,7 +983,7 @@ mod tests {
         receiver.on_cdm(&sender.cdm(1).unwrap(), at(&p, 1, 1), &mut rng);
         receiver.on_cdm(&sender.cdm(2).unwrap(), at(&p, 2, 1), &mut rng);
         // Chain 3 installed via CDM; use it.
-        let pkt = sender.data_packet(3, 2, b"data");
+        let pkt = sender.data_packet(3, 2, b"data").unwrap();
         receiver.on_low_packet(&pkt, at(&p, 3, 2));
         let disc = sender.low_disclosure(3, 3).unwrap();
         let events = receiver.on_low_disclosure(&disc, at(&p, 3, 3));
@@ -1018,7 +1036,7 @@ mod tests {
             // never distributed (preloaded are 1, 2; CDM_1 (chain 3),
             // CDM_2 (chain 4), CDM_3 (chain 5) all lost).
             // Data packet of chain 4 buffered in (4,1).
-            let pkt = sender.data_packet(4, 1, b"needs recovery");
+            let pkt = sender.data_packet(4, 1, b"needs recovery").unwrap();
             receiver.on_low_packet(&pkt, at(&p, 4, 1));
             assert!(!receiver.has_commitment(4));
 
@@ -1055,7 +1073,7 @@ mod tests {
         let p = *sender.params();
         // Lose CDMs 1..=3; buffer a packet of chain 4 plus its key
         // disclosure (which cannot verify yet).
-        receiver.on_low_packet(&sender.data_packet(4, 1, b"x"), at(&p, 4, 1));
+        receiver.on_low_packet(&sender.data_packet(4, 1, b"x").unwrap(), at(&p, 4, 1));
         receiver.on_low_disclosure(&sender.low_disclosure(4, 2).unwrap(), at(&p, 4, 2));
         assert_eq!(receiver.pending_low_count(), 1);
 
@@ -1078,7 +1096,7 @@ mod tests {
     fn forged_low_packet_rejected() {
         let (sender, mut receiver, _) = setup(Linkage::Eftp);
         let p = *sender.params();
-        let mut forged = sender.data_packet(1, 1, b"real");
+        let mut forged = sender.data_packet(1, 1, b"real").unwrap();
         forged.message = b"fake".to_vec();
         receiver.on_low_packet(&forged, at(&p, 1, 1));
         let events =
@@ -1092,7 +1110,8 @@ mod tests {
         let (sender, mut receiver, _) = setup(Linkage::Eftp);
         let p = *sender.params();
         // Packet of (1,1) received during (1,3): key disclosed in (1,2).
-        let events = receiver.on_low_packet(&sender.data_packet(1, 1, b"late"), at(&p, 1, 3));
+        let events =
+            receiver.on_low_packet(&sender.data_packet(1, 1, b"late").unwrap(), at(&p, 1, 3));
         assert!(events.contains(&MlEvent::LowUnsafe { high: 1, low: 1 }));
     }
 
@@ -1148,5 +1167,38 @@ mod tests {
     fn bad_low_index_panics() {
         let p = params(Linkage::Eftp);
         let _ = p.global_low_index(1, 5);
+    }
+
+    #[test]
+    fn data_packet_beyond_horizon_is_typed_error() {
+        let (sender, _, _) = setup(Linkage::Eftp);
+        // High chain has 16 usable intervals.
+        assert_eq!(
+            sender.data_packet(99, 1, b"x"),
+            Err(ChainExhausted {
+                index: 99,
+                horizon: 16
+            })
+        );
+        // Low index past the per-interval chain length (4 per high).
+        assert_eq!(
+            sender.data_packet(1, 9, b"x"),
+            Err(ChainExhausted {
+                index: 9,
+                horizon: 4
+            })
+        );
+    }
+
+    #[test]
+    fn reanchor_after_gap_records_recovery_depth() {
+        let (sender, mut receiver, mut rng) = setup(Linkage::Eftp);
+        let p = *sender.params();
+        // Receiver misses CDMs 1..=3 entirely; CDM_5 discloses K_4 — a
+        // four-step walk from the bootstrap anchor.
+        let events = receiver.on_cdm(&sender.cdm(5).unwrap(), at(&p, 5, 1), &mut rng);
+        assert!(events.contains(&MlEvent::HighKeyAccepted { index: 4, steps: 4 }));
+        assert_eq!(receiver.stats().high_reanchors, 1);
+        assert_eq!(receiver.stats().max_recovery_depth, 4);
     }
 }

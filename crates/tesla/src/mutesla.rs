@@ -16,7 +16,7 @@
 
 use dap_crypto::mac::{mac80, verify_mac80};
 use dap_crypto::oneway::{one_way_iter, Domain};
-use dap_crypto::{ChainAnchor, Key, KeyChain, Mac80};
+use dap_crypto::{ChainAnchor, ChainExhausted, Key, KeyChain, Mac80};
 use dap_simnet::SimTime;
 
 use crate::params::TeslaParams;
@@ -75,7 +75,7 @@ pub struct DataPacket {
 /// let sender = MuTeslaSender::new(b"bs", 32, params);
 /// let mut receiver = MuTeslaReceiver::new(sender.bootstrap());
 ///
-/// receiver.on_message(&sender.data(1, b"m"), SimTime(10));
+/// receiver.on_message(&sender.data(1, b"m").unwrap(), SimTime(10));
 /// receiver.on_message(&sender.disclosure(2).unwrap(), SimTime(110));
 /// assert_eq!(receiver.authenticated().len(), 1);
 /// ```
@@ -111,20 +111,21 @@ impl MuTeslaSender {
 
     /// Builds the data packet for interval `index`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is 0 or beyond the chain.
-    #[must_use]
-    pub fn data(&self, index: u64, message: &[u8]) -> MuTeslaMessage {
+    /// Returns [`ChainExhausted`] when `index` lies beyond the chain
+    /// horizon — the operational end of this sender's key chain.
+    pub fn data(&self, index: u64, message: &[u8]) -> Result<MuTeslaMessage, ChainExhausted> {
+        let horizon = self.chain.len() as u64;
         let key = self
             .chain
             .key(index as usize)
-            .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
-        MuTeslaMessage::Data(DataPacket {
+            .ok_or(ChainExhausted { index, horizon })?;
+        Ok(MuTeslaMessage::Data(DataPacket {
             index,
             message: message.to_vec(),
             mac: mac80(key, message),
-        })
+        }))
     }
 
     /// The disclosure message to broadcast during interval
@@ -339,7 +340,7 @@ mod tests {
     #[test]
     fn data_then_disclosure_authenticates() {
         let (sender, mut receiver) = setup();
-        receiver.on_message(&sender.data(1, b"temp=20"), during(1));
+        receiver.on_message(&sender.data(1, b"temp=20").unwrap(), during(1));
         let disc = sender.disclosure(2).unwrap();
         let events = receiver.on_message(&disc, during(2));
         assert!(events
@@ -361,8 +362,8 @@ mod tests {
     #[test]
     fn lost_disclosures_recovered() {
         let (sender, mut receiver) = setup();
-        receiver.on_message(&sender.data(1, b"a"), during(1));
-        receiver.on_message(&sender.data(2, b"b"), during(2));
+        receiver.on_message(&sender.data(1, b"a").unwrap(), during(1));
+        receiver.on_message(&sender.data(2, b"b").unwrap(), during(2));
         // Disclosures for intervals 1..3 lost; the one for interval 4 has
         // everything.
         let disc = sender.disclosure(5).unwrap();
@@ -375,7 +376,7 @@ mod tests {
     #[test]
     fn late_data_discarded() {
         let (sender, mut receiver) = setup();
-        let events = receiver.on_message(&sender.data(1, b"late"), during(2));
+        let events = receiver.on_message(&sender.data(1, b"late").unwrap(), during(2));
         assert_eq!(events, vec![ReceiverEvent::DiscardedUnsafe { index: 1 }]);
     }
 
@@ -410,7 +411,7 @@ mod tests {
     #[test]
     fn sizes_are_smaller_than_tesla_packets() {
         let (sender, _) = setup();
-        let data = sender.data(1, &[0u8; 25]);
+        let data = sender.data(1, &[0u8; 25]).unwrap();
         // 200-bit message: no embedded key → 312 bits.
         assert_eq!(data.size_bits(), 312);
         let disc = sender.disclosure(3).unwrap();
@@ -424,6 +425,18 @@ mod tests {
     }
 
     #[test]
+    fn data_beyond_horizon_is_typed_error() {
+        let (sender, _) = setup();
+        assert_eq!(
+            sender.data(33, b"x").unwrap_err(),
+            ChainExhausted {
+                index: 33,
+                horizon: 32
+            }
+        );
+    }
+
+    #[test]
     fn bootstrap_roundtrip_authenticates_and_works() {
         let (sender, _) = setup();
         let node_key = Key::derive(b"spins/node", b"node-9");
@@ -432,7 +445,7 @@ mod tests {
         let bootstrap = verify_bootstrap(&node_key, 0xfeed, &response).expect("genuine");
         // The bootstrapped receiver authenticates real traffic.
         let mut receiver = MuTeslaReceiver::new(bootstrap);
-        receiver.on_message(&sender.data(1, b"hello"), during(1));
+        receiver.on_message(&sender.data(1, b"hello").unwrap(), during(1));
         receiver.on_message(&sender.disclosure(2).unwrap(), during(2));
         assert_eq!(receiver.authenticated().len(), 1);
     }

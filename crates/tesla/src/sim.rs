@@ -65,7 +65,13 @@ impl Node<TeslaNet> for TeslaSenderNode {
             let mut message = self.payload.clone();
             message.extend_from_slice(&self.interval.to_be_bytes());
             message.push(copy as u8);
-            let packet = self.sender.packet(self.interval, &message);
+            // The horizon guard above makes exhaustion unreachable, but a
+            // fault plan may still perturb scheduling — degrade to silence
+            // rather than crash the node.
+            let Ok(packet) = self.sender.packet(self.interval, &message) else {
+                ctx.metrics().incr("tesla.sender.exhausted");
+                return;
+            };
             let bits = packet.size_bits();
             ctx.metrics().incr("tesla.sender.packets");
             ctx.broadcast(TeslaNet::Packet(packet), bits);
@@ -194,7 +200,7 @@ impl Node<TeslaNet> for TeslaFloodAttacker {
             ctx.rng().fill_bytes(&mut mac);
             let packet = TeslaPacket {
                 index: self.interval,
-                message: message,
+                message,
                 mac: Mac80::from_slice(&mac).expect("fixed length"),
                 disclosed: None,
             };

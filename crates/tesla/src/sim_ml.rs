@@ -124,17 +124,21 @@ impl MlSenderNode {
         message.push(low as u8);
         let (packet, disclosure) = match &self.flavor {
             SenderFlavor::MultiLevel(s) => (
-                s.data_packet(high, low, &message),
+                s.data_packet(high, low, &message).ok(),
                 s.low_disclosure(high, low),
             ),
             SenderFlavor::Edrp(s) => (
-                s.data_packet(high, low, &message),
+                s.data_packet(high, low, &message).ok(),
                 s.low_disclosure(high, low),
             ),
         };
-        let bits = MlNet::Low(packet.clone()).size_bits();
-        ctx.metrics().incr("ml.sender.data");
-        ctx.broadcast(MlNet::Low(packet), bits);
+        if let Some(packet) = packet {
+            let bits = MlNet::Low(packet.clone()).size_bits();
+            ctx.metrics().incr("ml.sender.data");
+            ctx.broadcast(MlNet::Low(packet), bits);
+        } else {
+            ctx.metrics().incr("ml.sender.exhausted");
+        }
         if let Some(d) = disclosure {
             let bits = MlNet::LowKey(d).size_bits();
             ctx.metrics().incr("ml.sender.disclosure");
@@ -470,7 +474,7 @@ mod tests {
         assert!(MlNet::Cdm(cdm).size_bits() > 0);
         let esender = EdrpSender::new(b"sz", p);
         assert!(MlNet::EdrpCdm(esender.cdm(2).unwrap().clone()).size_bits() > 0);
-        let pkt = sender.data_packet(1, 1, b"abc");
+        let pkt = sender.data_packet(1, 1, b"abc").unwrap();
         assert_eq!(MlNet::Low(pkt).size_bits(), 24 + 80 + 64);
         let d = sender.low_disclosure(1, 2).unwrap();
         assert_eq!(MlNet::LowKey(d).size_bits(), 80 + 64);

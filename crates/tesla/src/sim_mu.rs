@@ -66,7 +66,10 @@ impl Node<MuTeslaMessage> for MuTeslaSenderNode {
                 let mut message = self.payload.clone();
                 message.extend_from_slice(&self.interval.to_be_bytes());
                 message.push(copy as u8);
-                let data = self.sender.data(self.interval, &message);
+                let Ok(data) = self.sender.data(self.interval, &message) else {
+                    ctx.metrics().incr("mutesla.sender.exhausted");
+                    return;
+                };
                 let bits = data.size_bits();
                 ctx.metrics().incr("mutesla.sender.data");
                 ctx.broadcast(data, bits);
@@ -176,10 +179,13 @@ impl Node<TeslaPpMessage> for TeslaPpSenderNode {
         if self.interval <= self.horizon {
             let mut message = self.payload.clone();
             message.extend_from_slice(&self.interval.to_be_bytes());
-            let announce = self.sender.announce(self.interval, &message);
-            let bits = announce.size_bits();
-            ctx.metrics().incr("teslapp.sender.announces");
-            ctx.broadcast(announce, bits);
+            if let Ok(announce) = self.sender.announce(self.interval, &message) {
+                let bits = announce.size_bits();
+                ctx.metrics().incr("teslapp.sender.announces");
+                ctx.broadcast(announce, bits);
+            } else {
+                ctx.metrics().incr("teslapp.sender.exhausted");
+            }
             ctx.set_timer(self.params.schedule.interval(), TimerToken(0));
         }
     }

@@ -14,7 +14,7 @@
 
 use dap_crypto::mac::{mac80, verify_mac80};
 use dap_crypto::oneway::{one_way_iter, Domain};
-use dap_crypto::{Key, KeyChain, Mac80};
+use dap_crypto::{ChainExhausted, Key, KeyChain, Mac80};
 use dap_simnet::SimTime;
 
 use crate::params::TeslaParams;
@@ -77,9 +77,9 @@ pub struct Bootstrap {
 /// let sender = TeslaSender::new(b"secret", 32, params);
 /// let mut receiver = TeslaReceiver::new(sender.bootstrap());
 ///
-/// receiver.on_packet(&sender.packet(1, b"hello"), SimTime(10));
+/// receiver.on_packet(&sender.packet(1, b"hello").unwrap(), SimTime(10));
 /// // Interval 3's packet discloses K_1 and authenticates interval 1.
-/// let events = receiver.on_packet(&sender.packet(3, b"later"), SimTime(210));
+/// let events = receiver.on_packet(&sender.packet(3, b"later").unwrap(), SimTime(210));
 /// assert!(!events.is_empty());
 /// assert_eq!(receiver.authenticated().len(), 1);
 /// ```
@@ -128,15 +128,16 @@ impl TeslaSender {
     /// Builds the packet for `message` in interval `index`, attaching the
     /// key for `index − d` when it exists.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is 0 or beyond the chain horizon.
-    #[must_use]
-    pub fn packet(&self, index: u64, message: &[u8]) -> TeslaPacket {
+    /// Returns [`ChainExhausted`] when `index` lies beyond the chain
+    /// horizon — the operational end of this sender's key chain.
+    pub fn packet(&self, index: u64, message: &[u8]) -> Result<TeslaPacket, ChainExhausted> {
+        let horizon = self.horizon();
         let key = self
             .chain
             .key(index as usize)
-            .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
+            .ok_or(ChainExhausted { index, horizon })?;
         let disclosed = index
             .checked_sub(self.params.disclosure_delay)
             .filter(|i| *i >= 1)
@@ -144,12 +145,12 @@ impl TeslaSender {
                 index: i,
                 key: *self.chain.key(i as usize).expect("earlier key exists"),
             });
-        TeslaPacket {
+        Ok(TeslaPacket {
             index,
             message: message.to_vec(),
             mac: mac80(key, message),
             disclosed,
-        }
+        })
     }
 }
 
@@ -340,12 +341,12 @@ mod tests {
     #[test]
     fn happy_path_authenticates_after_d_intervals() {
         let (sender, mut receiver) = setup();
-        let p1 = sender.packet(1, b"hello");
+        let p1 = sender.packet(1, b"hello").unwrap();
         assert!(receiver.on_packet(&p1, during(1)).is_empty());
         assert_eq!(receiver.buffered_count(), 1);
 
         // Interval 3 packet discloses K_1 → authenticates the buffered one.
-        let p3 = sender.packet(3, b"later");
+        let p3 = sender.packet(3, b"later").unwrap();
         let events = receiver.on_packet(&p3, during(3));
         assert!(events.contains(&ReceiverEvent::KeyAccepted { index: 1, steps: 1 }));
         assert!(events
@@ -358,7 +359,7 @@ mod tests {
     #[test]
     fn late_packet_is_discarded_unsafe() {
         let (sender, mut receiver) = setup();
-        let p1 = sender.packet(1, b"stale");
+        let p1 = sender.packet(1, b"stale").unwrap();
         // Received during interval 3: K_1 is being disclosed — unsafe.
         let events = receiver.on_packet(&p1, during(3));
         assert_eq!(events, vec![ReceiverEvent::DiscardedUnsafe { index: 1 }]);
@@ -368,11 +369,11 @@ mod tests {
     #[test]
     fn forged_mac_is_rejected_at_disclosure() {
         let (sender, mut receiver) = setup();
-        let mut forged = sender.packet(1, b"real");
+        let mut forged = sender.packet(1, b"real").unwrap();
         forged.message = b"fake".to_vec();
         receiver.on_packet(&forged, during(1));
 
-        let p3 = sender.packet(3, b"later");
+        let p3 = sender.packet(3, b"later").unwrap();
         let events = receiver.on_packet(&p3, during(3));
         assert!(events.contains(&ReceiverEvent::RejectedMac { index: 1 }));
         assert!(receiver.authenticated().is_empty());
@@ -381,7 +382,7 @@ mod tests {
     #[test]
     fn forged_key_is_rejected() {
         let (sender, mut receiver) = setup();
-        let mut packet = sender.packet(3, b"x");
+        let mut packet = sender.packet(3, b"x").unwrap();
         let mut rng = dap_simnet::SimRng::new(1);
         packet.disclosed = Some(DisclosedKey {
             index: 1,
@@ -395,13 +396,13 @@ mod tests {
     #[test]
     fn lost_disclosures_recovered_through_chain() {
         let (sender, mut receiver) = setup();
-        let p1 = sender.packet(1, b"m1");
-        let p2 = sender.packet(2, b"m2");
+        let p1 = sender.packet(1, b"m1").unwrap();
+        let p2 = sender.packet(2, b"m2").unwrap();
         receiver.on_packet(&p1, during(1));
         receiver.on_packet(&p2, during(2));
         // Packets of intervals 3 and 4 (disclosing K_1, K_2) all lost.
         // A packet from interval 5 disclosing K_3 recovers everything.
-        let p5 = sender.packet(5, b"m5");
+        let p5 = sender.packet(5, b"m5").unwrap();
         let events = receiver.on_packet(&p5, during(5));
         assert!(events.contains(&ReceiverEvent::KeyAccepted { index: 3, steps: 3 }));
         let authed: Vec<u64> = receiver.authenticated().iter().map(|(i, _)| *i).collect();
@@ -411,7 +412,7 @@ mod tests {
     #[test]
     fn duplicate_disclosure_is_harmless() {
         let (sender, mut receiver) = setup();
-        let p3 = sender.packet(3, b"a");
+        let p3 = sender.packet(3, b"a").unwrap();
         receiver.on_packet(&p3, during(3));
         let events = receiver.on_packet(&p3, during(3));
         // Second copy: key already known (NotAhead) — no rejection event.
@@ -423,9 +424,9 @@ mod tests {
     #[test]
     fn no_disclosure_in_first_d_intervals() {
         let (sender, _) = setup();
-        assert!(sender.packet(1, b"a").disclosed.is_none());
-        assert!(sender.packet(2, b"b").disclosed.is_none());
-        let p3 = sender.packet(3, b"c");
+        assert!(sender.packet(1, b"a").unwrap().disclosed.is_none());
+        assert!(sender.packet(2, b"b").unwrap().disclosed.is_none());
+        let p3 = sender.packet(3, b"c").unwrap();
         assert_eq!(p3.disclosed.unwrap().index, 1);
     }
 
@@ -433,7 +434,7 @@ mod tests {
     fn buffered_bits_accounting() {
         let (sender, mut receiver) = setup();
         // 25-byte message = 200 bits → entry = 200 + 80 + 32 = 312 bits.
-        let p1 = sender.packet(1, &[0u8; 25]);
+        let p1 = sender.packet(1, &[0u8; 25]).unwrap();
         receiver.on_packet(&p1, during(1));
         assert_eq!(receiver.buffered_bits(), 312);
     }
@@ -441,17 +442,22 @@ mod tests {
     #[test]
     fn packet_size_bits() {
         let (sender, _) = setup();
-        let p1 = sender.packet(1, &[0u8; 25]);
+        let p1 = sender.packet(1, &[0u8; 25]).unwrap();
         assert_eq!(p1.size_bits(), 200 + 80 + 32);
-        let p3 = sender.packet(3, &[0u8; 25]);
+        let p3 = sender.packet(3, &[0u8; 25]).unwrap();
         assert_eq!(p3.size_bits(), 200 + 80 + 32 + 80 + 32);
     }
 
     #[test]
-    #[should_panic(expected = "beyond chain horizon")]
-    fn packet_beyond_horizon_panics() {
+    fn packet_beyond_horizon_is_typed_error() {
         let (sender, _) = setup();
-        let _ = sender.packet(65, b"x");
+        assert_eq!(
+            sender.packet(65, b"x").unwrap_err(),
+            ChainExhausted {
+                index: 65,
+                horizon: 64
+            }
+        );
     }
 
     #[test]
@@ -463,7 +469,7 @@ mod tests {
         for i in 1..=10u64 {
             let msg = format!("reading {i}");
             sent.push((i, msg.clone()));
-            let p = sender.packet(i, msg.as_bytes());
+            let p = sender.packet(i, msg.as_bytes()).unwrap();
             receiver.on_packet(&p, during(i));
         }
         for (idx, msg) in receiver.authenticated() {

@@ -22,7 +22,7 @@
 use dap_crypto::hmac::hmac_sha256;
 use dap_crypto::mac::{mac80, Mac80};
 use dap_crypto::oneway::Domain;
-use dap_crypto::{ChainAnchor, Key, KeyChain};
+use dap_crypto::{ChainAnchor, ChainExhausted, Key, KeyChain};
 use dap_simnet::SimTime;
 
 use crate::params::TeslaParams;
@@ -108,17 +108,23 @@ impl TeslaPpSender {
     /// Phase 1: announce `message` for interval `index` (the message is
     /// retained for the later reveal).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is 0 or beyond the chain.
-    pub fn announce(&mut self, index: u64, message: &[u8]) -> TeslaPpMessage {
+    /// Returns [`ChainExhausted`] when `index` lies beyond the chain
+    /// horizon — the operational end of this sender's key chain.
+    pub fn announce(
+        &mut self,
+        index: u64,
+        message: &[u8],
+    ) -> Result<TeslaPpMessage, ChainExhausted> {
+        let horizon = self.chain.len() as u64;
         let key = self
             .chain
             .key(index as usize)
-            .unwrap_or_else(|| panic!("interval {index} beyond chain horizon"));
+            .ok_or(ChainExhausted { index, horizon })?;
         let mac = mac80(key, message);
         self.pending.insert(index, message.to_vec());
-        TeslaPpMessage::MacAnnounce { index, mac }
+        Ok(TeslaPpMessage::MacAnnounce { index, mac })
     }
 
     /// Phase 2: reveal the message and key for a previously announced
@@ -242,7 +248,7 @@ impl TeslaPpReceiver {
         TeslaPpOutcome::AnnouncementStored { index }
     }
 
-    fn on_reveal(&mut self, index: u64, message: &Vec<u8>, key: &Key) -> TeslaPpOutcome {
+    fn on_reveal(&mut self, index: u64, message: &[u8], key: &Key) -> TeslaPpOutcome {
         // Weak authentication: the key must extend the chain.
         match self.anchor.accept(key, index) {
             Ok(_) => {}
@@ -255,10 +261,10 @@ impl TeslaPpReceiver {
         self.stored
             .retain(|(i, sm)| !(*i == index && *sm == expect));
         if self.stored.len() < before {
-            self.authenticated.push((index, message.clone()));
+            self.authenticated.push((index, message.to_owned()));
             TeslaPpOutcome::Authenticated {
                 index,
-                message: message.clone(),
+                message: message.to_owned(),
             }
         } else {
             TeslaPpOutcome::NoMatchingAnnouncement { index }
@@ -303,7 +309,7 @@ mod tests {
     #[test]
     fn announce_then_reveal_authenticates() {
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"v2v alert");
+        let ann = sender.announce(1, b"v2v alert").unwrap();
         assert_eq!(
             receiver.on_message(&ann, during(1)),
             TeslaPpOutcome::AnnouncementStored { index: 1 }
@@ -321,7 +327,7 @@ mod tests {
     #[test]
     fn reveal_without_announcement_fails() {
         let (mut sender, mut receiver) = setup();
-        sender.announce(1, b"m");
+        sender.announce(1, b"m").unwrap();
         let rev = sender.reveal(1).unwrap();
         // Announcement was never delivered.
         assert_eq!(
@@ -333,7 +339,7 @@ mod tests {
     #[test]
     fn forged_message_in_reveal_fails() {
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"real");
+        let ann = sender.announce(1, b"real").unwrap();
         receiver.on_message(&ann, during(1));
         let rev = match sender.reveal(1).unwrap() {
             TeslaPpMessage::Reveal { index, key, .. } => TeslaPpMessage::Reveal {
@@ -353,7 +359,7 @@ mod tests {
     #[test]
     fn forged_key_rejected_weakly() {
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"real");
+        let ann = sender.announce(1, b"real").unwrap();
         receiver.on_message(&ann, during(1));
         let mut rng = dap_simnet::SimRng::new(3);
         let rev = TeslaPpMessage::Reveal {
@@ -370,7 +376,7 @@ mod tests {
     #[test]
     fn stale_announcement_dropped() {
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         assert_eq!(
             receiver.on_message(&ann, during(2)),
             TeslaPpOutcome::AnnouncementUnsafe { index: 1 }
@@ -395,7 +401,7 @@ mod tests {
             };
             receiver.on_message(&forged, during(1));
         }
-        let ann = sender.announce(1, b"genuine");
+        let ann = sender.announce(1, b"genuine").unwrap();
         receiver.on_message(&ann, during(1));
         assert_eq!(receiver.stored_count(), 101);
         assert_eq!(receiver.stored_bits(), 101 * 112);
@@ -420,7 +426,7 @@ mod tests {
     #[test]
     fn message_sizes() {
         let (mut sender, _) = setup();
-        let ann = sender.announce(1, &[0u8; 25]);
+        let ann = sender.announce(1, &[0u8; 25]).unwrap();
         assert_eq!(ann.size_bits(), 112);
         let rev = sender.reveal(1).unwrap();
         assert_eq!(rev.size_bits(), 200 + 80 + 32);
@@ -429,12 +435,12 @@ mod tests {
     #[test]
     fn stale_entries_are_garbage_collected() {
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         receiver.on_message(&ann, during(1));
         assert_eq!(receiver.stored_count(), 1);
         // The reveal never arrives. Processing any message two intervals
         // later purges the stale entry.
-        let a3 = sender.announce(3, b"m3");
+        let a3 = sender.announce(3, b"m3").unwrap();
         receiver.on_message(&a3, during(3));
         assert_eq!(receiver.expired_count(), 1);
         assert_eq!(receiver.stored_count(), 1); // only interval 3's entry
@@ -450,7 +456,7 @@ mod tests {
     fn gc_never_races_the_reveal() {
         // The entry must survive through the whole reveal interval.
         let (mut sender, mut receiver) = setup();
-        let ann = sender.announce(1, b"m");
+        let ann = sender.announce(1, b"m").unwrap();
         receiver.on_message(&ann, during(1));
         // Reveal arriving at the very end of interval 2 still matches.
         let rev = sender.reveal(1).unwrap();
@@ -465,8 +471,20 @@ mod tests {
     #[test]
     fn reveal_twice_returns_none() {
         let (mut sender, _) = setup();
-        sender.announce(1, b"m");
+        sender.announce(1, b"m").unwrap();
         assert!(sender.reveal(1).is_some());
         assert!(sender.reveal(1).is_none());
+    }
+
+    #[test]
+    fn announce_beyond_horizon_is_typed_error() {
+        let (mut sender, _) = setup();
+        assert_eq!(
+            sender.announce(33, b"x").unwrap_err(),
+            ChainExhausted {
+                index: 33,
+                horizon: 32
+            }
+        );
     }
 }

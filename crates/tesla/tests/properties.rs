@@ -23,7 +23,7 @@ fn tesla_sound_under_arbitrary_loss() {
             if *lost {
                 continue;
             }
-            let pkt = sender.packet(i, format!("msg {i}").as_bytes());
+            let pkt = sender.packet(i, format!("msg {i}").as_bytes()).unwrap();
             receiver.on_packet(&pkt, SimTime((i - 1) * 100 + 10));
         }
         for (i, msg) in receiver.authenticated() {
@@ -136,7 +136,7 @@ fn tesla_rejects_random_macs() {
         receiver.on_packet(&forged, SimTime((claimed - 1) * 100 + 1));
         // Deliver genuine packets that disclose the claimed interval's key.
         for i in claimed..(claimed + 4) {
-            let pkt = sender.packet(i, b"fine");
+            let pkt = sender.packet(i, b"fine").unwrap();
             receiver.on_packet(&pkt, SimTime((i - 1) * 100 + 20));
         }
         for (_, msg) in receiver.authenticated() {
@@ -188,7 +188,7 @@ fn multilevel_commitments_always_genuine() {
         // Every installed chain must authenticate that chain's traffic.
         for chain in 1..=14u64 {
             if receiver.has_commitment(chain) {
-                let pkt = sender.data_packet(chain, 1, b"check");
+                let pkt = sender.data_packet(chain, 1, b"check").unwrap();
                 let t = SimTime((params.global_low_index(chain, 1) - 1) * 25 + 1);
                 let _ = receiver.on_low_packet(&pkt, t);
                 if let Some(d) = sender.low_disclosure(chain, 2) {

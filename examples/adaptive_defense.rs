@@ -47,7 +47,7 @@ fn main() {
             interval += 1;
             let t_a = SimTime((interval - 1) * 100 + 10);
             let t_r = SimTime(interval * 100 + 10);
-            let genuine = sender.announce(interval, b"reading");
+            let genuine = sender.announce(interval, b"reading").unwrap();
             // Forged copies to make forged fraction = p.
             let forged = if p > 0.0 {
                 (p / (1.0 - p)).round() as u32

@@ -20,7 +20,9 @@ fn main() {
     println!("==============");
 
     // Interval 1: broadcast (MAC, index) — 112 bits on the air.
-    let announce = sender.announce(1, b"pm2.5=12ug/m3 @ (31.02N, 121.43E)");
+    let announce = sender
+        .announce(1, b"pm2.5=12ug/m3 @ (31.02N, 121.43E)")
+        .unwrap();
     println!(
         "interval 1: announced MAC {} for index {}",
         announce.mac, announce.index
@@ -47,7 +49,7 @@ fn main() {
     for i in 2..2 + rounds {
         let t_announce = SimTime((i - 1) * 100 + 10);
         let t_reveal = SimTime(i * 100 + 10);
-        let genuine = sender.announce(i, b"genuine reading");
+        let genuine = sender.announce(i, b"genuine reading").unwrap();
         // The attacker injects 4 forged copies per genuine one (p = 0.8).
         for _ in 0..4 {
             let mut mac = [0u8; 10];

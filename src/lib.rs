@@ -29,7 +29,7 @@
 //! let mut rng = SimRng::new(7);
 //!
 //! // Interval 1: the sender announces only (MAC, index) — 112 bits.
-//! let announce = sender.announce(1, b"reading: 21.5C");
+//! let announce = sender.announce(1, b"reading: 21.5C").unwrap();
 //! receiver.on_announce(&announce, SimTime(10), &mut rng);
 //!
 //! // Interval 2: the message and key are revealed together.

@@ -59,7 +59,7 @@ fn drive(attack: &[f64], intervals_per_epoch: u64, smoothing: f64, seed: u64) ->
                     &mut rng,
                 );
             }
-            let genuine = sender.announce(interval, b"r");
+            let genuine = sender.announce(interval, b"r").unwrap();
             receiver.on_announce(&genuine, t_a, &mut rng);
             if receiver
                 .on_reveal(&sender.reveal(interval).unwrap(), t_r)

@@ -1,0 +1,111 @@
+//! Fuzz-style property tests for the DAP wire codec: `decode` is total
+//! over arbitrary, mutated and truncated byte strings — it returns a
+//! frame or a structured [`DecodeError`], and never panics. Receivers
+//! parse attacker-controlled bytes, so totality is a security property.
+//!
+//! Runs on `dap-testkit` (≥ 256 cases per property, shrinking, replay
+//! with `DAP_TESTKIT_SEED=<seed> cargo test --test codec_fuzz`).
+
+use crowdsense_dap::crypto::{Key, Mac80};
+use crowdsense_dap::dap::codec::{decode, encode};
+use crowdsense_dap::dap::wire::{Announce, DapMessage, Reveal};
+use dap_testkit::{check_with, Config, Gen};
+
+fn fuzz_config() -> Config {
+    Config {
+        cases: 256,
+        ..Config::default()
+    }
+}
+
+/// A structurally valid frame drawn from the generator.
+fn arbitrary_frame(g: &mut Gen) -> DapMessage {
+    let index = g.u64_in(0..u64::from(u32::MAX) + 1);
+    if g.any_bool() {
+        let mac: [u8; 10] = g.byte_array();
+        DapMessage::Announce(Announce {
+            index,
+            mac: Mac80::from_slice(&mac).unwrap(),
+        })
+    } else {
+        let key: [u8; 10] = g.byte_array();
+        DapMessage::Reveal(Reveal {
+            index,
+            key: Key::from_slice(&key).unwrap(),
+            message: g.bytes(0..96),
+        })
+    }
+}
+
+/// Every encodable frame round-trips bit-exactly.
+#[test]
+fn encode_decode_roundtrips() {
+    check_with(fuzz_config(), "codec_roundtrip", |g| {
+        let frame = arbitrary_frame(g);
+        let encoded = encode(&frame).expect("in-range frame encodes");
+        assert_eq!(decode(&encoded).expect("own encoding decodes"), frame);
+    });
+}
+
+/// Arbitrary bytes — pure noise — never panic the decoder.
+#[test]
+fn decode_is_total_on_noise() {
+    check_with(fuzz_config(), "codec_total_on_noise", |g| {
+        let noise = g.bytes(0..160);
+        // Ok or Err are both fine; reaching this line at all is the
+        // property (a panic would unwind out of the closure and fail).
+        let _ = decode(&noise);
+    });
+}
+
+/// Truncating a valid frame at any point yields a structured error or a
+/// (shorter) valid frame — never a panic, and never the original frame.
+#[test]
+fn decode_is_total_on_truncations() {
+    check_with(fuzz_config(), "codec_total_on_truncation", |g| {
+        let frame = arbitrary_frame(g);
+        let encoded = encode(&frame).unwrap();
+        let cut = g.usize_in(0..encoded.len());
+        if let Ok(other) = decode(&encoded[..cut]) {
+            assert_ne!(other, frame, "truncation cannot round-trip");
+        }
+    });
+}
+
+/// Flipping any single bit of a valid frame never panics, and whatever
+/// still decodes is not passed off as the original frame.
+#[test]
+fn decode_is_total_on_bit_flips() {
+    check_with(fuzz_config(), "codec_total_on_bitflip", |g| {
+        let frame = arbitrary_frame(g);
+        let mut encoded = encode(&frame).unwrap();
+        let byte = g.usize_in(0..encoded.len());
+        let bit = g.u32_in(0..8);
+        encoded[byte] ^= 1 << bit;
+        if let Ok(mutated) = decode(&encoded) {
+            assert_ne!(
+                mutated, frame,
+                "bit flip at {byte}:{bit} was silently absorbed"
+            );
+        }
+    });
+}
+
+/// Splicing, duplicating and extending frames never panics the decoder.
+#[test]
+fn decode_is_total_on_splices() {
+    check_with(fuzz_config(), "codec_total_on_splice", |g| {
+        let a = encode(&arbitrary_frame(g)).unwrap();
+        let b = encode(&arbitrary_frame(g)).unwrap();
+        let cut_a = g.usize_in(0..a.len() + 1);
+        let cut_b = g.usize_in(0..b.len() + 1);
+        let mut spliced = a[..cut_a].to_vec();
+        spliced.extend_from_slice(&b[cut_b..]);
+        let _ = decode(&spliced);
+        // Concatenation of two whole frames must be rejected (trailing
+        // bytes), not mis-parsed as one frame.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        assert!(decode(&both).is_err(), "two frames decoded as one");
+    });
+}

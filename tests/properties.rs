@@ -28,7 +28,7 @@ fn dap_soundness_under_arbitrary_floods() {
         for i in 1..=intervals {
             let t_a = SimTime((i - 1) * 100 + 10);
             let t_r = SimTime(i * 100 + 10);
-            let genuine = sender.announce(i, format!("real {i}").as_bytes());
+            let genuine = sender.announce(i, format!("real {i}").as_bytes()).unwrap();
             // Random interleaving position for the genuine copy.
             let pos = rng.below(u64::from(forged_per_interval) + 1);
             for k in 0..=forged_per_interval {
@@ -75,7 +75,7 @@ fn dap_rejects_any_single_tampering() {
         let mut sender = DapSender::new(&seed.to_le_bytes(), 4, params);
         let mut receiver = DapReceiver::new(sender.bootstrap(), b"prop2");
         let mut rng = SimRng::new(seed);
-        let ann = sender.announce(1, b"ten bytes!");
+        let ann = sender.announce(1, b"ten bytes!").unwrap();
         receiver.on_announce(&ann, SimTime(10), &mut rng);
         let mut rev = sender.reveal(1).unwrap();
         if flip_key {

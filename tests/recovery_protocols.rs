@@ -34,7 +34,7 @@ fn eftp_beats_original_linkage_per_chain() {
             let mut rng = SimRng::new(1);
             // CDMs up to target_chain - 1 all lost; packet needs the chain.
             receiver.on_low_packet(
-                &sender.data_packet(target_chain, 1, b"x"),
+                &sender.data_packet(target_chain, 1, b"x").unwrap(),
                 at(&params, target_chain, 1),
             );
             for i in target_chain..=(target_chain + 4) {
@@ -94,7 +94,7 @@ fn edrp_data_flows_through_instant_commitments() {
 
     for i in 1..=12u64 {
         receiver.on_cdm(sender.cdm(i).unwrap(), at(&params, i, 1), &mut rng);
-        receiver.on_low_packet(&sender.data_packet(i, 2, b"d"), at(&params, i, 2));
+        receiver.on_low_packet(&sender.data_packet(i, 2, b"d").unwrap(), at(&params, i, 2));
         if let Some(d) = sender.low_disclosure(i, 3) {
             receiver.on_low_disclosure(&d, at(&params, i, 3));
         }

@@ -41,10 +41,10 @@ fn tesla_never_authenticates_forgeries() {
             };
             receiver.on_packet(&forged, t);
         }
-        let mut swapped = sender.packet(i, b"real");
+        let mut swapped = sender.packet(i, b"real").unwrap();
         swapped.message = FORGERY_MARK.to_vec();
         receiver.on_packet(&swapped, t);
-        let mut bad_key = sender.packet(i, b"real2");
+        let mut bad_key = sender.packet(i, b"real2").unwrap();
         if let Some(d) = &mut bad_key.disclosed {
             d.key = Key::random(&mut rng);
         }
@@ -59,7 +59,10 @@ fn tesla_never_authenticates_forgeries() {
             "interval {i}"
         );
         // Genuine traffic.
-        receiver.on_packet(&sender.packet(i, format!("real {i}").as_bytes()), t);
+        receiver.on_packet(
+            &sender.packet(i, format!("real {i}").as_bytes()).unwrap(),
+            t,
+        );
     }
     for (_, msg) in receiver.authenticated() {
         assert!(
@@ -100,7 +103,7 @@ fn mutesla_never_authenticates_forgeries() {
             },
             t,
         );
-        receiver.on_message(&sender.data(i, format!("real {i}").as_bytes()), t);
+        receiver.on_message(&sender.data(i, format!("real {i}").as_bytes()).unwrap(), t);
         if let Some(d) = sender.disclosure(i) {
             receiver.on_message(&d, t);
         }
@@ -131,7 +134,10 @@ fn teslapp_never_authenticates_forgeries() {
                 t_a,
             );
         }
-        receiver.on_message(&sender.announce(i, format!("real {i}").as_bytes()), t_a);
+        receiver.on_message(
+            &sender.announce(i, format!("real {i}").as_bytes()).unwrap(),
+            t_a,
+        );
         // Attacker reveal with forged message + random key.
         let out = receiver.on_message(
             &TeslaPpMessage::Reveal {
@@ -183,11 +189,13 @@ fn multilevel_never_authenticates_forgeries() {
         }
         // Forged + genuine data in (i, 2).
         let t2 = SimTime((params.global_low_index(i, 2) - 1) * 25 + 1);
-        let mut forged_pkt = sender.data_packet(i, 2, b"real");
+        let mut forged_pkt = sender.data_packet(i, 2, b"real").unwrap();
         forged_pkt.message = FORGERY_MARK.to_vec();
         receiver.on_low_packet(&forged_pkt, t2);
         receiver.on_low_packet(
-            &sender.data_packet(i, 2, format!("real {i}").as_bytes()),
+            &sender
+                .data_packet(i, 2, format!("real {i}").as_bytes())
+                .unwrap(),
             t2,
         );
         // Disclosure in (i, 3).
@@ -225,7 +233,7 @@ fn dap_never_authenticates_forgeries() {
                 &mut rng,
             );
         }
-        let genuine = sender.announce(i, format!("real {i}").as_bytes());
+        let genuine = sender.announce(i, format!("real {i}").as_bytes()).unwrap();
         receiver.on_announce(&genuine, t_a, &mut rng);
 
         // The genuine reveal authenticates; a tampered replay of it (same
