@@ -17,4 +17,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== formatting =="
 cargo fmt --check
 
+echo "== perf smoke (midstate/pebble/sweep trajectory) =="
+DAP_BENCH_MS=5 cargo run --release --offline -p dap-bench --bin perf -- target
+
+echo "== sweep determinism (parallel vs sequential, default grid) =="
+cargo run --release --offline -p dap-bench --bin sweep -- 400 --check > /dev/null
+
 echo "ci.sh: all green"

@@ -1,14 +1,18 @@
 //! Parameter sweep over (attack level x buffers x loss), CSV output.
 //!
-//! Usage: `cargo run --release -p dap-bench --bin sweep [intervals] [--json] [--chaos]`
+//! Usage: `cargo run --release -p dap-bench --bin sweep [intervals] [--json] [--chaos] [--check]`
 //!
 //! `--chaos` layers a scripted fault plan (blackout + bit corruption +
 //! duplication) on every cell's campaign; the injected-fault tally shows
 //! up as a `fault_events` CSV column or per-counter `fault.*` JSON
 //! fields.
+//!
+//! `--check` additionally runs the grid on a single thread and exits
+//! nonzero unless the parallel engine's CSV is byte-identical — the
+//! determinism gate `ci.sh` runs on every push.
 
 use dap_bench::json::{self, JsonObject};
-use dap_bench::sweep::{run_sweep, to_csv, SweepConfig};
+use dap_bench::sweep::{run_sweep, run_sweep_sequential, to_csv, SweepConfig};
 use dap_simnet::{FaultPlan, FaultWindow, SimTime};
 
 fn main() {
@@ -17,6 +21,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let chaos = std::env::args().any(|a| a == "--chaos");
+    let check = std::env::args().any(|a| a == "--check");
     let config = SweepConfig {
         attack_levels: vec![0.5, 0.67, 0.8, 0.9, 0.95],
         buffer_counts: vec![1, 2, 4, 8, 16],
@@ -41,6 +46,17 @@ fn main() {
         }),
     };
     let rows = run_sweep(&config);
+    if check {
+        let reference = run_sweep_sequential(&config);
+        if to_csv(&rows) != to_csv(&reference) {
+            eprintln!("sweep --check: parallel CSV differs from sequential reference");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "sweep --check: parallel output byte-identical across {} cells",
+            rows.len()
+        );
+    }
     if json::json_requested() {
         println!(
             "{}",

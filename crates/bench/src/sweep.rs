@@ -5,8 +5,11 @@
 //! This is the tooling a downstream user points at their own parameter
 //! space; the figure binaries are special cases of it.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use dap_core::analysis::authentic_presence;
 use dap_core::sim::{run_campaign_with_faults, CampaignSpec};
+use dap_crypto::rng::splitmix64;
 use dap_simnet::FaultPlan;
 
 /// One cell of the sweep grid.
@@ -71,62 +74,175 @@ impl Default for SweepConfig {
     }
 }
 
-/// Runs the full grid, one thread per attack level.
+/// Derives the RNG seed of grid cell `(pi, mi, li)` from the base seed.
+///
+/// The previous scheme added shifted indices to the base seed, so
+/// adjacent base seeds collided with adjacent cells (`seed + 1` at
+/// `li = 0` equals `seed` at `li = 1`). Mixing through SplitMix64 (a
+/// 64-bit bijection) removes that: for indices below 2²⁰ per axis the
+/// packed offsets are distinct, XOR with a fixed mixed base keeps them
+/// distinct, and the final mix is again injective — so every cell of
+/// every grid up to 2²⁰ per axis gets a provably unique seed.
 #[must_use]
-pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
-    let mut rows: Vec<SweepRow> = std::thread::scope(|scope| {
-        let handles: Vec<_> = config
-            .attack_levels
-            .iter()
-            .enumerate()
-            .map(|(pi, &p)| {
-                let config = config.clone();
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for (mi, &m) in config.buffer_counts.iter().enumerate() {
-                        for (li, &loss) in config.loss_rates.iter().enumerate() {
-                            let seed = config
-                                .seed
-                                .wrapping_add((pi as u64) << 40)
-                                .wrapping_add((mi as u64) << 20)
-                                .wrapping_add(li as u64);
-                            let outcome = run_campaign_with_faults(
-                                &CampaignSpec {
-                                    attack_fraction: p,
-                                    announce_copies: config.announce_copies,
-                                    buffers: m,
-                                    intervals: config.intervals,
-                                    loss,
-                                    seed,
-                                },
-                                config.fault.clone(),
-                            );
-                            out.push(SweepRow {
-                                p,
-                                m,
-                                loss,
-                                rate: outcome.authentication_rate,
-                                predicted: authentic_presence(p, m as u32),
-                                peak_memory_bits: outcome.peak_memory_bits,
-                                fault_counters: outcome.fault_counters,
-                            });
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker"))
-            .collect()
-    });
+pub fn cell_seed(base: u64, pi: usize, mi: usize, li: usize) -> u64 {
+    debug_assert!(pi < (1 << 20) && mi < (1 << 20) && li < (1 << 20));
+    let packed = ((pi as u64) << 40) | ((mi as u64) << 20) | (li as u64);
+    splitmix64(splitmix64(base) ^ packed)
+}
+
+/// Scheduling statistics from a parallel sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Worker threads spawned (`min(available cores, grid cells)`).
+    pub workers_spawned: usize,
+    /// Workers that completed at least one cell — with more cells than
+    /// workers and non-trivial campaigns, this equals `workers_spawned`.
+    pub workers_engaged: usize,
+    /// Grid cells evaluated.
+    pub cells: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Cell {
+    pi: usize,
+    mi: usize,
+    li: usize,
+    p: f64,
+    m: usize,
+    loss: f64,
+}
+
+fn grid(config: &SweepConfig) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(
+        config.attack_levels.len() * config.buffer_counts.len() * config.loss_rates.len(),
+    );
+    for (pi, &p) in config.attack_levels.iter().enumerate() {
+        for (mi, &m) in config.buffer_counts.iter().enumerate() {
+            for (li, &loss) in config.loss_rates.iter().enumerate() {
+                cells.push(Cell {
+                    pi,
+                    mi,
+                    li,
+                    p,
+                    m,
+                    loss,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Evaluates one cell. Pure in `(config, cell)` — the seed derivation
+/// makes the row independent of which worker runs it and when.
+fn run_cell(config: &SweepConfig, cell: &Cell) -> SweepRow {
+    let outcome = run_campaign_with_faults(
+        &CampaignSpec {
+            attack_fraction: cell.p,
+            announce_copies: config.announce_copies,
+            buffers: cell.m,
+            intervals: config.intervals,
+            loss: cell.loss,
+            seed: cell_seed(config.seed, cell.pi, cell.mi, cell.li),
+        },
+        config.fault.clone(),
+    );
+    SweepRow {
+        p: cell.p,
+        m: cell.m,
+        loss: cell.loss,
+        rate: outcome.authentication_rate,
+        predicted: authentic_presence(cell.p, cell.m as u32),
+        peak_memory_bits: outcome.peak_memory_bits,
+        fault_counters: outcome.fault_counters,
+    }
+}
+
+fn sort_rows(rows: &mut [SweepRow]) {
     rows.sort_by(|a, b| {
         (a.p, a.m, a.loss)
             .partial_cmp(&(b.p, b.m, b.loss))
             .expect("finite keys")
     });
+}
+
+/// Runs the full grid on the calling thread — the bit-identical
+/// reference the parallel engine is checked against (`sweep --check`).
+#[must_use]
+pub fn run_sweep_sequential(config: &SweepConfig) -> Vec<SweepRow> {
+    let mut rows: Vec<SweepRow> = grid(config)
+        .iter()
+        .map(|cell| run_cell(config, cell))
+        .collect();
+    sort_rows(&mut rows);
     rows
+}
+
+/// Runs the full grid with a work-stealing worker pool, returning
+/// scheduling statistics alongside the rows.
+///
+/// All cells go into one queue drained via an atomic index, so workers
+/// stay busy until the whole grid is done — unlike the earlier
+/// one-thread-per-attack-level split, where the thread with the
+/// slowest column gated the run while its siblings sat idle. Per-cell
+/// seeds ([`cell_seed`]) make each row a pure function of the config,
+/// so the output is bit-identical to [`run_sweep_sequential`] no matter
+/// how the cells are scheduled.
+#[must_use]
+pub fn run_sweep_with_stats(config: &SweepConfig) -> (Vec<SweepRow>, SweepStats) {
+    let cells = grid(config);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(cells.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<SweepRow>> = vec![None; cells.len()];
+    let mut engaged = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let cells = &cells;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, SweepRow)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        done.push((i, run_cell(config, cell)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            let done = handle.join().expect("sweep worker");
+            if !done.is_empty() {
+                engaged += 1;
+            }
+            for (i, row) in done {
+                slots[i] = Some(row);
+            }
+        }
+    });
+    let mut rows: Vec<SweepRow> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every cell evaluated"))
+        .collect();
+    sort_rows(&mut rows);
+    (
+        rows,
+        SweepStats {
+            workers_spawned: workers,
+            workers_engaged: engaged,
+            cells: cells.len(),
+        },
+    )
+}
+
+/// Runs the full grid in parallel (see [`run_sweep_with_stats`]).
+#[must_use]
+pub fn run_sweep(config: &SweepConfig) -> Vec<SweepRow> {
+    run_sweep_with_stats(config).0
 }
 
 /// Renders rows as CSV (header + lines).
@@ -206,6 +322,58 @@ mod tests {
         for line in csv.lines().skip(1) {
             assert!(line.ends_with(",0"), "{line}");
         }
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_on_a_large_grid() {
+        // 64×64×64 cells from one base seed, plus the same packed index
+        // under an adjacent base seed — the old additive scheme collided
+        // across both dimensions; the mixed scheme must not.
+        let mut seen = std::collections::HashSet::new();
+        for pi in 0..64 {
+            for mi in 0..64 {
+                for li in 0..64 {
+                    assert!(
+                        seen.insert(cell_seed(7, pi, mi, li)),
+                        "duplicate seed at ({pi},{mi},{li})"
+                    );
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64 * 64 * 64);
+        assert!(seen.insert(cell_seed(8, 0, 0, 0)), "adjacent bases collide");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_reference() {
+        let config = small_config();
+        let (parallel, stats) = run_sweep_with_stats(&config);
+        let sequential = run_sweep_sequential(&config);
+        assert_eq!(parallel, sequential);
+        assert_eq!(to_csv(&parallel), to_csv(&sequential));
+        assert_eq!(stats.cells, 4);
+        assert!(stats.workers_spawned >= 1 && stats.workers_spawned <= 4);
+    }
+
+    #[test]
+    fn work_queue_saturates_available_workers() {
+        // 12×8×4 = 384 cells dwarfs any realistic core count, so every
+        // spawned worker must pull at least one cell from the queue.
+        let config = SweepConfig {
+            attack_levels: (0..12).map(|i| 0.05 + 0.07 * i as f64).collect(),
+            buffer_counts: (0..8).map(|i| 1 << i).collect(),
+            loss_rates: vec![0.0, 0.1, 0.2, 0.3],
+            intervals: 40,
+            announce_copies: 1,
+            seed: 11,
+            fault: None,
+        };
+        let (rows, stats) = run_sweep_with_stats(&config);
+        assert_eq!(rows.len(), 384);
+        assert_eq!(stats.cells, 384);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(stats.workers_spawned, cores.min(384));
+        assert_eq!(stats.workers_engaged, stats.workers_spawned);
     }
 
     #[test]

@@ -18,6 +18,25 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Times `f` and returns the mean nanoseconds per iteration. The
+/// closure's result is passed through [`black_box`] so the optimiser
+/// cannot delete the work. Calibration and budget match [`smoke`]; use
+/// this when the number feeds a report instead of stdout.
+pub fn measure<T>(mut f: impl FnMut() -> T) -> u64 {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (budget().as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u32;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    (elapsed.as_nanos() / u128::from(iters)).max(1) as u64
+}
+
 /// Times `f`, printing `name`, the iteration count and the mean time per
 /// iteration. The closure's result is passed through [`black_box`] so the
 /// optimiser cannot delete the work.

@@ -25,9 +25,9 @@
 
 use std::collections::BTreeMap;
 
-use dap_crypto::mac::{mac80, micro_mac, MicroMac};
+use dap_crypto::mac::{mac80, micro_mac_prepared, prepare_receiver_key, MicroMac};
 use dap_crypto::oneway::{one_way_iter, Domain};
-use dap_crypto::{ChainAnchor, Key};
+use dap_crypto::{ChainAnchor, Key, PreparedMacKey};
 use dap_simnet::{SimRng, SimTime};
 use dap_tesla::ReservoirBuffer;
 
@@ -86,7 +86,9 @@ pub struct MultiStats {
 #[derive(Debug, Clone)]
 pub struct DapMultiReceiver {
     params: DapParams,
-    local_key: Key,
+    /// `K_recv` with its HMAC key schedule cached (see
+    /// [`crate::DapReceiver`] — same announce-hot-path optimisation).
+    local_key: PreparedMacKey,
     anchors: BTreeMap<SenderId, ChainAnchor>,
     pool: ReservoirBuffer<Entry>,
     rx_interval: u64,
@@ -101,7 +103,7 @@ impl DapMultiReceiver {
     pub fn new(params: DapParams, local_seed: &[u8]) -> Self {
         Self {
             params,
-            local_key: Key::derive(b"dap/multi-receiver-local", local_seed),
+            local_key: prepare_receiver_key(&Key::derive(b"dap/multi-receiver-local", local_seed)),
             anchors: BTreeMap::new(),
             pool: ReservoirBuffer::new(params.buffers),
             rx_interval: 0,
@@ -165,7 +167,7 @@ impl DapMultiReceiver {
             return Ok(AnnounceOutcome::Unsafe);
         }
         self.stats.announces_offered += 1;
-        let micro = micro_mac(&self.local_key, &announce.mac);
+        let micro = micro_mac_prepared(&self.local_key, &announce.mac);
         let outcome = self.pool.offer(
             Entry {
                 sender,
@@ -216,7 +218,7 @@ impl DapMultiReceiver {
             });
         }
 
-        let expect = micro_mac(&self.local_key, &mac80(&reveal.key, &reveal.message));
+        let expect = micro_mac_prepared(&self.local_key, &mac80(&reveal.key, &reveal.message));
         let candidates = self
             .pool
             .extract(|e| e.sender == sender && e.index == reveal.index);

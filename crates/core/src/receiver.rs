@@ -17,9 +17,9 @@
 //!    `μMAC′ = MAC_{K_recv}(MAC_{K'_i}(M_i))` and search the buffers for
 //!    a matching entry with index `i`; equality authenticates `M_i`.
 
-use dap_crypto::mac::{mac80, micro_mac, MicroMac};
+use dap_crypto::mac::{mac80, micro_mac_prepared, prepare_receiver_key, MicroMac};
 use dap_crypto::oneway::{one_way_iter, Domain};
-use dap_crypto::{ChainAnchor, Key};
+use dap_crypto::{ChainAnchor, Key, PreparedMacKey};
 use dap_simnet::{SimRng, SimTime};
 use dap_tesla::ReservoirBuffer;
 
@@ -129,7 +129,14 @@ pub const DESYNC_GRACE_INTERVALS: u64 = 2;
 pub struct DapReceiver {
     anchor: ChainAnchor,
     params: DapParams,
-    local_key: Key,
+    /// `K_recv` with its HMAC key schedule run once at bootstrap: the
+    /// announce hot path re-keys every incoming MAC under this secret,
+    /// so caching the midstates halves its compression count.
+    local_key: PreparedMacKey,
+    /// Chain keys recovered while re-anchoring across a gap, kept for
+    /// duplicate reveals of in-gap intervals ([`Self::weak_authenticate`]
+    /// answers those from here instead of re-walking the chain).
+    recovered: std::collections::BTreeMap<u64, Key>,
     buffers: usize,
     /// One `m`-buffer reservoir per pending interval: the copies of
     /// interval `i` compete only with each other (the competition scope
@@ -154,7 +161,8 @@ impl DapReceiver {
         Self {
             anchor: ChainAnchor::new(bootstrap.commitment, 0, Domain::F),
             params: bootstrap.params,
-            local_key: Key::derive(b"dap/receiver-local", local_seed),
+            local_key: prepare_receiver_key(&Key::derive(b"dap/receiver-local", local_seed)),
+            recovered: std::collections::BTreeMap::new(),
             buffers: bootstrap.params.buffers,
             pools: std::collections::BTreeMap::new(),
             rx_interval: 0,
@@ -242,7 +250,7 @@ impl DapReceiver {
             return AnnounceOutcome::Unsafe;
         }
 
-        let micro = micro_mac(&self.local_key, &announce.mac);
+        let micro = micro_mac_prepared(&self.local_key, &announce.mac);
         self.stats.announces_offered += 1;
         let pool = self
             .pools
@@ -281,7 +289,7 @@ impl DapReceiver {
         // genuine reveal can at worst suppress that one interval —
         // exactly what jamming the reveal would do; it can never get a
         // forged message authenticated.
-        let expect = micro_mac(&self.local_key, &mac80(&reveal.key, &reveal.message));
+        let expect = micro_mac_prepared(&self.local_key, &mac80(&reveal.key, &reveal.message));
         let Some(pool) = self.pools.remove(&reveal.index) else {
             self.stats.no_candidate += 1;
             return RevealOutcome::NoCandidate {
@@ -346,22 +354,43 @@ impl DapReceiver {
         }
     }
 
+    /// Intervals a recovered gap key stays cached behind the anchor —
+    /// long enough to answer any duplicate reveal still inside the
+    /// pending window.
+    const RECOVERED_RETENTION: u64 = 8;
+
     fn weak_authenticate(&mut self, key: &Key, index: u64) -> bool {
-        match self.anchor.accept(key, index) {
-            Ok(steps) => {
+        match self.anchor.accept_recovering(key, index) {
+            Ok(segment) => {
+                let steps = segment.len() as u64;
                 if steps > 1 {
                     self.stats.chain_recoveries += 1;
+                    // Cache the gap's keys: each duplicate reveal inside
+                    // it is then a lookup, not a fresh chain walk.
+                    let base = index - steps;
+                    for (offset, k) in segment.into_iter().enumerate() {
+                        self.recovered.insert(base + 1 + offset as u64, k);
+                    }
+                    let floor = self
+                        .anchor
+                        .index()
+                        .saturating_sub(Self::RECOVERED_RETENTION);
+                    self.recovered.retain(|i, _| *i >= floor);
                 }
                 self.stats.max_recovery_depth = self.stats.max_recovery_depth.max(steps);
                 self.desynced = false;
                 true
             }
             Err(dap_crypto::ChainVerifyError::NotAhead { .. }) => {
-                // Key for an interval at or before the anchor: re-derive
-                // and compare (duplicate reveal of a known interval).
+                // Key for an interval at or before the anchor: duplicate
+                // reveal of a known interval. Answer from the recovered
+                // cache when possible, otherwise re-derive and compare.
                 let anchor_index = self.anchor.index();
                 if index > anchor_index {
                     return false;
+                }
+                if let Some(cached) = self.recovered.get(&index) {
+                    return dap_crypto::ct_eq(cached.as_bytes(), key.as_bytes());
                 }
                 let derived = one_way_iter(
                     Domain::F,
@@ -642,6 +671,36 @@ mod tests {
         assert!(receiver
             .on_reveal(&sender.reveal(2).unwrap(), during(4))
             .is_authenticated());
+    }
+
+    #[test]
+    fn in_gap_duplicate_reveals_answered_from_recovered_cache() {
+        let (mut sender, mut receiver, _rng) = setup(4);
+        // Intervals 1..=5 lost; reveal 6 re-anchors across the gap and
+        // caches the gap's keys.
+        for i in 1..=6u64 {
+            sender.announce(i, b"x").unwrap();
+        }
+        let r6 = sender.reveal(6).unwrap();
+        assert_eq!(
+            receiver.on_reveal(&r6, during(7)),
+            RevealOutcome::NoCandidate { index: 6 }
+        );
+        assert_eq!(receiver.stats().chain_recoveries, 1);
+        // A genuine reveal inside the gap still passes weak auth (served
+        // from the cache; nothing buffered, so NoCandidate not Rejected)…
+        let r3 = sender.reveal(3).unwrap();
+        assert_eq!(
+            receiver.on_reveal(&r3, during(7)),
+            RevealOutcome::NoCandidate { index: 3 }
+        );
+        // …while a forged in-gap key is still weakly rejected.
+        let mut forged = sender.reveal(4).unwrap();
+        forged.key = Key::derive(b"forged", b"k");
+        assert_eq!(
+            receiver.on_reveal(&forged, during(7)),
+            RevealOutcome::WeakRejected { index: 4 }
+        );
     }
 
     #[test]

@@ -4,7 +4,86 @@
 //! μMAC and the key-chain one-way functions — is a truncation of this
 //! primitive. Correctness is pinned by the RFC 4231 test vectors.
 
-use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Cached ipad/opad midstates for a fixed HMAC key.
+///
+/// Keying HMAC-SHA-256 costs two compression calls (one per pad block)
+/// before the message is even touched. Every long-lived key in the
+/// workspace — the six [`crate::Domain`] labels driving `one_way`, a
+/// receiver's `K_recv` rekeying each announce's μMAC — pays that key
+/// schedule on *every* call when routed through the one-shot
+/// [`hmac_sha256`]. A `PreparedMacKey` runs it **once**, storing the two
+/// compressed states; [`mac`](Self::mac) then finishes a short message
+/// in two compressions instead of four.
+///
+/// ```
+/// use dap_crypto::hmac::{hmac_sha256, PreparedMacKey};
+///
+/// let prepared = PreparedMacKey::new(b"key");
+/// assert_eq!(prepared.mac(b"message"), hmac_sha256(b"key", b"message"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PreparedMacKey {
+    /// State after compressing `key ⊕ ipad`.
+    inner: [u32; 8],
+    /// State after compressing `key ⊕ opad`.
+    outer: [u32; 8],
+}
+
+impl std::fmt::Debug for PreparedMacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedMacKey").finish_non_exhaustive()
+    }
+}
+
+impl PreparedMacKey {
+    /// Runs the HMAC key schedule for `key` (any length; keys longer
+    /// than the 64-byte block are hashed first, per the spec) and caches
+    /// both pad-block midstates.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = sha256::digest(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+
+        Self {
+            inner: Sha256::compress_from(&sha256::INITIAL_STATE, &ipad_key),
+            outer: Sha256::compress_from(&sha256::INITIAL_STATE, &opad_key),
+        }
+    }
+
+    /// One-shot tag over `message`, resuming from the cached midstates.
+    ///
+    /// Never touches the incremental staging buffer: for messages up to
+    /// 55 bytes (every MAC input in the protocol stack) this is exactly
+    /// two compression calls.
+    #[must_use]
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        let inner_digest = sha256::digest_from_midstate(&self.inner, BLOCK_LEN as u64, message);
+        sha256::digest_from_midstate(&self.outer, BLOCK_LEN as u64, &inner_digest)
+    }
+
+    /// An incremental hasher resuming from the cached key schedule.
+    #[must_use]
+    pub fn hasher(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: Sha256::from_midstate(self.inner, BLOCK_LEN as u64),
+            outer: self.outer,
+        }
+    }
+}
 
 /// Incremental HMAC-SHA-256.
 ///
@@ -19,8 +98,8 @@ use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 #[derive(Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
-    /// Key XORed with `opad`, kept for the outer pass.
-    opad_key: [u8; BLOCK_LEN],
+    /// Midstate after compressing `key ⊕ opad`, for the outer pass.
+    outer: [u32; 8],
 }
 
 impl std::fmt::Debug for HmacSha256 {
@@ -34,24 +113,7 @@ impl HmacSha256 {
     /// than the 64-byte block are hashed first, per the spec).
     #[must_use]
     pub fn new(key: &[u8]) -> Self {
-        let mut block_key = [0u8; BLOCK_LEN];
-        if key.len() > BLOCK_LEN {
-            let digest = crate::sha256::digest(key);
-            block_key[..DIGEST_LEN].copy_from_slice(&digest);
-        } else {
-            block_key[..key.len()].copy_from_slice(key);
-        }
-
-        let mut ipad_key = [0u8; BLOCK_LEN];
-        let mut opad_key = [0u8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad_key[i] = block_key[i] ^ 0x36;
-            opad_key[i] = block_key[i] ^ 0x5c;
-        }
-
-        let mut inner = Sha256::new();
-        inner.update(&ipad_key);
-        Self { inner, opad_key }
+        PreparedMacKey::new(key).hasher()
     }
 
     /// Absorbs message bytes.
@@ -63,19 +125,18 @@ impl HmacSha256 {
     #[must_use]
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
-        outer.update(&inner_digest);
-        outer.finalize()
+        sha256::digest_from_midstate(&self.outer, BLOCK_LEN as u64, &inner_digest)
     }
 }
 
 /// One-shot HMAC-SHA-256.
+///
+/// Hot paths with a long-lived key should prepare it once with
+/// [`PreparedMacKey`] instead; this convenience re-runs the key schedule
+/// on every call.
 #[must_use]
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut m = HmacSha256::new(key);
-    m.update(message);
-    m.finalize()
+    PreparedMacKey::new(key).mac(message)
 }
 
 #[cfg(test)]
@@ -146,6 +207,57 @@ mod tests {
             hex(&hmac_sha256(&key, data)),
             "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
         );
+    }
+
+    // RFC 4231 vectors asserted through the prepared-key fast path as
+    // well as the one-shot convenience (which now routes through it).
+    #[test]
+    fn rfc4231_through_prepared_key() {
+        let prepared = PreparedMacKey::new(&[0x0bu8; 20]);
+        assert_eq!(
+            hex(&prepared.mac(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let jefe = PreparedMacKey::new(b"Jefe");
+        assert_eq!(
+            hex(&jefe.mac(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Case 6: key longer than one block must be hashed first.
+        let long = PreparedMacKey::new(&[0xaau8; 131]);
+        assert_eq!(
+            hex(&long.mac(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn prepared_key_reuse_matches_fresh_keying() {
+        let prepared = PreparedMacKey::new(b"long-lived");
+        for len in [0usize, 1, 31, 55, 56, 63, 64, 65, 200] {
+            let msg = vec![0xcdu8; len];
+            assert_eq!(
+                prepared.mac(&msg),
+                hmac_sha256(b"long-lived", &msg),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_hasher_matches_oneshot() {
+        let prepared = PreparedMacKey::new(b"k");
+        let mut m = prepared.hasher();
+        m.update(b"abc");
+        m.update(b"def");
+        assert_eq!(m.finalize(), prepared.mac(b"abcdef"));
+    }
+
+    #[test]
+    fn prepared_key_debug_redacts() {
+        let s = format!("{:?}", PreparedMacKey::new(b"secret"));
+        assert!(s.contains("PreparedMacKey"));
+        assert!(!s.contains("secret"));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 
 use crate::error::ChainVerifyError;
 use crate::hmac::hmac_sha256;
-use crate::oneway::{one_way, one_way_iter, Domain};
+use crate::oneway::{one_way, one_way_iter, one_way_trace, Domain};
+
+/// Label deriving a chain head from a seed — shared by every
+/// [`ChainStore`] implementation so they agree key-for-key.
+pub(crate) const CHAIN_HEAD_LABEL: &[u8] = b"crowdsense-dap/chain-head";
 
 /// An 80-bit symmetric key, the size the paper uses on the wire
 /// (`Ki (80b)` in Fig. 4).
@@ -76,6 +80,39 @@ impl AsRef<[u8]> for Key {
     }
 }
 
+/// Sender-side storage for a one-way key chain.
+///
+/// Abstracts over *how* the keys `K_0 ..= K_len` are held: the fully
+/// materialised [`KeyChain`] (O(n) memory, O(1) lookup) and the
+/// Jakobsson-pebbled [`crate::PebbledChain`] (O(log n) memory, amortized
+/// O(log n) one-way applications per sequential lookup) both implement
+/// it, so senders pick their memory/latency trade-off without touching
+/// protocol code. Implementations must agree key-for-key for the same
+/// `(seed, len, domain)` — pinned by the `dap-testkit` property suite.
+// No `is_empty`: zero-length chains are unconstructible (generation
+// panics), so every store holds at least one usable key.
+#[allow(clippy::len_without_is_empty)]
+pub trait ChainStore: std::fmt::Debug + Clone {
+    /// `K_i` by value, or `None` when `i` is past the end of the chain.
+    /// May amortise internal recomputation, hence `&self` with interior
+    /// mutability in pebbled implementations.
+    fn key(&self, i: usize) -> Option<Key>;
+
+    /// The commitment `K_0`.
+    fn commitment(&self) -> Key;
+
+    /// Number of usable keys (`K_1 ..= K_len`).
+    fn len(&self) -> usize;
+
+    /// The one-way function domain of this chain.
+    fn domain(&self) -> Domain;
+
+    /// A receiver-side anchor bootstrapped from the commitment.
+    fn anchor(&self) -> ChainAnchor {
+        ChainAnchor::new(self.commitment(), 0, self.domain())
+    }
+}
+
 /// A full one-way key chain, held by the **sender**.
 ///
 /// `keys[i]` is `K_i`; `keys[0]` is the commitment distributed to
@@ -110,7 +147,7 @@ impl KeyChain {
     #[must_use]
     pub fn generate(seed: &[u8], len: usize, domain: Domain) -> Self {
         assert!(len > 0, "key chain must have at least one usable key");
-        let head = Key::derive(b"crowdsense-dap/chain-head", seed);
+        let head = Key::derive(CHAIN_HEAD_LABEL, seed);
         Self::from_head(head, len, domain)
     }
 
@@ -146,17 +183,13 @@ impl KeyChain {
     }
 
     /// Number of *usable* keys (`K_1 ..= K_len`), i.e. the `len` passed at
-    /// generation time.
+    /// generation time. Always at least 1: generation rejects empty
+    /// chains, so there is deliberately no `is_empty` — it could never
+    /// return `true`.
     #[must_use]
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.keys.len() - 1
-    }
-
-    /// `true` when the chain has no usable keys (never, by construction —
-    /// provided for API completeness).
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
     }
 
     /// The one-way function domain this chain uses.
@@ -169,6 +202,24 @@ impl KeyChain {
     #[must_use]
     pub fn anchor(&self) -> ChainAnchor {
         ChainAnchor::new(*self.commitment(), 0, self.domain)
+    }
+}
+
+impl ChainStore for KeyChain {
+    fn key(&self, i: usize) -> Option<Key> {
+        KeyChain::key(self, i).copied()
+    }
+
+    fn commitment(&self) -> Key {
+        *KeyChain::commitment(self)
+    }
+
+    fn len(&self) -> usize {
+        KeyChain::len(self)
+    }
+
+    fn domain(&self) -> Domain {
+        KeyChain::domain(self)
     }
 }
 
@@ -265,6 +316,53 @@ impl ChainAnchor {
         self.index = claimed_index;
         Ok(steps)
     }
+
+    /// [`accept`](Self::accept), additionally returning every chain key
+    /// recovered while walking the gap: element `j` of the result is the
+    /// key for interval `old_anchor_index + 1 + j`, the last element
+    /// being the accepted candidate itself.
+    ///
+    /// The verification walk computes these intermediates anyway;
+    /// returning them lets receivers catching up after a blackout cache
+    /// the segment instead of re-walking it for every duplicate reveal
+    /// inside the gap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify); the anchor is unchanged on error.
+    pub fn accept_recovering(
+        &mut self,
+        candidate: &Key,
+        claimed_index: u64,
+    ) -> Result<Vec<Key>, ChainVerifyError> {
+        if claimed_index <= self.index {
+            return Err(ChainVerifyError::NotAhead {
+                anchor_index: self.index,
+                claimed_index,
+            });
+        }
+        let steps = claimed_index - self.index;
+        if steps > self.max_steps {
+            return Err(ChainVerifyError::TooFarAhead {
+                steps,
+                max_steps: self.max_steps,
+            });
+        }
+        // trace[t] = F^{t+1}(candidate) = key for claimed_index - 1 - t.
+        let mut trace = one_way_trace(self.domain, candidate, steps as usize);
+        let image = trace.last().expect("steps >= 1");
+        if !crate::ct_eq(image.as_bytes(), self.key.as_bytes()) {
+            return Err(ChainVerifyError::Mismatch);
+        }
+        // Drop F^steps (the already-anchored key), reorder ascending and
+        // append the candidate: indices old+1 ..= claimed_index.
+        trace.pop();
+        trace.reverse();
+        trace.push(*candidate);
+        self.key = *candidate;
+        self.index = claimed_index;
+        Ok(trace)
+    }
 }
 
 #[cfg(test)]
@@ -298,7 +396,54 @@ mod tests {
         let chain = KeyChain::from_head(head, 5, Domain::F1);
         assert_eq!(*chain.key(5).unwrap(), head);
         assert_eq!(chain.len(), 5);
-        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn accept_recovering_returns_the_gap_segment() {
+        let chain = KeyChain::generate(b"s", 16, Domain::F);
+        let mut anchor = chain.anchor();
+        anchor.accept(chain.key(2).unwrap(), 2).unwrap();
+        // Disclosures 3..=6 lost; 7 arrives and recovers the segment.
+        let recovered = anchor.accept_recovering(chain.key(7).unwrap(), 7).unwrap();
+        assert_eq!(recovered.len(), 5);
+        for (j, key) in recovered.iter().enumerate() {
+            assert_eq!(key, chain.key(3 + j).unwrap(), "index {}", 3 + j);
+        }
+        assert_eq!(anchor.index(), 7);
+        assert_eq!(anchor.key(), chain.key(7).unwrap());
+    }
+
+    #[test]
+    fn accept_recovering_rejects_like_accept() {
+        let chain = KeyChain::generate(b"s", 16, Domain::F);
+        let mut anchor = chain.anchor();
+        let mut rng = SplitMix64::new(5);
+        assert_eq!(
+            anchor.accept_recovering(&Key::random(&mut rng), 3),
+            Err(ChainVerifyError::Mismatch)
+        );
+        anchor.accept(chain.key(4).unwrap(), 4).unwrap();
+        assert!(matches!(
+            anchor.accept_recovering(chain.key(4).unwrap(), 4),
+            Err(ChainVerifyError::NotAhead { .. })
+        ));
+        let bounded = anchor.clone().with_max_steps(2);
+        assert!(matches!(
+            bounded.clone().accept_recovering(chain.key(8).unwrap(), 8),
+            Err(ChainVerifyError::TooFarAhead { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_store_trait_matches_inherent_api() {
+        let chain = KeyChain::generate(b"s", 8, Domain::F);
+        let store: &dyn Fn(&KeyChain) -> usize = &|c| ChainStore::len(c);
+        assert_eq!(store(&chain), 8);
+        assert_eq!(ChainStore::commitment(&chain), *chain.commitment());
+        assert_eq!(ChainStore::key(&chain, 3), chain.key(3).copied());
+        assert_eq!(ChainStore::key(&chain, 9), None);
+        assert_eq!(ChainStore::domain(&chain), Domain::F);
+        assert_eq!(ChainStore::anchor(&chain), chain.anchor());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod hmac;
 pub mod keychain;
 pub mod mac;
 pub mod oneway;
+pub mod pebble;
 pub mod rng;
 pub mod sha256;
 pub mod sizes;
@@ -45,9 +46,11 @@ pub mod sizes;
 mod error;
 
 pub use error::{ChainExhausted, ChainVerifyError};
-pub use keychain::{ChainAnchor, Key, KeyChain};
+pub use hmac::PreparedMacKey;
+pub use keychain::{ChainAnchor, ChainStore, Key, KeyChain};
 pub use mac::{Mac80, MicroMac};
 pub use oneway::Domain;
+pub use pebble::PebbledChain;
 pub use rng::{FillBytes, UniformF64};
 
 /// Constant-time equality over byte slices of equal length.

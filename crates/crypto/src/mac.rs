@@ -11,7 +11,7 @@
 //! Following the TESLA convention, the MAC key is not the chain key itself
 //! but `K'_i = F'(K_i)` — otherwise a MAC could leak chain structure.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::PreparedMacKey;
 use crate::keychain::Key;
 use crate::oneway::{one_way, Domain};
 
@@ -118,8 +118,21 @@ impl AsRef<[u8]> for MicroMac {
 /// ```
 #[must_use]
 pub fn mac80(chain_key: &Key, message: &[u8]) -> Mac80 {
+    mac80_prepared(&prepare_chain_key(chain_key), message)
+}
+
+/// Runs the F′ derivation and HMAC key schedule for `chain_key` once,
+/// for senders/receivers MACing several messages under one interval key.
+#[must_use]
+pub fn prepare_chain_key(chain_key: &Key) -> PreparedMacKey {
     let mac_key = one_way(Domain::MacKey, chain_key);
-    let tag = hmac_sha256(mac_key.as_bytes(), message);
+    PreparedMacKey::new(mac_key.as_bytes())
+}
+
+/// [`mac80`] with the `K'_i = F'(K_i)` key schedule already cached.
+#[must_use]
+pub fn mac80_prepared(prepared: &PreparedMacKey, message: &[u8]) -> Mac80 {
+    let tag = prepared.mac(message);
     Mac80::from_slice(&tag[..Mac80::LEN]).expect("digest longer than tag")
 }
 
@@ -127,9 +140,25 @@ pub fn mac80(chain_key: &Key, message: &[u8]) -> Mac80 {
 ///
 /// `K_recv` never leaves the receiver, so an attacker flooding the channel
 /// cannot target collisions in the stored digests.
+///
+/// `K_recv` is also long-lived: receivers on the announce hot path should
+/// prepare it once ([`prepare_receiver_key`]) and call
+/// [`micro_mac_prepared`], halving the per-announce compression count.
 #[must_use]
 pub fn micro_mac(receiver_key: &Key, mac: &Mac80) -> MicroMac {
-    let tag = hmac_sha256(receiver_key.as_bytes(), mac.as_bytes());
+    micro_mac_prepared(&prepare_receiver_key(receiver_key), mac)
+}
+
+/// Caches the HMAC key schedule for a receiver-local secret `K_recv`.
+#[must_use]
+pub fn prepare_receiver_key(receiver_key: &Key) -> PreparedMacKey {
+    PreparedMacKey::new(receiver_key.as_bytes())
+}
+
+/// [`micro_mac`] with `K_recv`'s key schedule already cached.
+#[must_use]
+pub fn micro_mac_prepared(prepared: &PreparedMacKey, mac: &Mac80) -> MicroMac {
+    let tag = prepared.mac(mac.as_bytes());
     MicroMac::from_slice(&tag[..MicroMac::LEN]).expect("digest longer than tag")
 }
 
@@ -137,6 +166,12 @@ pub fn micro_mac(receiver_key: &Key, mac: &Mac80) -> MicroMac {
 #[must_use]
 pub fn verify_mac80(chain_key: &Key, message: &[u8], tag: &Mac80) -> bool {
     crate::ct_eq(mac80(chain_key, message).as_bytes(), tag.as_bytes())
+}
+
+/// [`verify_mac80`] with the chain key prepared via [`prepare_chain_key`].
+#[must_use]
+pub fn verify_mac80_prepared(prepared: &PreparedMacKey, message: &[u8], tag: &Mac80) -> bool {
+    crate::ct_eq(mac80_prepared(prepared, message).as_bytes(), tag.as_bytes())
 }
 
 #[cfg(test)]
@@ -162,9 +197,27 @@ mod tests {
         // MAC under K must differ from HMAC keyed directly with K:
         // the F' derivation is load-bearing.
         let k = key(3);
-        let direct = hmac_sha256(k.as_bytes(), b"m");
+        let direct = crate::hmac::hmac_sha256(k.as_bytes(), b"m");
         let tag = mac80(&k, b"m");
         assert_ne!(&direct[..Mac80::LEN], tag.as_bytes());
+    }
+
+    #[test]
+    fn prepared_paths_match_oneshot() {
+        let k = key(7);
+        let prepared = prepare_chain_key(&k);
+        for msg in [&b""[..], b"m", &[0xddu8; 200]] {
+            let tag = mac80(&k, msg);
+            assert_eq!(mac80_prepared(&prepared, msg), tag);
+            assert!(verify_mac80_prepared(&prepared, msg, &tag));
+        }
+        let recv = key(9);
+        let prepared_recv = prepare_receiver_key(&recv);
+        let tag = mac80(&k, b"m");
+        assert_eq!(
+            micro_mac_prepared(&prepared_recv, &tag),
+            micro_mac(&recv, &tag)
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! the standard-model heuristic sense: an image under one domain reveals
 //! nothing about images under another.
 
-use crate::hmac::hmac_sha256;
+use std::sync::OnceLock;
+
+use crate::hmac::PreparedMacKey;
 use crate::keychain::Key;
 
 /// Identifies which of the paper's one-way functions is being applied.
@@ -66,6 +68,29 @@ impl Domain {
             Domain::CdmCommit,
         ]
     }
+
+    const fn index(self) -> usize {
+        match self {
+            Domain::F => 0,
+            Domain::MacKey => 1,
+            Domain::F0 => 2,
+            Domain::F1 => 3,
+            Domain::F01 => 4,
+            Domain::CdmCommit => 5,
+        }
+    }
+
+    /// The cached HMAC key schedule for this domain's label.
+    ///
+    /// The labels are compile-time constants, so their ipad/opad
+    /// midstates are computed once per process (lazily, on first use)
+    /// and shared by every chain step — cutting [`one_way`] from four
+    /// SHA-256 compressions to two.
+    #[must_use]
+    pub fn prepared(self) -> &'static PreparedMacKey {
+        static CACHE: OnceLock<[PreparedMacKey; 6]> = OnceLock::new();
+        &CACHE.get_or_init(|| Domain::all().map(|d| PreparedMacKey::new(d.label())))[self.index()]
+    }
 }
 
 impl std::fmt::Display for Domain {
@@ -90,7 +115,7 @@ impl std::fmt::Display for Domain {
 /// `K_i`" holds under standard assumptions.
 #[must_use]
 pub fn one_way(domain: Domain, key: &Key) -> Key {
-    let tag = hmac_sha256(domain.label(), key.as_bytes());
+    let tag = domain.prepared().mac(key.as_bytes());
     Key::from_slice(&tag[..Key::LEN]).expect("digest longer than key")
 }
 
@@ -100,11 +125,35 @@ pub fn one_way(domain: Domain, key: &Key) -> Key {
 /// lost key disclosures: `K_i = F^j(K_{i+j})`.
 #[must_use]
 pub fn one_way_iter(domain: Domain, key: &Key, steps: usize) -> Key {
+    let prepared = domain.prepared();
     let mut k = *key;
     for _ in 0..steps {
-        k = one_way(domain, &k);
+        let tag = prepared.mac(k.as_bytes());
+        k = Key::from_slice(&tag[..Key::LEN]).expect("digest longer than key");
     }
     k
+}
+
+/// Like [`one_way_iter`], but collects every intermediate image:
+/// element `t` of the result is `F^{t+1}(key)`, so the last element
+/// equals `one_way_iter(domain, key, steps)`.
+///
+/// Receivers recovering a hash-chain segment after a blackout walk the
+/// same keys twice when they only keep the endpoint — once to verify the
+/// disclosure, again for every duplicate reveal inside the gap. The
+/// trace hands back the whole segment so callers can cache it (see
+/// `ChainAnchor::accept_recovering`).
+#[must_use]
+pub fn one_way_trace(domain: Domain, key: &Key, steps: usize) -> Vec<Key> {
+    let prepared = domain.prepared();
+    let mut out = Vec::with_capacity(steps);
+    let mut k = *key;
+    for _ in 0..steps {
+        let tag = prepared.mac(k.as_bytes());
+        k = Key::from_slice(&tag[..Key::LEN]).expect("digest longer than key");
+        out.push(k);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -148,6 +197,32 @@ mod tests {
         let two = one_way(Domain::F, &one_way(Domain::F, &start));
         assert_eq!(one_way_iter(Domain::F, &start, 2), two);
         assert_eq!(one_way_iter(Domain::F, &start, 0), start);
+    }
+
+    #[test]
+    fn one_way_matches_unprepared_hmac_reference() {
+        // The midstate cache must be a pure optimisation: every domain's
+        // one_way equals HMAC-SHA-256(label, key) truncated.
+        let key = k(0x42);
+        for domain in Domain::all() {
+            let reference = crate::hmac::hmac_sha256(domain.label(), key.as_bytes());
+            assert_eq!(
+                one_way(domain, &key).as_bytes(),
+                &reference[..Key::LEN],
+                "domain {domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_matches_iter_at_every_step() {
+        let start = k(9);
+        let trace = one_way_trace(Domain::F, &start, 12);
+        assert_eq!(trace.len(), 12);
+        for (t, key) in trace.iter().enumerate() {
+            assert_eq!(*key, one_way_iter(Domain::F, &start, t + 1));
+        }
+        assert!(one_way_trace(Domain::F, &start, 0).is_empty());
     }
 
     #[test]

@@ -10,6 +10,10 @@ pub const DIGEST_LEN: usize = 32;
 /// Internal block size in bytes (512 bits).
 pub const BLOCK_LEN: usize = 64;
 
+/// The FIPS 180-4 initial hash state (`H(0)`), exposed so midstate
+/// caches can restart compression from the canonical origin.
+pub const INITIAL_STATE: [u32; 8] = H0;
+
 const H0: [u32; 8] = [
     0x6a09_e667,
     0xbb67_ae85,
@@ -198,7 +202,43 @@ impl Sha256 {
         self.length = saved;
     }
 
-    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+    /// Resumes hashing from a compressed `state` captured at a 64-byte
+    /// block boundary, with `bytes_processed` bytes already absorbed.
+    ///
+    /// This is the streaming entry point for midstate caching: a keyed
+    /// prefix (e.g. an HMAC pad block) is compressed once, and every
+    /// subsequent message restarts from the cached state instead of
+    /// re-hashing the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_processed` is not a multiple of [`BLOCK_LEN`]
+    /// (mid-block states are not capturable).
+    #[must_use]
+    pub fn from_midstate(state: [u32; 8], bytes_processed: u64) -> Self {
+        assert!(
+            bytes_processed.is_multiple_of(BLOCK_LEN as u64),
+            "midstates exist only at block boundaries"
+        );
+        Self {
+            state,
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+            length: bytes_processed,
+        }
+    }
+
+    /// The current compressed state, or `None` when input is buffered
+    /// mid-block (a midstate only exists at 64-byte boundaries).
+    #[must_use]
+    pub fn midstate(&self) -> Option<[u32; 8]> {
+        (self.buffered == 0).then_some(self.state)
+    }
+
+    /// Applies the SHA-256 compression function to `state` for one
+    /// 64-byte `block` — the pure fast path behind midstate caching.
+    #[must_use]
+    pub fn compress_from(state: &[u32; 8], block: &[u8; BLOCK_LEN]) -> [u32; 8] {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -212,7 +252,7 @@ impl Sha256 {
                 .wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for t in 0..64 {
             let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -234,15 +274,68 @@ impl Sha256 {
             a = t1.wrapping_add(t2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        [
+            state[0].wrapping_add(a),
+            state[1].wrapping_add(b),
+            state[2].wrapping_add(c),
+            state[3].wrapping_add(d),
+            state[4].wrapping_add(e),
+            state[5].wrapping_add(f),
+            state[6].wrapping_add(g),
+            state[7].wrapping_add(h),
+        ]
     }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        self.state = Self::compress_from(&self.state, block);
+    }
+}
+
+/// One-shot digest resuming from a cached midstate: hashes the message
+/// `prefix ‖ tail` where `prefix` is the (already compressed) first
+/// `prior_bytes` bytes whose state is `state`.
+///
+/// Unlike the incremental [`Sha256`], this path never copies through the
+/// 64-byte staging buffer: whole blocks compress straight from `tail`,
+/// and the final one or two padded blocks are assembled on the stack.
+/// For the hot MAC shapes in this workspace (`tail` ≤ 55 bytes) that is
+/// exactly **one** compression call.
+///
+/// # Panics
+///
+/// Panics if `prior_bytes` is not a multiple of [`BLOCK_LEN`].
+#[must_use]
+pub fn digest_from_midstate(state: &[u32; 8], prior_bytes: u64, tail: &[u8]) -> [u8; DIGEST_LEN] {
+    assert!(
+        prior_bytes.is_multiple_of(BLOCK_LEN as u64),
+        "midstates exist only at block boundaries"
+    );
+    let mut st = *state;
+    let mut chunks = tail.chunks_exact(BLOCK_LEN);
+    for block in &mut chunks {
+        st = Sha256::compress_from(&st, block.try_into().expect("exact chunk"));
+    }
+    let rest = chunks.remainder();
+
+    let bit_len = prior_bytes.wrapping_add(tail.len() as u64).wrapping_mul(8);
+    let mut block = [0u8; BLOCK_LEN];
+    block[..rest.len()].copy_from_slice(rest);
+    block[rest.len()] = 0x80;
+    if rest.len() < 56 {
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        st = Sha256::compress_from(&st, &block);
+    } else {
+        st = Sha256::compress_from(&st, &block);
+        let mut last = [0u8; BLOCK_LEN];
+        last[56..].copy_from_slice(&bit_len.to_be_bytes());
+        st = Sha256::compress_from(&st, &last);
+    }
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(st.iter()) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
 }
 
 /// One-shot SHA-256 of `data`.
@@ -342,5 +435,70 @@ mod tests {
     fn debug_is_nonempty() {
         let h = Sha256::new();
         assert!(!format!("{h:?}").is_empty());
+    }
+
+    #[test]
+    fn digest_from_midstate_matches_incremental_at_every_tail_length() {
+        // Prefix = one full block; tails cross both padding regimes
+        // (< 56 → one final block, ≥ 56 → two) and whole-block runs.
+        let prefix = [0x36u8; BLOCK_LEN];
+        let mid = {
+            let mut h = Sha256::new();
+            h.update(&prefix);
+            h.midstate().expect("block boundary")
+        };
+        for tail_len in 0..200usize {
+            let tail: Vec<u8> = (0..tail_len).map(|i| (i % 251) as u8).collect();
+            let fast = digest_from_midstate(&mid, BLOCK_LEN as u64, &tail);
+            let mut slow = Sha256::new();
+            slow.update(&prefix);
+            slow.update(&tail);
+            assert_eq!(fast, slow.finalize(), "tail_len {tail_len}");
+        }
+    }
+
+    #[test]
+    fn digest_from_midstate_from_origin_equals_digest() {
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 200] {
+            let data = vec![0x5cu8; len];
+            assert_eq!(
+                digest_from_midstate(&INITIAL_STATE, 0, &data),
+                digest(&data),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_midstate_resumes_streaming() {
+        let mut a = Sha256::new();
+        a.update(&[7u8; 64]);
+        let mid = a.midstate().unwrap();
+        let mut b = Sha256::from_midstate(mid, 64);
+        a.update(b"suffix");
+        b.update(b"suffix");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn midstate_is_none_mid_block() {
+        let mut h = Sha256::new();
+        h.update(b"partial");
+        assert!(h.midstate().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundaries")]
+    fn from_midstate_rejects_unaligned_length() {
+        let _ = Sha256::from_midstate(INITIAL_STATE, 10);
+    }
+
+    #[test]
+    fn compress_from_is_pure() {
+        let block = [0xabu8; BLOCK_LEN];
+        let a = Sha256::compress_from(&INITIAL_STATE, &block);
+        let b = Sha256::compress_from(&INITIAL_STATE, &block);
+        assert_eq!(a, b);
+        assert_ne!(a, INITIAL_STATE);
     }
 }

@@ -1,9 +1,9 @@
 //! Property-based tests for the crypto substrate, on the in-tree
 //! `dap-testkit` harness (deterministic, seeded, shrinking).
 
-use dap_crypto::oneway::one_way_iter;
+use dap_crypto::oneway::{one_way_iter, one_way_trace};
 use dap_crypto::sha256::Sha256;
-use dap_crypto::{ct_eq, Domain, Key, KeyChain};
+use dap_crypto::{ct_eq, ChainStore, Domain, Key, KeyChain, PebbledChain, PreparedMacKey};
 use dap_testkit::{check, Gen, Strategy};
 
 fn arb_key() -> Strategy<Key> {
@@ -87,6 +87,54 @@ fn chain_anchor_rejects_random_keys() {
         dap_testkit::assume(&forged != chain.key(index as usize).unwrap());
         let anchor = chain.anchor();
         assert!(anchor.verify(&forged, index).is_err());
+    });
+}
+
+#[test]
+fn pebbled_chain_equals_dense_chain() {
+    // The pebbled store must be a pure memory/work trade-off: same seed,
+    // length and domain produce the same keys, commitment and anchor as
+    // the dense KeyChain, in any access order.
+    check("pebbled_chain_equals_dense_chain", |g| {
+        let seed = g.any_u64().to_le_bytes();
+        let len = g.usize_in(1..96);
+        let domain = arb_domain(g);
+        let dense = KeyChain::generate(&seed, len, domain);
+        let pebbled = PebbledChain::generate(&seed, len, domain);
+        assert_eq!(pebbled.commitment(), *dense.commitment());
+        assert_eq!(ChainStore::anchor(&pebbled), dense.anchor());
+        for _ in 0..12 {
+            let i = g.usize_in(0..len + 2);
+            assert_eq!(pebbled.key(i), dense.key(i).copied(), "index {i}");
+        }
+    });
+}
+
+#[test]
+fn prepared_mac_key_equals_oneshot_hmac() {
+    check("prepared_mac_key_equals_oneshot_hmac", |g| {
+        let key = g.bytes(0..96);
+        let prepared = PreparedMacKey::new(&key);
+        for _ in 0..4 {
+            let msg = g.bytes(0..200);
+            assert_eq!(
+                prepared.mac(&msg),
+                dap_crypto::hmac::hmac_sha256(&key, &msg)
+            );
+        }
+    });
+}
+
+#[test]
+fn one_way_trace_ends_where_iter_ends() {
+    let key = arb_key();
+    check("one_way_trace_ends_where_iter_ends", move |g| {
+        let key = key.sample(g);
+        let domain = arb_domain(g);
+        let steps = g.usize_in(1..16);
+        let trace = one_way_trace(domain, &key, steps);
+        assert_eq!(trace.len(), steps);
+        assert_eq!(*trace.last().unwrap(), one_way_iter(domain, &key, steps));
     });
 }
 

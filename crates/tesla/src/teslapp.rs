@@ -19,10 +19,9 @@
 //! paper's comparison never touches it, so it is out of scope — see
 //! DESIGN.md §4.)
 
-use dap_crypto::hmac::hmac_sha256;
 use dap_crypto::mac::{mac80, Mac80};
 use dap_crypto::oneway::Domain;
-use dap_crypto::{ChainAnchor, ChainExhausted, Key, KeyChain};
+use dap_crypto::{ChainAnchor, ChainExhausted, Key, KeyChain, PreparedMacKey};
 use dap_simnet::SimTime;
 
 use crate::params::TeslaParams;
@@ -177,7 +176,9 @@ pub enum TeslaPpOutcome {
 pub struct TeslaPpReceiver {
     anchor: ChainAnchor,
     params: TeslaParams,
-    local_key: Key,
+    /// Receiver-local re-MAC secret, HMAC key schedule cached: the
+    /// announce flood path self-MACs every incoming tag under it.
+    local_key: PreparedMacKey,
     stored: Vec<(u64, Mac80)>,
     authenticated: Vec<(u64, Vec<u8>)>,
     expired: u64,
@@ -191,7 +192,7 @@ impl TeslaPpReceiver {
         Self {
             anchor: ChainAnchor::new(bootstrap.commitment, 0, Domain::F),
             params: bootstrap.params,
-            local_key: Key::derive(b"teslapp/local", local_seed),
+            local_key: PreparedMacKey::new(Key::derive(b"teslapp/local", local_seed).as_bytes()),
             stored: Vec::new(),
             authenticated: Vec::new(),
             expired: 0,
@@ -201,7 +202,7 @@ impl TeslaPpReceiver {
     /// The receiver's self-MAC: HMAC of the announced MAC under the local
     /// secret, truncated to 80 bits.
     fn self_mac(&self, mac: &Mac80) -> Mac80 {
-        let tag = hmac_sha256(self.local_key.as_bytes(), mac.as_bytes());
+        let tag = self.local_key.mac(mac.as_bytes());
         Mac80::from_slice(&tag[..Mac80::LEN]).expect("digest longer than tag")
     }
 
