@@ -23,4 +23,22 @@ DAP_BENCH_MS=5 cargo run --release --offline -p dap-bench --bin perf -- target
 echo "== sweep determinism (parallel vs sequential, default grid) =="
 cargo run --release --offline -p dap-bench --bin sweep -- 400 --check > /dev/null
 
+echo "== net soak (seeded loopback flood, sharded pool) =="
+# Flood at p = 0.9: --assert-soak checks no shed frames, no weak
+# rejects, balanced counters, and auth rate within tolerance of 1 - p^m.
+# Two same-seed runs must be byte-identical (multi-threaded pool,
+# deterministic by construction — see DESIGN.md §8).
+soak="cargo run --release --offline -q -p dap-net --bin dapd --"
+$soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
+    --flood 0.9 --copies 4 --assert-soak > target/net_soak_a.txt
+$soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
+    --flood 0.9 --copies 4 --assert-soak > target/net_soak_b.txt
+cmp target/net_soak_a.txt target/net_soak_b.txt
+# No adversary: 100% of genuine reveals must authenticate.
+$soak --loopback --seed 7 --intervals 100 --flood 0 --copies 1 \
+    --assert-soak > /dev/null
+
+echo "== netbench smoke (ingress throughput + verify latency) =="
+DAP_BENCH_MS=5 cargo run --release --offline -q -p dap-net --bin netbench -- target > /dev/null
+
 echo "ci.sh: all green"

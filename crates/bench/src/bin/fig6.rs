@@ -2,9 +2,71 @@
 //! (four panels, one per ESS regime) plus the full regime map.
 
 use dap_bench::fig6::{collapse_ranges, paper_panels, regime_map, P};
+use dap_bench::json::{self, JsonObject};
 use dap_bench::table;
 
+/// One JSON row: trajectory samples and the regime map share one array,
+/// told apart by a `kind` discriminator.
+enum Row {
+    Trajectory {
+        m: u32,
+        step: usize,
+        x: f64,
+        y: f64,
+        ess: String,
+    },
+    Regime {
+        m_from: u32,
+        m_to: u32,
+        ess: String,
+    },
+}
+
+fn emit_json() {
+    let mut rows = Vec::new();
+    for panel in paper_panels() {
+        let ess = panel.outcome.kind.to_string();
+        for s in &panel.samples {
+            rows.push(Row::Trajectory {
+                m: panel.m,
+                step: s.step,
+                x: s.x,
+                y: s.y,
+                ess: ess.clone(),
+            });
+        }
+    }
+    for (from, to, kind) in collapse_ranges(&regime_map(100)) {
+        rows.push(Row::Regime {
+            m_from: from,
+            m_to: to,
+            ess: kind.to_string(),
+        });
+    }
+    println!(
+        "{}",
+        json::array(&rows, |row| match row {
+            Row::Trajectory { m, step, x, y, ess } => JsonObject::new()
+                .str("kind", "trajectory")
+                .u64("m", u64::from(*m))
+                .u64("step", *step as u64)
+                .f64("x", *x)
+                .f64("y", *y)
+                .str("ess", ess),
+            Row::Regime { m_from, m_to, ess } => JsonObject::new()
+                .str("kind", "regime")
+                .u64("m_from", u64::from(*m_from))
+                .u64("m_to", u64::from(*m_to))
+                .str("ess", ess),
+        })
+    );
+}
+
 fn main() {
+    if json::json_requested() {
+        emit_json();
+        return;
+    }
     println!("Fig. 6 — evolution of (X, Y) from (0.5, 0.5)");
     println!("Settings: R_a = 200, k1 = 20, k2 = 4, p = x_a = {P}, Euler t = 0.01");
 

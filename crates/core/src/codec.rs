@@ -115,22 +115,43 @@ fn wire_index(index: u64) -> Result<u32, EncodeError> {
     u32::try_from(index).map_err(|_| EncodeError::IndexOverflow { index })
 }
 
+/// The largest encoded frame: a reveal with a maximal 16-bit message.
+pub const MAX_FRAME_LEN: usize = 1 + 4 + Key::LEN + 2 + u16::MAX as usize;
+
 /// Decodes a frame; total over arbitrary input.
 ///
 /// # Errors
 ///
 /// See [`DecodeError`].
 pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
+    let (message, used) = decode_prefix(bytes)?;
+    ensure_empty(&bytes[used..])?;
+    Ok(message)
+}
+
+/// Decodes one frame from the front of `bytes`, tolerating trailing
+/// data: returns the frame and how many bytes it consumed. This is the
+/// stream-reassembly entry point ([`FrameAssembler`] is built on it);
+/// [`decode`] adds the no-trailing-bytes check datagram transports want.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when the buffer ends mid-frame (more bytes
+/// may complete it), [`DecodeError::UnknownTag`] when the first byte is
+/// not a frame tag. Never [`DecodeError::TrailingBytes`].
+pub fn decode_prefix(bytes: &[u8]) -> Result<(DapMessage, usize), DecodeError> {
     let (&tag, rest) = bytes.split_first().ok_or(DecodeError::Truncated)?;
     match tag {
         TAG_ANNOUNCE => {
             let (index, rest) = take_u32(rest)?;
-            let (mac, rest) = take_mac(rest)?;
-            ensure_empty(rest)?;
-            Ok(DapMessage::Announce(Announce {
-                index: u64::from(index),
-                mac,
-            }))
+            let (mac, _) = take_mac(rest)?;
+            Ok((
+                DapMessage::Announce(Announce {
+                    index: u64::from(index),
+                    mac,
+                }),
+                1 + 4 + Mac80::LEN,
+            ))
         }
         TAG_REVEAL => {
             let (index, rest) = take_u32(rest)?;
@@ -139,15 +160,122 @@ pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
             if rest.len() < usize::from(len) {
                 return Err(DecodeError::Truncated);
             }
-            let (message, rest) = rest.split_at(usize::from(len));
-            ensure_empty(rest)?;
-            Ok(DapMessage::Reveal(Reveal {
-                index: u64::from(index),
-                key,
-                message: message.to_vec(),
-            }))
+            let message = &rest[..usize::from(len)];
+            Ok((
+                DapMessage::Reveal(Reveal {
+                    index: u64::from(index),
+                    key,
+                    message: message.to_vec(),
+                }),
+                1 + 4 + Key::LEN + 2 + usize::from(len),
+            ))
         }
         other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+/// Reads the interval index of the frame at the front of `bytes`
+/// without decoding the rest — enough for a receiver pool to route a
+/// frame to its shard before any cryptographic work. `None` when the
+/// prefix is not a known tag followed by a full index field.
+#[must_use]
+pub fn peek_index(bytes: &[u8]) -> Option<u64> {
+    let (&tag, rest) = bytes.split_first()?;
+    if tag != TAG_ANNOUNCE && tag != TAG_REVEAL {
+        return None;
+    }
+    let (index, _) = take_u32(rest).ok()?;
+    Some(u64::from(index))
+}
+
+/// Reassembles frames from a byte stream that may split or concatenate
+/// them arbitrarily (TCP-style framing, or UDP datagrams carrying
+/// several frames back to back).
+///
+/// Feed bytes with [`push`](Self::push), then drain complete frames with
+/// [`next_frame`](Self::next_frame). Garbage resynchronises: an unknown
+/// tag byte is skipped (and counted in
+/// [`skipped_bytes`](Self::skipped_bytes)) until a decodable frame
+/// starts; a truncated prefix is kept until more bytes arrive. After a
+/// drain, at most [`MAX_FRAME_LEN`] bytes stay pending — a hostile
+/// stream cannot pin unbounded memory behind a forever-incomplete frame.
+///
+/// ```
+/// use dap_core::codec::{encode, FrameAssembler};
+/// use dap_core::{Announce, DapMessage};
+/// use dap_crypto::Mac80;
+///
+/// let frame = DapMessage::Announce(Announce {
+///     index: 9,
+///     mac: Mac80::from_slice(&[0x5a; 10]).unwrap(),
+/// });
+/// let bytes = encode(&frame).unwrap();
+/// let mut asm = FrameAssembler::new();
+/// asm.push(&bytes[..7]); // first half…
+/// assert!(asm.next_frame().is_none());
+/// asm.push(&bytes[7..]); // …second half
+/// assert_eq!(asm.next_frame(), Some(frame));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    skipped: u64,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, skipping garbage as needed.
+    /// `None` means the buffered bytes hold no complete frame yet.
+    pub fn next_frame(&mut self) -> Option<DapMessage> {
+        loop {
+            if self.buf.is_empty() {
+                return None;
+            }
+            match decode_prefix(&self.buf) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    return Some(frame);
+                }
+                Err(DecodeError::UnknownTag(_)) => {
+                    self.buf.drain(..1);
+                    self.skipped += 1;
+                }
+                Err(DecodeError::Truncated) => {
+                    if self.buf.len() > MAX_FRAME_LEN {
+                        // Cannot be a genuine half-frame: the longest
+                        // frame fits in MAX_FRAME_LEN. Shed and resync.
+                        self.buf.drain(..1);
+                        self.skipped += 1;
+                    } else {
+                        return None;
+                    }
+                }
+                // decode_prefix never reports trailing bytes.
+                Err(DecodeError::TrailingBytes { .. }) => unreachable!(),
+            }
+        }
+    }
+
+    /// Bytes discarded while resynchronising.
+    #[must_use]
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Bytes buffered awaiting the rest of a frame.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
     }
 }
 
@@ -289,6 +417,56 @@ mod tests {
     fn unknown_tag_rejected() {
         assert_eq!(decode(&[0x7f, 0, 0]), Err(DecodeError::UnknownTag(0x7f)));
         assert!(DecodeError::UnknownTag(0x7f).to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumed_bytes() {
+        let mut stream = encode(&sample_announce()).unwrap();
+        let reveal = encode(&sample_reveal()).unwrap();
+        stream.extend_from_slice(&reveal);
+        let (first, used) = decode_prefix(&stream).unwrap();
+        assert_eq!(first, sample_announce());
+        assert_eq!(used, 15);
+        let (second, used2) = decode_prefix(&stream[used..]).unwrap();
+        assert_eq!(second, sample_reveal());
+        assert_eq!(used + used2, stream.len());
+    }
+
+    #[test]
+    fn peek_index_reads_only_the_header() {
+        let ann = encode(&sample_announce()).unwrap();
+        assert_eq!(peek_index(&ann), Some(42));
+        // Enough for tag + index even if the rest is missing.
+        assert_eq!(peek_index(&ann[..5]), Some(42));
+        assert_eq!(peek_index(&ann[..4]), None);
+        assert_eq!(peek_index(&[0x7f, 0, 0, 0, 1]), None);
+        assert_eq!(peek_index(&[]), None);
+    }
+
+    #[test]
+    fn assembler_reassembles_split_frames() {
+        let frame = sample_reveal();
+        let bytes = encode(&frame).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes[..9]);
+        assert_eq!(asm.next_frame(), None);
+        assert_eq!(asm.pending_bytes(), 9);
+        asm.push(&bytes[9..]);
+        assert_eq!(asm.next_frame(), Some(frame));
+        assert_eq!(asm.next_frame(), None);
+        assert_eq!(asm.skipped_bytes(), 0);
+        assert_eq!(asm.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn assembler_resynchronises_past_garbage() {
+        let frame = sample_announce();
+        let mut stream = vec![0xffu8; 7]; // no byte of this aliases a tag
+        stream.extend_from_slice(&encode(&frame).unwrap());
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream);
+        assert_eq!(asm.next_frame(), Some(frame));
+        assert_eq!(asm.skipped_bytes(), 7);
     }
 
     #[test]

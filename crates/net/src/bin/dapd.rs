@@ -1,0 +1,265 @@
+//! `dapd` — DAP on a wire.
+//!
+//! One binary, four modes:
+//!
+//! ```text
+//! # Deterministic in-process campaign (the ci.sh soak gate):
+//! dapd --loopback [--seed N] [--intervals N] [--buffers M] [--shards S]
+//!      [--queue-depth Q] [--flood P] [--copies G] [--loss L] [--corrupt C]
+//!      [--tolerance T] [--assert-soak]
+//!
+//! # Real UDP, three roles (run in separate terminals):
+//! dapd --role receiver --bind 127.0.0.1:7440 [--seed N] [--intervals N]
+//!      [--buffers M] [--shards S] [--queue-depth Q] [--duration-ms T]
+//!      [--tick-us U]
+//! dapd --role sender   --target 127.0.0.1:7440 [--seed N] [--intervals N]
+//!      [--copies G] [--tick-us U]
+//! dapd --role flooder  --target 127.0.0.1:7440 [--flood P] [--rate FPS]
+//!      [--duration-ms T] [--seed N] [--tick-us U]
+//! ```
+//!
+//! `--seed` and `--intervals` together stand in for the out-of-band
+//! bootstrap a real deployment would provision: the receiver re-derives
+//! the sender's chain (same seed, same length — the commitment is the
+//! chain's end) instead of being handed the commitment. One tick is
+//! `--tick-us` microseconds (default 1000 — 100 ms intervals).
+
+use std::time::{Duration, Instant};
+
+use dap_core::{DapParams, DapSender};
+use dap_net::clock::{NetClock, RealClock};
+use dap_net::loopback::{run_loopback, LoopbackSpec};
+use dap_net::opts::Opts;
+use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, ReceiverPool};
+use dap_net::pump::{Flooder, SenderPump};
+use dap_net::transport::{Transport, UdpTransport};
+use dap_simnet::SimDuration;
+
+const FLAGS: &[&str] = &["loopback", "assert-soak"];
+
+fn main() {
+    let opts = Opts::parse(FLAGS);
+    if opts.flag("loopback") {
+        run_loopback_mode(&opts);
+        return;
+    }
+    match opts.get("role") {
+        Some("sender") => run_sender(&opts),
+        Some("receiver") => run_receiver(&opts),
+        Some("flooder") => run_flooder(&opts),
+        Some(other) => panic!("unknown --role {other:?} (sender | receiver | flooder)"),
+        None => panic!("need --loopback or --role sender|receiver|flooder"),
+    }
+}
+
+/// Shared protocol parameters for the UDP roles: 100-tick intervals,
+/// `d = 1`, a generous Δ (wall clocks on two processes are loose), `m`
+/// buffers.
+fn udp_params(buffers: usize) -> DapParams {
+    DapParams::new(SimDuration(100), 1, 30, buffers)
+}
+
+fn run_loopback_mode(opts: &Opts) {
+    let spec = LoopbackSpec {
+        seed: opts.get_or("seed", 2016),
+        intervals: opts.get_or("intervals", 400),
+        buffers: opts.get_or("buffers", 4),
+        shards: opts.get_or("shards", 4),
+        queue_depth: opts.get_or("queue-depth", 256),
+        flood: opts.get_or("flood", 0.9),
+        copies: opts.get_or("copies", 4),
+        loss: opts.get_or("loss", 0.0),
+        corrupt: opts.get_or("corrupt", 0.0),
+    };
+    println!(
+        "dapd --loopback seed={} intervals={} m={} shards={} p={} copies={} loss={} corrupt={}",
+        spec.seed,
+        spec.intervals,
+        spec.buffers,
+        spec.shards,
+        spec.flood,
+        spec.copies,
+        spec.loss,
+        spec.corrupt
+    );
+    let report = run_loopback(&spec);
+    print!("{}", report.metrics.render());
+    println!(
+        "auth_rate {:.4}   expected {:.4}   (1 - p^m)",
+        report.auth_rate, report.expected_rate
+    );
+    if opts.flag("assert-soak") {
+        assert_soak(&spec, &report, opts.get_or("tolerance", 0.08));
+        println!("soak: ok");
+    }
+}
+
+/// The soak invariants the ci.sh gate relies on. Only meaningful on a
+/// clean wire (`loss = corrupt = 0`): every reveal then arrives, and
+/// the *only* way a genuine reveal fails is reservoir eviction by the
+/// flood — which is precisely the `1 − p^m` experiment.
+fn assert_soak(spec: &LoopbackSpec, report: &dap_net::loopback::LoopbackReport, tolerance: f64) {
+    assert!(
+        spec.loss == 0.0 && spec.corrupt == 0.0,
+        "--assert-soak needs a clean wire (loss = corrupt = 0)"
+    );
+    let m = &report.metrics;
+    // Nothing on a clean wire may be dropped, garbled or forged-key'd.
+    assert_eq!(
+        m.get("net.ingress.dropped"),
+        0,
+        "backpressure run shed frames"
+    );
+    assert_eq!(
+        m.get("net.decode.errors"),
+        0,
+        "clean wire had decode errors"
+    );
+    assert_eq!(m.get("net.reveal.weak_rejected"), 0, "genuine key rejected");
+    assert_eq!(
+        m.get("net.reveal.no_candidate"),
+        0,
+        "pool vanished on clean wire"
+    );
+    // Every interval's reveal arrived and was decided one way:
+    assert_eq!(m.get("net.reveal.total"), spec.intervals, "reveals lost");
+    assert_eq!(
+        m.get("net.reveal.auth") + m.get("net.reveal.strong_rejected"),
+        m.get("net.reveal.total"),
+        "reveal outcomes do not balance"
+    );
+    if spec.flood == 0.0 {
+        // No adversary: 100% of genuine reveals must authenticate.
+        assert_eq!(
+            m.get("net.reveal.auth"),
+            m.get("net.reveal.total"),
+            "clean run failed to authenticate everything"
+        );
+    } else {
+        // Under flood: the buffer-hit rate tracks the paper's 1 − p^m.
+        let gap = (report.auth_rate - report.expected_rate).abs();
+        assert!(
+            gap <= tolerance,
+            "auth rate {:.4} vs expected {:.4}: gap {gap:.4} > tolerance {tolerance}",
+            report.auth_rate,
+            report.expected_rate
+        );
+    }
+}
+
+fn run_sender(opts: &Opts) {
+    let seed: u64 = opts.get_or("seed", 2016);
+    let intervals: u64 = opts.get_or("intervals", 60);
+    let copies: u32 = opts.get_or("copies", 2);
+    let tick_us: u64 = opts.get_or("tick-us", 1000);
+    let target = opts.get("target").expect("sender needs --target host:port");
+    let bind = opts.get("bind").unwrap_or("127.0.0.1:0");
+
+    let chain_len = usize::try_from(intervals).expect("interval count") + 2;
+    let sender = DapSender::new(&seed.to_be_bytes(), chain_len, udp_params(8));
+    let transport = UdpTransport::sender(bind, target).expect("bind sender socket");
+    let clock = RealClock::new(Duration::from_micros(tick_us));
+    println!(
+        "dapd sender -> {target}: {intervals} intervals x {copies} copies, seed {seed}, \
+         {tick_us}us ticks"
+    );
+    let mut pump = SenderPump::new(sender, transport, clock, copies);
+    let stats = pump
+        .run(intervals, |i| format!("reading {i}").into_bytes())
+        .expect("send failed");
+    println!(
+        "sender done: {} announces, {} reveals, {} exhausted",
+        stats.announces, stats.reveals, stats.exhausted
+    );
+}
+
+fn run_receiver(opts: &Opts) {
+    let seed: u64 = opts.get_or("seed", 2016);
+    let intervals: u64 = opts.get_or("intervals", 60);
+    let buffers: usize = opts.get_or("buffers", 8);
+    let shards: usize = opts.get_or("shards", 4);
+    let queue_depth: usize = opts.get_or("queue-depth", 1024);
+    let duration_ms: u64 = opts.get_or("duration-ms", 10_000);
+    let tick_us: u64 = opts.get_or("tick-us", 1000);
+    let bind = opts.get("bind").expect("receiver needs --bind host:port");
+
+    // Derive the sender's commitment from the shared seed (the demo's
+    // stand-in for out-of-band bootstrap). The chain commitment is the
+    // *end* of the chain, so both sides must agree on `--intervals` too
+    // — a different chain length is a different commitment.
+    let chain_len = usize::try_from(intervals).expect("interval count") + 2;
+    let bootstrap = DapSender::new(&seed.to_be_bytes(), chain_len, udp_params(buffers)).bootstrap();
+    let mut transport =
+        UdpTransport::receiver(bind, Duration::from_millis(20)).expect("bind receiver socket");
+    let pool = ReceiverPool::spawn(
+        PoolConfig {
+            shards,
+            queue_depth,
+            overflow: OverflowPolicy::DropCount,
+        },
+        seed,
+        |shard| DapShard::new(bootstrap, &[b'u', b'd', b'p', shard as u8]),
+    );
+    let handle = pool.handle();
+    println!(
+        "dapd receiver on {bind}: m={buffers} shards={shards} depth={queue_depth}, \
+         listening {duration_ms}ms"
+    );
+    let deadline = Instant::now() + Duration::from_millis(duration_ms);
+    let schedule = udp_params(buffers).schedule();
+    // The two processes share no epoch: anchor the receiver's clock on
+    // the interval the first frame claims (loose sync by first contact).
+    let mut clock: Option<RealClock> = None;
+    let mut buf = vec![0u8; dap_core::codec::MAX_FRAME_LEN];
+    while Instant::now() < deadline {
+        match transport.recv(&mut buf) {
+            Ok(Some(n)) => {
+                let at = clock
+                    .get_or_insert_with(|| {
+                        let index = dap_core::codec::peek_index(&buf[..n]).unwrap_or(1);
+                        RealClock::anchored_at(
+                            Duration::from_micros(tick_us),
+                            schedule.start_of(index),
+                        )
+                    })
+                    .now();
+                handle.ingest(&buf[..n], at);
+            }
+            Ok(None) => {}
+            Err(e) => panic!("receiver socket error: {e}"),
+        }
+    }
+    let metrics = pool.shutdown();
+    print!("{}", metrics.render());
+    let auth = metrics.get("net.reveal.auth");
+    let total = metrics.get("net.reveal.total");
+    println!("receiver done: {auth}/{total} reveals authenticated");
+}
+
+fn run_flooder(opts: &Opts) {
+    let seed: u64 = opts.get_or("seed", 666);
+    let p: f64 = opts.get_or("flood", 0.9);
+    let rate: u64 = opts.get_or("rate", 2000);
+    let duration_ms: u64 = opts.get_or("duration-ms", 10_000);
+    let tick_us: u64 = opts.get_or("tick-us", 1000);
+    let target = opts
+        .get("target")
+        .expect("flooder needs --target host:port");
+
+    let transport = UdpTransport::sender("127.0.0.1:0", target).expect("bind flooder socket");
+    let clock = RealClock::new(Duration::from_micros(tick_us));
+    let schedule = udp_params(8).schedule();
+    let mut flooder = Flooder::new(transport, seed, p);
+    println!("dapd flooder -> {target}: p={p} ({rate} forged/s for {duration_ms}ms, seed {seed})");
+    let deadline = Instant::now() + Duration::from_millis(duration_ms);
+    // Send in 10ms batches so the claimed interval index stays current.
+    let batch = (rate / 100).max(1);
+    let mut sent = 0u64;
+    while Instant::now() < deadline {
+        sent += flooder
+            .flood_current(&clock, &schedule, batch)
+            .expect("flood send failed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("flooder done: {sent} forged announces");
+}

@@ -1,0 +1,241 @@
+//! Wire-runtime benchmarks: ingress throughput through the sharded
+//! pool and per-frame verify latency for DAP and TESLA++ behind the
+//! same codec.
+//!
+//! Usage: `cargo run --release -p dap-net --bin netbench [out_dir]`
+//!
+//! Writes `BENCH_net.json` into `out_dir` (default: current directory)
+//! and prints the same numbers to stdout. `DAP_BENCH_MS` scales the
+//! measurement budget (default 100 ms) — `DAP_BENCH_MS=5` is the CI
+//! smoke shape.
+
+use std::time::Instant;
+
+use dap_bench::json::{array, JsonObject};
+use dap_bench::timer::measure;
+use dap_core::{codec, DapMessage, DapParams, DapSender};
+use dap_net::loopback::{run_loopback, LoopbackSpec};
+use dap_net::pool::{DapShard, FrameVerifier, LiveCounters, TeslaPpShard};
+use dap_simnet::{Metrics, SimDuration, SimRng, SimTime};
+use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpSender};
+use dap_tesla::TeslaParams;
+
+fn budget_ms() -> u64 {
+    std::env::var("DAP_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+struct Lane {
+    name: &'static str,
+    /// Mean nanoseconds spent per frame.
+    ns_per_frame: u64,
+    /// The same number as a rate.
+    frames_per_sec: f64,
+    /// Frames behind the measurement (1 for `measure`-style lanes).
+    frames: u64,
+}
+
+impl Lane {
+    fn from_ns(name: &'static str, ns: u64) -> Self {
+        Self {
+            name,
+            ns_per_frame: ns,
+            frames_per_sec: 1e9 / ns.max(1) as f64,
+            frames: 1,
+        }
+    }
+
+    fn from_batch(name: &'static str, frames: u64, elapsed_ns: u128) -> Self {
+        let ns = (elapsed_ns / u128::from(frames.max(1))).max(1) as u64;
+        Self {
+            name,
+            ns_per_frame: ns,
+            frames_per_sec: 1e9 / ns as f64,
+            frames,
+        }
+    }
+}
+
+/// End-to-end frames/sec through encode → transport → shard routing →
+/// bounded queues → decode → verify, on the seeded loopback campaign.
+fn bench_ingest() -> Lane {
+    let spec = LoopbackSpec {
+        // ~10 intervals per budget millisecond keeps the smoke run fast
+        // and the full run statistically meaningful.
+        intervals: (budget_ms() * 10).clamp(40, 4000),
+        ..LoopbackSpec::default()
+    };
+    let t0 = Instant::now();
+    let report = run_loopback(&spec);
+    Lane::from_batch("loopback_ingest", report.frames, t0.elapsed().as_nanos())
+}
+
+/// The interval grid both verify lanes use: `d = 1`, synchronised.
+fn bench_params() -> DapParams {
+    DapParams::new(SimDuration(100), 1, 0, 8)
+}
+
+fn during(i: u64) -> SimTime {
+    SimTime((i - 1) * 100 + 10)
+}
+
+/// DAP verify latency. The flood lane hammers one announce over and
+/// over — the reservoir bounds state at `m`, so that is a stationary
+/// measurement of the attack's per-frame cost. The announce and reveal
+/// lanes interleave over fresh intervals (the receiver GCs pools more
+/// than d + 2 intervals old — that bound is the point of the protocol)
+/// with only the measured call inside the timer.
+fn bench_dap_verify() -> (Lane, Lane, Lane) {
+    const REVEALS: u64 = 2048;
+    let chain = usize::try_from(REVEALS).expect("fits") + 4;
+    let mut sender = DapSender::new(b"netbench/dap", chain, bench_params());
+    let mut shard = DapShard::new(sender.bootstrap(), b"netbench");
+    let mut rng = SimRng::new(7);
+    let mut metrics = Metrics::new();
+    let live = LiveCounters::default();
+
+    let flood_frame = DapMessage::Announce(
+        sender
+            .announce(1, b"hot-path reading")
+            .expect("fresh chain"),
+    );
+    let flood_ns = measure(|| {
+        shard.on_frame(&flood_frame, during(1), &mut rng, &mut metrics, &live);
+    });
+
+    let mut announce_elapsed: u128 = 0;
+    let mut reveal_elapsed: u128 = 0;
+    for i in 2..2 + REVEALS {
+        let frame = DapMessage::Announce(sender.announce(i, b"batched reading").expect("chain"));
+        let t0 = Instant::now();
+        shard.on_frame(&frame, during(i), &mut rng, &mut metrics, &live);
+        announce_elapsed += t0.elapsed().as_nanos();
+
+        let frame = DapMessage::Reveal(sender.reveal(i).expect("announced"));
+        let t0 = Instant::now();
+        shard.on_frame(&frame, during(i + 1), &mut rng, &mut metrics, &live);
+        reveal_elapsed += t0.elapsed().as_nanos();
+    }
+    assert_eq!(
+        metrics.get("net.reveal.auth"),
+        REVEALS,
+        "bench reveals must authenticate for the timing to mean anything"
+    );
+    (
+        Lane::from_ns("dap_flood_announce", flood_ns),
+        Lane::from_batch("dap_announce_verify", REVEALS, announce_elapsed),
+        Lane::from_batch("dap_reveal_verify", REVEALS, reveal_elapsed),
+    )
+}
+
+/// TESLA++ over the identical byte stream (converted frames), as the
+/// comparison baseline. No stationary flood lane here: TESLA++ stores
+/// *every* safe announcement until its reveal window expires, so
+/// hammering one index only measures that list growing — which is
+/// TESLA++'s flood weakness, not a per-frame cost.
+fn bench_teslapp_verify() -> (Lane, Lane) {
+    const REVEALS: u64 = 2048;
+    let chain = usize::try_from(REVEALS).expect("fits") + 4;
+    let params = TeslaParams::new(SimDuration(100), 1, 0);
+    let mut sender = TeslaPpSender::new(b"netbench/tpp", chain, params);
+    let mut shard = TeslaPpShard::new(sender.bootstrap(), b"netbench");
+    let mut rng = SimRng::new(7);
+    let mut metrics = Metrics::new();
+    let live = LiveCounters::default();
+
+    let mut announce_elapsed: u128 = 0;
+    let mut reveal_elapsed: u128 = 0;
+    for i in 1..=REVEALS {
+        let TeslaPpMessage::MacAnnounce { index, mac } =
+            sender.announce(i, b"batched reading").expect("fresh chain")
+        else {
+            unreachable!("announce returns MacAnnounce")
+        };
+        let frame = DapMessage::Announce(dap_core::Announce { index, mac });
+        let t0 = Instant::now();
+        shard.on_frame(&frame, during(i), &mut rng, &mut metrics, &live);
+        announce_elapsed += t0.elapsed().as_nanos();
+
+        let TeslaPpMessage::Reveal {
+            index,
+            message,
+            key,
+        } = sender.reveal(i).expect("announced")
+        else {
+            unreachable!("reveal returns Reveal")
+        };
+        let frame = DapMessage::Reveal(dap_core::Reveal {
+            index,
+            message,
+            key,
+        });
+        let t0 = Instant::now();
+        shard.on_frame(&frame, during(i + 1), &mut rng, &mut metrics, &live);
+        reveal_elapsed += t0.elapsed().as_nanos();
+    }
+    assert_eq!(
+        metrics.get("net.reveal.auth"),
+        REVEALS,
+        "bench reveals must authenticate for the timing to mean anything"
+    );
+    (
+        Lane::from_batch("teslapp_announce_verify", REVEALS, announce_elapsed),
+        Lane::from_batch("teslapp_reveal_verify", REVEALS, reveal_elapsed),
+    )
+}
+
+/// Raw codec cost for context: encode + reassemble + decode one reveal.
+fn bench_codec() -> Lane {
+    let params = bench_params();
+    let mut sender = DapSender::new(b"netbench/codec", 8, params);
+    sender.announce(1, b"codec reading").expect("fresh chain");
+    let frame = codec::encode(&DapMessage::Reveal(sender.reveal(1).expect("announced")))
+        .expect("encodable");
+    let ns = measure(|| {
+        let mut asm = codec::FrameAssembler::new();
+        asm.push(&frame);
+        asm.next_frame().expect("whole frame")
+    });
+    Lane::from_ns("codec_roundtrip", ns)
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| ".".into());
+
+    let ingest = bench_ingest();
+    let (dap_flood, dap_announce, dap_reveal) = bench_dap_verify();
+    let (tpp_announce, tpp_reveal) = bench_teslapp_verify();
+    let codec_lane = bench_codec();
+    let lanes = [
+        ingest,
+        dap_flood,
+        dap_announce,
+        dap_reveal,
+        tpp_announce,
+        tpp_reveal,
+        codec_lane,
+    ];
+
+    for lane in &lanes {
+        println!(
+            "{:<26} {:>10} ns/frame   {:>14.0} frames/s   ({} frames)",
+            lane.name, lane.ns_per_frame, lane.frames_per_sec, lane.frames
+        );
+    }
+
+    let json = array(&lanes, |lane| {
+        JsonObject::new()
+            .str("name", lane.name)
+            .u64("ns_per_frame", lane.ns_per_frame)
+            .f64("frames_per_sec", lane.frames_per_sec)
+            .u64("frames", lane.frames)
+    });
+    let path = format!("{out_dir}/BENCH_net.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,61 @@
+//! # dap-net — the real-wire runtime
+//!
+//! Everything below this crate runs DAP inside a discrete-event
+//! simulator; `dap-net` runs it on sockets and threads. The pieces:
+//!
+//! * [`transport`] — one [`Transport`] trait, two media: real UDP
+//!   datagrams ([`UdpTransport`]) and a seeded in-process broadcast
+//!   medium ([`LoopbackTransport`]) reusing the simulator's
+//!   loss/corruption models so wire tests stay bit-reproducible;
+//! * [`clock`] — [`NetClock`] bridges the simulator's tick grid to
+//!   `std::time::Instant` ([`RealClock`]) or to an explicitly advanced
+//!   test clock ([`ManualClock`]);
+//! * [`pump`] — [`SenderPump`] paces Algorithm 1 (announce in `I_i`,
+//!   reveal in `I_{i+d}`) onto a transport; [`Flooder`] is the paper's
+//!   adversary, saturating the wire with forged announces at bandwidth
+//!   share `p`;
+//! * [`queue`] / [`pool`] — a sharded receiver: frames route to one of
+//!   `N` worker threads by a hash of their interval index, each worker
+//!   owns its reservoir buffers and drains a bounded ingress queue with
+//!   an explicit [`OverflowPolicy`];
+//! * [`loopback`] — the seeded single-driver campaign the ci.sh soak
+//!   gate runs: same seed ⇒ byte-identical metrics.
+//!
+//! Two binaries ship with the crate: `dapd` (sender / receiver /
+//! flooder roles over UDP, plus `--loopback`) and `netbench` (ingress
+//! throughput and per-frame verify latency, written to
+//! `BENCH_net.json`). See README § "Running on a real wire".
+//!
+//! ## Quickstart (in-process)
+//!
+//! ```
+//! use dap_net::loopback::{run_loopback, LoopbackSpec};
+//!
+//! let report = run_loopback(&LoopbackSpec {
+//!     intervals: 40,
+//!     ..LoopbackSpec::default()
+//! });
+//! // p = 0.9, m = 4 ⇒ about 1 − 0.9⁴ ≈ 34% of reveals authenticate.
+//! assert!(report.auth_rate > 0.1 && report.auth_rate < 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod loopback;
+pub mod opts;
+pub mod pool;
+pub mod pump;
+pub mod queue;
+pub mod transport;
+
+pub use clock::{ManualClock, NetClock, RealClock};
+pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
+pub use pool::{
+    DapShard, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig, PoolHandle, ReceiverPool,
+    TeslaPpShard,
+};
+pub use pump::{Flooder, PumpStats, SenderPump};
+pub use queue::IngressQueue;
+pub use transport::{LoopbackTransport, Transport, UdpTransport};

@@ -1,0 +1,129 @@
+//! A tiny `--key value` / `--flag` argument parser for the binaries
+//! (the workspace is hermetic — no clap).
+
+use std::str::FromStr;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    /// Parses the process arguments. `known_flags` lists the `--name`
+    /// switches that take no value; every other `--name` consumes the
+    /// next argument as its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a readable message) on a positional argument or a
+    /// valued option with no value — binaries surface that directly.
+    #[must_use]
+    pub fn parse(known_flags: &[&str]) -> Self {
+        Self::from_iter(std::env::args().skip(1), known_flags)
+    }
+
+    /// [`Opts::parse`] over an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// See [`Opts::parse`].
+    #[must_use]
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I, known_flags: &[&str]) -> Self {
+        let mut opts = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument {arg:?} (options are --key value)");
+            };
+            if known_flags.contains(&name) {
+                opts.flags.push(name.to_string());
+            } else {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("option --{name} needs a value"));
+                opts.pairs.push((name.to_string(), value));
+            }
+        }
+        opts
+    }
+
+    /// The value of `--key`, if given (last occurrence wins).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--key` parsed as `T`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is present but unparsable.
+    pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} got unparsable value {raw:?}")),
+        }
+    }
+
+    /// Whether `--name` (a known flag) was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn pairs_flags_and_defaults() {
+        let opts = Opts::from_iter(
+            args(&["--seed", "7", "--loopback", "--flood", "0.9"]),
+            &["loopback"],
+        );
+        assert_eq!(opts.get_or("seed", 0u64), 7);
+        assert_eq!(opts.get_or("missing", 42u64), 42);
+        assert!((opts.get_or("flood", 0.0f64) - 0.9).abs() < 1e-12);
+        assert!(opts.flag("loopback"));
+        assert!(!opts.flag("assert-soak"));
+        assert_eq!(opts.get("missing"), None);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let opts = Opts::from_iter(args(&["--m", "1", "--m", "2"]), &[]);
+        assert_eq!(opts.get_or("m", 0u32), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn dangling_option_panics() {
+        let _ = Opts::from_iter(args(&["--seed"]), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_arguments_rejected() {
+        let _ = Opts::from_iter(args(&["whoops"]), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unparsable")]
+    fn bad_value_panics() {
+        let opts = Opts::from_iter(args(&["--seed", "pony"]), &[]);
+        let _ = opts.get_or("seed", 0u64);
+    }
+}

@@ -1,0 +1,561 @@
+//! The sharded receiver pool.
+//!
+//! One socket reader fans frames out to `N` worker threads. Routing is
+//! by *interval index* — a splitmix-mixed hash of the index field read
+//! straight off the frame header ([`dap_core::codec::peek_index`], no
+//! crypto on the reader thread) — so an interval's announces and its
+//! reveal always land on the same shard, and each shard can own its
+//! reservoir pools outright: the paper's per-interval `m/k` sampling
+//! semantics survive sharding untouched, because all copies of interval
+//! `i` compete inside exactly one shard.
+//!
+//! Each shard drains a bounded [`IngressQueue`]. The overflow policy is
+//! explicit ([`OverflowPolicy`]): `DropCount` never blocks the socket
+//! reader — a full shard sheds the frame and the drop is counted under
+//! `net.ingress.dropped` (shedding *pre*-reservoir keeps the surviving
+//! offer stream a uniform subsample, so `m/k` still holds over what got
+//! through) — while `Block` applies backpressure, which is what the
+//! deterministic loopback runs use (a drop decided by scheduler timing
+//! would break bit-reproducibility).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dap_core::codec::FrameAssembler;
+use dap_core::{codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, RevealOutcome};
+use dap_simnet::{Metrics, SimRng, SimTime};
+use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
+use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver};
+
+use crate::queue::IngressQueue;
+
+/// What a full shard queue does to the next frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Shed the frame and count it (`net.ingress.dropped`); the socket
+    /// reader never blocks. The wire posture.
+    DropCount,
+    /// Backpressure the producer until the shard catches up. The
+    /// deterministic-loopback posture.
+    Block,
+}
+
+/// Pool shape.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads (= shards).
+    pub shards: usize,
+    /// Frames each shard's ingress queue holds before overflowing.
+    pub queue_depth: usize,
+    /// What happens on overflow.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for PoolConfig {
+    /// 4 shards × 1024-frame queues, shedding (wire posture).
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_depth: 1024,
+            overflow: OverflowPolicy::DropCount,
+        }
+    }
+}
+
+/// Per-shard protocol state: turns decoded frames into outcomes and
+/// counters. One verifier instance lives on each worker thread.
+pub trait FrameVerifier: Send {
+    /// Processes one decoded frame stamped with its receive time.
+    fn on_frame(
+        &mut self,
+        frame: &DapMessage,
+        at: SimTime,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+        live: &LiveCounters,
+    );
+}
+
+/// Counters the pool mirrors into atomics so callers can watch a live
+/// run (e.g. the UDP integration test polling for progress) without
+/// waiting for shutdown's metric merge.
+#[derive(Debug, Default)]
+pub struct LiveCounters {
+    frames: AtomicU64,
+    authenticated: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl LiveCounters {
+    /// Frames ingested so far (all shards).
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::SeqCst)
+    }
+
+    /// Messages authenticated so far (all shards).
+    #[must_use]
+    pub fn authenticated(&self) -> u64 {
+        self.authenticated.load(Ordering::SeqCst)
+    }
+
+    /// Frames shed by full shard queues.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Records an authentication (verifier-side).
+    pub fn count_authenticated(&self) {
+        self.authenticated.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A DAP receiver as a shard verifier (Algorithm 2 behind the fabric).
+#[derive(Debug)]
+pub struct DapShard {
+    receiver: DapReceiver,
+}
+
+impl DapShard {
+    /// Bootstraps one shard's receiver; `local_seed` must differ per
+    /// node but *may* be shared across a node's shards (μMACs never
+    /// cross shards either way).
+    #[must_use]
+    pub fn new(bootstrap: DapBootstrap, local_seed: &[u8]) -> Self {
+        Self {
+            receiver: DapReceiver::new(bootstrap, local_seed),
+        }
+    }
+
+    /// The wrapped receiver (for post-run inspection).
+    #[must_use]
+    pub fn receiver(&self) -> &DapReceiver {
+        &self.receiver
+    }
+}
+
+impl FrameVerifier for DapShard {
+    fn on_frame(
+        &mut self,
+        frame: &DapMessage,
+        at: SimTime,
+        rng: &mut SimRng,
+        metrics: &mut Metrics,
+        live: &LiveCounters,
+    ) {
+        match frame {
+            DapMessage::Announce(a) => match self.receiver.on_announce(a, at, rng) {
+                AnnounceOutcome::Stored => metrics.incr("net.announce.stored"),
+                AnnounceOutcome::Dropped => metrics.incr("net.announce.sampled_out"),
+                AnnounceOutcome::Unsafe => metrics.incr("net.announce.unsafe"),
+            },
+            DapMessage::Reveal(r) => {
+                metrics.incr("net.reveal.total");
+                match self.receiver.on_reveal(r, at) {
+                    RevealOutcome::Authenticated { .. } => {
+                        metrics.incr("net.reveal.auth");
+                        live.count_authenticated();
+                    }
+                    RevealOutcome::WeakRejected { .. } => metrics.incr("net.reveal.weak_rejected"),
+                    RevealOutcome::StrongRejected { .. } => {
+                        metrics.incr("net.reveal.strong_rejected");
+                    }
+                    RevealOutcome::NoCandidate { .. } => metrics.incr("net.reveal.no_candidate"),
+                }
+            }
+        }
+    }
+}
+
+/// A TESLA++ receiver behind the same fabric and codec — DAP and
+/// TESLA++ share the announce/reveal wire shape, so the comparison
+/// baseline rides the identical byte stream (`netbench`'s verify lanes
+/// use this).
+#[derive(Debug)]
+pub struct TeslaPpShard {
+    receiver: TeslaPpReceiver,
+}
+
+impl TeslaPpShard {
+    /// Bootstraps one shard's TESLA++ receiver.
+    #[must_use]
+    pub fn new(bootstrap: TeslaBootstrap, local_seed: &[u8]) -> Self {
+        Self {
+            receiver: TeslaPpReceiver::new(bootstrap, local_seed),
+        }
+    }
+
+    /// Converts a decoded DAP frame into the TESLA++ message with the
+    /// same fields.
+    #[must_use]
+    pub fn convert(frame: &DapMessage) -> TeslaPpMessage {
+        match frame {
+            DapMessage::Announce(a) => TeslaPpMessage::MacAnnounce {
+                index: a.index,
+                mac: a.mac,
+            },
+            DapMessage::Reveal(r) => TeslaPpMessage::Reveal {
+                index: r.index,
+                message: r.message.clone(),
+                key: r.key,
+            },
+        }
+    }
+}
+
+impl FrameVerifier for TeslaPpShard {
+    fn on_frame(
+        &mut self,
+        frame: &DapMessage,
+        at: SimTime,
+        _rng: &mut SimRng,
+        metrics: &mut Metrics,
+        live: &LiveCounters,
+    ) {
+        let message = Self::convert(frame);
+        if matches!(message, TeslaPpMessage::Reveal { .. }) {
+            metrics.incr("net.reveal.total");
+        }
+        match self.receiver.on_message(&message, at) {
+            TeslaPpOutcome::AnnouncementStored { .. } => metrics.incr("net.announce.stored"),
+            TeslaPpOutcome::AnnouncementUnsafe { .. } => metrics.incr("net.announce.unsafe"),
+            TeslaPpOutcome::Authenticated { .. } => {
+                metrics.incr("net.reveal.auth");
+                live.count_authenticated();
+            }
+            TeslaPpOutcome::KeyRejected { .. } => metrics.incr("net.reveal.weak_rejected"),
+            TeslaPpOutcome::NoMatchingAnnouncement { .. } => {
+                metrics.incr("net.reveal.no_match");
+            }
+        }
+    }
+}
+
+/// One frame as it crosses the reader → shard boundary.
+struct IngressFrame {
+    bytes: Vec<u8>,
+    at: SimTime,
+}
+
+/// The ingest side of a pool: cheap to clone, safe to hand to a socket
+/// reader thread while the owner keeps the [`ReceiverPool`] for
+/// shutdown.
+#[derive(Clone)]
+pub struct PoolHandle {
+    queues: Arc<Vec<IngressQueue<IngressFrame>>>,
+    overflow: OverflowPolicy,
+    live: Arc<LiveCounters>,
+}
+
+impl PoolHandle {
+    /// Which shard frames for interval `index` land on.
+    #[must_use]
+    pub fn shard_of(&self, index: u64) -> usize {
+        (splitmix64(index) % self.queues.len() as u64) as usize
+    }
+
+    /// Routes one received datagram to its shard, stamped `at`.
+    /// Returns `false` when the shard queue shed it (`DropCount` and
+    /// full, or the pool is shutting down).
+    pub fn ingest(&self, bytes: &[u8], at: SimTime) -> bool {
+        // Unroutable garbage still goes to a worker (deterministically,
+        // by length) so its decode failure is counted like any other.
+        let index = codec::peek_index(bytes).unwrap_or(bytes.len() as u64);
+        let queue = &self.queues[self.shard_of(index)];
+        let frame = IngressFrame {
+            bytes: bytes.to_vec(),
+            at,
+        };
+        let outcome = match self.overflow {
+            OverflowPolicy::DropCount => queue.try_push(frame),
+            OverflowPolicy::Block => queue.push_blocking(frame),
+        };
+        if outcome.is_err() {
+            self.live.dropped.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+        self.live.frames.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// The live counters (frames / authenticated / dropped).
+    #[must_use]
+    pub fn live(&self) -> &LiveCounters {
+        &self.live
+    }
+}
+
+/// `N` verifier threads behind bounded ingress queues.
+pub struct ReceiverPool {
+    handle: PoolHandle,
+    workers: Vec<JoinHandle<Metrics>>,
+}
+
+impl ReceiverPool {
+    /// Spawns the worker threads. `make(shard)` builds each shard's
+    /// verifier; per-shard RNGs are forked deterministically from
+    /// `seed` in shard order, so a run's sampling decisions depend only
+    /// on each shard's frame sequence — not on thread scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn spawn<V, F>(config: PoolConfig, seed: u64, mut make: F) -> Self
+    where
+        V: FrameVerifier + 'static,
+        F: FnMut(usize) -> V,
+    {
+        assert!(config.shards >= 1, "need at least one shard");
+        let queues: Arc<Vec<IngressQueue<IngressFrame>>> = Arc::new(
+            (0..config.shards)
+                .map(|_| IngressQueue::new(config.queue_depth))
+                .collect(),
+        );
+        let live = Arc::new(LiveCounters::default());
+        let mut parent = SimRng::new(seed);
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let queues = Arc::clone(&queues);
+                let live = Arc::clone(&live);
+                let mut rng = parent.fork(shard as u64);
+                let mut verifier = make(shard);
+                std::thread::Builder::new()
+                    .name(format!("dap-net-shard-{shard}"))
+                    .spawn(move || {
+                        let mut metrics = Metrics::new();
+                        while let Some(frame) = queues[shard].pop() {
+                            metrics.incr("net.ingress.frames");
+                            metrics.add("net.ingress.bytes", frame.bytes.len() as u64);
+                            // One assembler per datagram: frames may be
+                            // packed back to back inside one datagram,
+                            // but never split across two — so leftover
+                            // bytes are damage, not a continuation, and
+                            // must not poison the next datagram.
+                            let mut assembler = FrameAssembler::new();
+                            assembler.push(&frame.bytes);
+                            while let Some(decoded) = assembler.next_frame() {
+                                verifier.on_frame(
+                                    &decoded,
+                                    frame.at,
+                                    &mut rng,
+                                    &mut metrics,
+                                    &live,
+                                );
+                            }
+                            let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
+                            if junk > 0 {
+                                metrics.incr("net.decode.errors");
+                                metrics.add("net.decode.resync_bytes", junk);
+                            }
+                        }
+                        metrics
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            handle: PoolHandle {
+                queues,
+                overflow: config.overflow,
+                live,
+            },
+            workers,
+        }
+    }
+
+    /// A cloneable ingest handle.
+    #[must_use]
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone()
+    }
+
+    /// Closes every shard queue, joins the workers and returns their
+    /// merged counters (summation over shards — order-independent), with
+    /// `net.ingress.dropped` folded in from the live counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn shutdown(self) -> Metrics {
+        for queue in self.handle.queues.iter() {
+            queue.close();
+        }
+        let mut merged = Metrics::new();
+        for worker in self.workers {
+            let shard_metrics = worker.join().expect("shard worker panicked");
+            merged.merge(&shard_metrics);
+        }
+        let dropped = self.handle.live.dropped();
+        if dropped > 0 {
+            merged.add("net.ingress.dropped", dropped);
+        }
+        merged
+    }
+}
+
+/// SplitMix64's finalizer — mixes consecutive interval indices across
+/// shards while staying a pure function of the index.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_core::{DapParams, DapSender};
+    use dap_simnet::SimDuration;
+
+    fn params(m: usize) -> DapParams {
+        DapParams::new(SimDuration(100), 1, 0, m)
+    }
+
+    fn during(i: u64) -> SimTime {
+        SimTime((i - 1) * 100 + 10)
+    }
+
+    #[test]
+    fn frames_route_by_interval_and_authenticate() {
+        let mut sender = DapSender::new(b"pool", 64, params(4));
+        let bootstrap = sender.bootstrap();
+        let pool = ReceiverPool::spawn(
+            PoolConfig {
+                shards: 4,
+                queue_depth: 64,
+                overflow: OverflowPolicy::Block,
+            },
+            7,
+            |shard| DapShard::new(bootstrap, &[shard as u8]),
+        );
+        let handle = pool.handle();
+        for i in 1..=20u64 {
+            let ann =
+                codec::encode(&DapMessage::Announce(sender.announce(i, b"r").unwrap())).unwrap();
+            assert!(handle.ingest(&ann, during(i)));
+            let rev = codec::encode(&DapMessage::Reveal(sender.reveal(i).unwrap())).unwrap();
+            assert!(handle.ingest(&rev, during(i + 1)));
+        }
+        let metrics = pool.shutdown();
+        assert_eq!(metrics.get("net.reveal.auth"), 20);
+        assert_eq!(metrics.get("net.reveal.total"), 20);
+        assert_eq!(metrics.get("net.ingress.frames"), 40);
+        assert_eq!(metrics.get("net.decode.errors"), 0);
+        assert_eq!(metrics.get("net.ingress.dropped"), 0);
+    }
+
+    #[test]
+    fn announce_and_reveal_share_a_shard() {
+        let sender = DapSender::new(b"pool", 8, params(2));
+        let pool = ReceiverPool::spawn(PoolConfig::default(), 1, |_| {
+            DapShard::new(sender.bootstrap(), b"n")
+        });
+        let handle = pool.handle();
+        let first: Vec<usize> = (0..1000u64).map(|i| handle.shard_of(i)).collect();
+        let second: Vec<usize> = (0..1000u64).map(|i| handle.shard_of(i)).collect();
+        assert_eq!(first, second, "routing must be a pure function");
+        assert!(first.iter().all(|s| *s < 4));
+        // The mix actually spreads intervals around.
+        let hits: std::collections::BTreeSet<usize> =
+            (0..64u64).map(|i| handle.shard_of(i)).collect();
+        assert!(hits.len() > 1);
+        let _ = pool.shutdown();
+    }
+
+    #[test]
+    fn garbage_counts_as_decode_errors() {
+        let sender = DapSender::new(b"pool", 8, params(2));
+        let pool = ReceiverPool::spawn(PoolConfig::default(), 1, |_| {
+            DapShard::new(sender.bootstrap(), b"n")
+        });
+        let handle = pool.handle();
+        assert!(handle.ingest(&[0xff, 0xfe, 0xfd], SimTime(10)));
+        let metrics = pool.shutdown();
+        assert_eq!(metrics.get("net.ingress.frames"), 1);
+        assert_eq!(metrics.get("net.decode.errors"), 1);
+        assert_eq!(metrics.get("net.decode.resync_bytes"), 3);
+    }
+
+    #[test]
+    fn drop_count_policy_sheds_when_full() {
+        // One shard, depth 1, and the worker can't start drain faster
+        // than we push 200 frames — some must shed, all must be counted.
+        let sender = DapSender::new(b"pool", 8, params(2));
+        let pool = ReceiverPool::spawn(
+            PoolConfig {
+                shards: 1,
+                queue_depth: 1,
+                overflow: OverflowPolicy::DropCount,
+            },
+            1,
+            |_| DapShard::new(sender.bootstrap(), b"n"),
+        );
+        let handle = pool.handle();
+        let frame = codec::encode(&DapMessage::Announce(dap_core::Announce {
+            index: 1,
+            mac: dap_crypto::Mac80::from_slice(&[1; 10]).unwrap(),
+        }))
+        .unwrap();
+        let mut accepted = 0u64;
+        for _ in 0..200 {
+            if handle.ingest(&frame, SimTime(10)) {
+                accepted += 1;
+            }
+        }
+        let dropped = handle.live().dropped();
+        let metrics = pool.shutdown();
+        assert_eq!(accepted + dropped, 200);
+        assert_eq!(metrics.get("net.ingress.frames"), accepted);
+        assert_eq!(metrics.get("net.ingress.dropped"), dropped);
+    }
+
+    #[test]
+    fn teslapp_shard_authenticates_converted_frames() {
+        use dap_tesla::teslapp::TeslaPpSender;
+        use dap_tesla::TeslaParams;
+
+        let tesla_params = TeslaParams::new(SimDuration(100), 1, 0);
+        let mut sender = TeslaPpSender::new(b"tpp", 32, tesla_params);
+        let pool = ReceiverPool::spawn(
+            PoolConfig {
+                shards: 2,
+                queue_depth: 16,
+                overflow: OverflowPolicy::Block,
+            },
+            3,
+            |_| TeslaPpShard::new(sender.bootstrap(), b"n"),
+        );
+        let handle = pool.handle();
+        for i in 1..=5u64 {
+            let TeslaPpMessage::MacAnnounce { index, mac } = sender.announce(i, b"m").unwrap()
+            else {
+                unreachable!()
+            };
+            let ann =
+                codec::encode(&DapMessage::Announce(dap_core::Announce { index, mac })).unwrap();
+            handle.ingest(&ann, during(i));
+            let TeslaPpMessage::Reveal {
+                index,
+                message,
+                key,
+            } = sender.reveal(i).unwrap()
+            else {
+                unreachable!()
+            };
+            let rev = codec::encode(&DapMessage::Reveal(dap_core::Reveal {
+                index,
+                message,
+                key,
+            }))
+            .unwrap();
+            handle.ingest(&rev, during(i + 1));
+        }
+        let metrics = pool.shutdown();
+        assert_eq!(metrics.get("net.reveal.auth"), 5);
+        assert_eq!(metrics.get("net.announce.stored"), 5);
+    }
+}

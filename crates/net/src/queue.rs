@@ -1,0 +1,192 @@
+//! A bounded MPSC ingress queue with an explicit overflow contract.
+//!
+//! Each receiver shard drains one of these. The socket-reader side picks
+//! the overflow behaviour per call: [`IngressQueue::try_push`] never
+//! blocks — a full queue rejects the frame so the reader can count the
+//! drop and keep the socket drained (the UDP posture: the kernel buffer,
+//! not our worker, is the scarce resource), while
+//! [`IngressQueue::push_blocking`] applies backpressure (the loopback
+//! posture, where blocking keeps the run deterministic instead of
+//! dropping on scheduler timing).
+//!
+//! Built from `Mutex` + `Condvar` only — the workspace forbids `unsafe`,
+//! so a lock-free ring is off the table, and a mutex around a `VecDeque`
+//! is far below the cost of the HMAC work each frame triggers anyway.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue; see the module docs for the two push
+/// flavours.
+pub struct IngressQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the queue closes.
+    readable: Condvar,
+    /// Signalled when space frees up or the queue closes.
+    writable: Condvar,
+    capacity: usize,
+}
+
+impl<T> IngressQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push: `Err` returns the item when the queue is full
+    /// or closed — the caller decides whether that is a counted drop.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.readable.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space (backpressure). `Err` returns the
+    /// item only when the queue has been closed.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        while !state.closed && state.items.len() >= self.capacity {
+            state = self.writable.wait(state).expect("queue mutex poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.readable.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `None` once the queue is closed *and* drained —
+    /// every item pushed before `close` is still delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.writable.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.readable.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes start failing, pops drain then end.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        drop(state);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Items currently enqueued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let q = IngressQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_push_rejects_when_full() {
+        let q = IngressQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.try_push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = IngressQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(q.push_blocking(9), Err(9));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocking_applies_backpressure() {
+        let q = Arc::new(IngressQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(1).is_ok())
+        };
+        // The producer must be parked until we pop.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_wakes_on_close() {
+        let q = Arc::new(IngressQueue::<u8>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = IngressQueue::<u8>::new(0);
+    }
+}

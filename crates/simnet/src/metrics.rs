@@ -57,6 +57,16 @@ impl Metrics {
             self.add(k, v);
         }
     }
+
+    /// A deterministic text snapshot: one `name value` line per counter
+    /// in key order (`"(no metrics)"` when empty). Two metric sets are
+    /// equal iff their snapshots are byte-identical, so dumping this is
+    /// both the human-readable report (`dapd`) and the determinism
+    /// fingerprint the chaos tests and the ci.sh soak gate diff.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
 }
 
 impl std::fmt::Display for Metrics {
@@ -133,5 +143,25 @@ mod tests {
         assert_eq!(m.to_string(), "(no metrics)");
         m.incr("hello");
         assert!(m.to_string().contains("hello"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_fingerprints_equality() {
+        let mut a = Metrics::new();
+        a.incr("z.last");
+        a.add("a.first", 3);
+        let rendered = a.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a.first"));
+        assert!(lines[1].starts_with("z.last"));
+
+        let mut b = Metrics::new();
+        b.add("a.first", 3);
+        b.incr("z.last");
+        assert_eq!(a.render(), b.render());
+        b.incr("z.last");
+        assert_ne!(a.render(), b.render());
+        assert_eq!(Metrics::new().render(), "(no metrics)");
     }
 }

@@ -56,6 +56,17 @@ pub enum TeslaPpMessage {
 }
 
 impl TeslaPpMessage {
+    /// The interval index carried by either message kind — what a
+    /// transport needs for routing without matching on the variant.
+    #[must_use]
+    pub fn index(&self) -> u64 {
+        match self {
+            TeslaPpMessage::MacAnnounce { index, .. } | TeslaPpMessage::Reveal { index, .. } => {
+                *index
+            }
+        }
+    }
+
     /// Airtime size in bits.
     #[must_use]
     pub fn size_bits(&self) -> u32 {

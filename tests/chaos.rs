@@ -51,21 +51,18 @@ const RECEIVER: NodeId = NodeId(1);
 #[derive(Debug, Clone, PartialEq)]
 struct Fingerprint {
     auth: Vec<(u64, u64, Vec<u8>)>,
-    metrics: Vec<(String, u64)>,
+    /// [`Metrics::render`] snapshot: sorted, byte-identical iff the
+    /// counter sets are equal — the same fingerprint `dapd` prints and
+    /// the ci.sh soak gate diffs.
+    metrics: String,
 }
 
-fn snapshot_metrics<M: Clone + 'static>(net: &Network<M>) -> Vec<(String, u64)> {
-    let mut m: Vec<(String, u64)> = net
-        .metrics()
-        .iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect();
-    m.sort();
-    m
+fn snapshot_metrics<M: Clone + 'static>(net: &Network<M>) -> String {
+    net.metrics().render()
 }
 
-fn total_fault_events(metrics: &[(String, u64)]) -> u64 {
-    metrics
+fn total_fault_events<M: Clone + 'static>(net: &Network<M>) -> u64 {
+    net.metrics()
         .iter()
         .filter(|(k, _)| k.starts_with("fault."))
         .map(|(_, v)| v)
@@ -190,7 +187,7 @@ fn run_dap(seed: u64) -> Fingerprint {
     );
     let metrics = snapshot_metrics(&net);
     assert!(
-        total_fault_events(&metrics) > 0,
+        total_fault_events(&net) > 0,
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }
@@ -254,7 +251,7 @@ fn run_tesla(seed: u64) -> Fingerprint {
     );
     let metrics = snapshot_metrics(&net);
     assert!(
-        total_fault_events(&metrics) > 0,
+        total_fault_events(&net) > 0,
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }
@@ -323,7 +320,7 @@ fn run_mutesla(seed: u64) -> Fingerprint {
     );
     let metrics = snapshot_metrics(&net);
     assert!(
-        total_fault_events(&metrics) > 0,
+        total_fault_events(&net) > 0,
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }
@@ -400,7 +397,7 @@ fn run_teslapp(seed: u64) -> Fingerprint {
     );
     let metrics = snapshot_metrics(&net);
     assert!(
-        total_fault_events(&metrics) > 0,
+        total_fault_events(&net) > 0,
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }
@@ -528,7 +525,7 @@ fn run_two_level(seed: u64, linkage: Linkage, edrp: bool, label: &str) -> Finger
     );
     let metrics = snapshot_metrics(&net);
     assert!(
-        total_fault_events(&metrics) > 0,
+        total_fault_events(&net) > 0,
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }

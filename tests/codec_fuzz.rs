@@ -7,7 +7,7 @@
 //! with `DAP_TESTKIT_SEED=<seed> cargo test --test codec_fuzz`).
 
 use crowdsense_dap::crypto::{Key, Mac80};
-use crowdsense_dap::dap::codec::{decode, encode};
+use crowdsense_dap::dap::codec::{decode, encode, FrameAssembler};
 use crowdsense_dap::dap::wire::{Announce, DapMessage, Reveal};
 use dap_testkit::{check_with, Config, Gen};
 
@@ -88,6 +88,96 @@ fn decode_is_total_on_bit_flips() {
                 "bit flip at {byte}:{bit} was silently absorbed"
             );
         }
+    });
+}
+
+/// Stream reassembly: a frame split at *every* byte boundary — not a
+/// sampled one — comes back whole from the assembler, with nothing
+/// skipped and nothing left pending.
+#[test]
+fn assembler_recovers_frame_from_every_split_point() {
+    check_with(fuzz_config(), "assembler_every_split", |g| {
+        let frame = arbitrary_frame(g);
+        let encoded = encode(&frame).unwrap();
+        for cut in 0..=encoded.len() {
+            let mut asm = FrameAssembler::new();
+            asm.push(&encoded[..cut]);
+            if cut < encoded.len() {
+                // A strict prefix must never yield a frame (the codec
+                // has no frame that is a prefix of another).
+                assert_eq!(asm.next_frame(), None, "prefix of len {cut} decoded");
+                asm.push(&encoded[cut..]);
+            }
+            assert_eq!(asm.next_frame(), Some(frame.clone()), "split at {cut} lost");
+            assert_eq!(asm.next_frame(), None);
+            assert_eq!(asm.skipped_bytes(), 0, "split at {cut} skipped bytes");
+            assert_eq!(asm.pending_bytes(), 0, "split at {cut} left residue");
+        }
+    });
+}
+
+/// Stream reassembly: many concatenated frames, delivered in chunks cut
+/// at arbitrary points, come back complete and in order.
+#[test]
+fn assembler_recovers_chunked_streams() {
+    check_with(fuzz_config(), "assembler_chunked_stream", |g| {
+        let frames: Vec<DapMessage> = (0..g.usize_in(1..8)).map(|_| arbitrary_frame(g)).collect();
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode(frame).unwrap());
+        }
+        let mut asm = FrameAssembler::new();
+        let mut recovered = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let chunk = g.usize_in(1..stream.len() - offset + 1);
+            asm.push(&stream[offset..offset + chunk]);
+            offset += chunk;
+            while let Some(frame) = asm.next_frame() {
+                recovered.push(frame);
+            }
+        }
+        assert_eq!(recovered, frames, "stream reassembly lost or reordered");
+        assert_eq!(asm.skipped_bytes(), 0);
+        assert_eq!(asm.pending_bytes(), 0);
+    });
+}
+
+/// Stream reassembly: garbage between frames is skipped byte-for-byte
+/// and the assembler resynchronises on the next real frame — it neither
+/// panics, loops forever, nor mis-frames what follows.
+#[test]
+fn assembler_resynchronises_after_garbage() {
+    check_with(fuzz_config(), "assembler_resync", |g| {
+        let before = encode(&arbitrary_frame(g)).unwrap();
+        let after_frame = arbitrary_frame(g);
+        let after = encode(&after_frame).unwrap();
+        // Garbage that cannot alias a frame tag (0x01/0x02 could start a
+        // phantom frame that swallows the real one — a different, valid
+        // outcome this property does not model).
+        let garbage: Vec<u8> = g
+            .bytes(1..32)
+            .into_iter()
+            .map(|b| if b == 0x01 || b == 0x02 { 0xff } else { b })
+            .collect();
+        let mut stream = before.clone();
+        stream.extend_from_slice(&garbage);
+        stream.extend_from_slice(&after);
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream);
+        let mut recovered = Vec::new();
+        while let Some(frame) = asm.next_frame() {
+            recovered.push(frame);
+        }
+        assert_eq!(recovered.len(), 2, "resync dropped a frame");
+        assert_eq!(recovered[1], after_frame, "resync mis-framed the tail");
+        assert_eq!(
+            asm.skipped_bytes(),
+            garbage.len() as u64,
+            "skipped-byte accounting is off"
+        );
+        assert_eq!(asm.pending_bytes(), 0);
     });
 }
 
