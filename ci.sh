@@ -38,7 +38,26 @@ cmp target/net_soak_a.txt target/net_soak_b.txt
 $soak --loopback --seed 7 --intervals 100 --flood 0 --copies 1 \
     --assert-soak > /dev/null
 
+echo "== telemetry gate (seeded trace + snapshot byte-identity) =="
+# Two same-seed traced runs: the printed registry snapshot must be
+# byte-identical, and the trace JSONL must be byte-identical below its
+# wall-clock header line (see DESIGN.md §9 and tests/telemetry.rs).
+$soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
+    --flood 0.9 --copies 4 --trace-out target/net_trace_a.jsonl \
+    > target/net_telemetry_a.txt
+$soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
+    --flood 0.9 --copies 4 --trace-out target/net_trace_b.jsonl \
+    > target/net_telemetry_b.txt
+cmp target/net_telemetry_a.txt target/net_telemetry_b.txt
+tail -n +2 target/net_trace_a.jsonl > target/net_trace_a.body
+tail -n +2 target/net_trace_b.jsonl > target/net_trace_b.body
+cmp target/net_trace_a.body target/net_trace_b.body
+test -s target/net_trace_a.body
+
 echo "== netbench smoke (ingress throughput + verify latency) =="
 DAP_BENCH_MS=5 cargo run --release --offline -q -p dap-net --bin netbench -- target > /dev/null
+# The verify lanes must report a real latency tail in BENCH_net.json.
+p99=$(grep -o '"p99_ns":[0-9]*' target/BENCH_net.json | head -n1 | cut -d: -f2)
+test -n "$p99" && test "$p99" -gt 0
 
 echo "ci.sh: all green"

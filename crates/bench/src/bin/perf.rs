@@ -159,9 +159,19 @@ fn main() {
 
     let cells_per_sec = stats.cells as f64 / parallel.as_secs_f64();
     let sweep_speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    let wall = &stats.cell_wall;
+    let (wall_p50, wall_p95, wall_p99) = (
+        wall.quantile(0.5).unwrap_or(0),
+        wall.quantile(0.95).unwrap_or(0),
+        wall.quantile(0.99).unwrap_or(0),
+    );
     println!(
         "sweep 12x8x4             {:>10} cells   {:>7} workers engaged   {:.0} cells/s   {:.2}x vs sequential",
         stats.cells, stats.workers_engaged, cells_per_sec, sweep_speedup
+    );
+    println!(
+        "sweep cell wall time     p50={wall_p50}ns p95={wall_p95}ns p99={wall_p99}ns   ({} cells sampled)",
+        wall.count()
     );
 
     let sweep_records = [(rows.len(), stats)];
@@ -175,6 +185,9 @@ fn main() {
             .u64("sequential_us", sequential.as_micros() as u64)
             .f64("cells_per_sec", cells_per_sec)
             .f64("speedup", sweep_speedup)
+            .u64("cell_wall_p50_ns", wall_p50)
+            .u64("cell_wall_p95_ns", wall_p95)
+            .u64("cell_wall_p99_ns", wall_p99)
             .bool("bit_identical", identical)
     });
     let sweep_path = format!("{out_dir}/BENCH_sweep.json");

@@ -6,10 +6,12 @@
 //! space; the figure binaries are special cases of it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use dap_core::analysis::authentic_presence;
 use dap_core::sim::{run_campaign_with_faults, CampaignSpec};
 use dap_crypto::rng::splitmix64;
+use dap_obs::Histogram;
 use dap_simnet::FaultPlan;
 
 /// One cell of the sweep grid.
@@ -91,7 +93,7 @@ pub fn cell_seed(base: u64, pi: usize, mi: usize, li: usize) -> u64 {
 }
 
 /// Scheduling statistics from a parallel sweep run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepStats {
     /// Worker threads spawned (`min(available cores, grid cells)`).
     pub workers_spawned: usize,
@@ -100,6 +102,12 @@ pub struct SweepStats {
     pub workers_engaged: usize,
     /// Grid cells evaluated.
     pub cells: usize,
+    /// Wall time per evaluated cell, in nanoseconds, merged across all
+    /// workers. Wall time is *not* part of the deterministic
+    /// fingerprint — the rows are — but its spread is what tells you
+    /// whether the work-stealing queue is actually levelling the load
+    /// (a long tail here means a few slow cells gate the run).
+    pub cell_wall: Histogram,
 }
 
 #[derive(Clone, Copy)]
@@ -198,6 +206,7 @@ pub fn run_sweep_with_stats(config: &SweepConfig) -> (Vec<SweepRow>, SweepStats)
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<SweepRow>> = vec![None; cells.len()];
     let mut engaged = 0usize;
+    let mut cell_wall = Histogram::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -205,23 +214,27 @@ pub fn run_sweep_with_stats(config: &SweepConfig) -> (Vec<SweepRow>, SweepStats)
                 let cells = &cells;
                 scope.spawn(move || {
                     let mut done: Vec<(usize, SweepRow)> = Vec::new();
+                    let mut wall = Histogram::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
+                        let t0 = Instant::now();
                         done.push((i, run_cell(config, cell)));
+                        wall.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     }
-                    done
+                    (done, wall)
                 })
             })
             .collect();
         for handle in handles {
-            let done = handle.join().expect("sweep worker");
+            let (done, wall) = handle.join().expect("sweep worker");
             if !done.is_empty() {
                 engaged += 1;
             }
             for (i, row) in done {
                 slots[i] = Some(row);
             }
+            cell_wall.merge(&wall);
         }
     });
     let mut rows: Vec<SweepRow> = slots
@@ -235,6 +248,7 @@ pub fn run_sweep_with_stats(config: &SweepConfig) -> (Vec<SweepRow>, SweepStats)
             workers_spawned: workers,
             workers_engaged: engaged,
             cells: cells.len(),
+            cell_wall,
         },
     )
 }
@@ -374,6 +388,10 @@ mod tests {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         assert_eq!(stats.workers_spawned, cores.min(384));
         assert_eq!(stats.workers_engaged, stats.workers_spawned);
+        // Every cell contributes exactly one wall-time sample, and the
+        // quantile curve those samples form is well-defined.
+        assert_eq!(stats.cell_wall.count(), 384);
+        assert!(stats.cell_wall.quantile(0.99) >= stats.cell_wall.quantile(0.5));
     }
 
     #[test]

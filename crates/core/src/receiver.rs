@@ -204,6 +204,14 @@ impl DapReceiver {
         self.buffers
     }
 
+    /// Announce copies offered to interval `index`'s reservoir so far —
+    /// the `k` of the paper's `m/k` sampling probability. Zero when the
+    /// interval has no pool (nothing offered yet, or already GC'd).
+    #[must_use]
+    pub fn offered(&self, index: u64) -> u64 {
+        self.pools.get(&index).map_or(0, ReservoirBuffer::offered)
+    }
+
     /// Occupied buffer memory in bits (56 bits per entry — Fig. 4).
     #[must_use]
     pub fn memory_bits(&self) -> u64 {

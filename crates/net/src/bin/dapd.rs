@@ -6,12 +6,13 @@
 //! # Deterministic in-process campaign (the ci.sh soak gate):
 //! dapd --loopback [--seed N] [--intervals N] [--buffers M] [--shards S]
 //!      [--queue-depth Q] [--flood P] [--copies G] [--loss L] [--corrupt C]
-//!      [--tolerance T] [--assert-soak]
+//!      [--tolerance T] [--assert-soak] [--trace-out PATH] [--trace-depth D]
+//!      [--telemetry ADDR]
 //!
 //! # Real UDP, three roles (run in separate terminals):
 //! dapd --role receiver --bind 127.0.0.1:7440 [--seed N] [--intervals N]
 //!      [--buffers M] [--shards S] [--queue-depth Q] [--duration-ms T]
-//!      [--tick-us U]
+//!      [--tick-us U] [--telemetry ADDR] [--trace-out PATH]
 //! dapd --role sender   --target 127.0.0.1:7440 [--seed N] [--intervals N]
 //!      [--copies G] [--tick-us U]
 //! dapd --role flooder  --target 127.0.0.1:7440 [--flood P] [--rate FPS]
@@ -23,19 +24,69 @@
 //! the sender's chain (same seed, same length — the commitment is the
 //! chain's end) instead of being handed the commitment. One tick is
 //! `--tick-us` microseconds (default 1000 — 100 ms intervals).
+//!
+//! Observability: `--telemetry ADDR` serves the live registry in
+//! Prometheus text format over HTTP; `--trace-out PATH` writes the
+//! structured trace as JSONL (first line is a wall-clock header, every
+//! following line is deterministic for a seeded loopback run); the
+//! receiver role prints its final sorted telemetry snapshot on Ctrl-C
+//! or when `--duration-ms` elapses.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dap_core::{DapParams, DapSender};
 use dap_net::clock::{NetClock, RealClock};
-use dap_net::loopback::{run_loopback, LoopbackSpec};
+use dap_net::loopback::{run_loopback_with, LoopbackSpec};
 use dap_net::opts::Opts;
-use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, ReceiverPool};
+use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool};
 use dap_net::pump::{Flooder, SenderPump};
+use dap_net::telemetry::{SharedRegistry, TelemetryServer};
 use dap_net::transport::{Transport, UdpTransport};
+use dap_obs::{JsonlSink, TimeSource, TraceRecord, TraceSink};
 use dap_simnet::SimDuration;
 
 const FLAGS: &[&str] = &["loopback", "assert-soak"];
+
+/// Stores a Ctrl-C so the receiver loop can drain, snapshot and exit
+/// cleanly instead of dying mid-run with its telemetry unprinted.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT handler (raw `signal(2)` — the workspace is
+    /// hermetic, so no signal-hook crate; the handler only stores an
+    /// atomic flag, which is async-signal-safe).
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    /// Whether a SIGINT arrived since `install`.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 fn main() {
     let opts = Opts::parse(FLAGS);
@@ -59,6 +110,29 @@ fn udp_params(buffers: usize) -> DapParams {
     DapParams::new(SimDuration(100), 1, 30, buffers)
 }
 
+/// Trace ring depth: explicit `--trace-depth`, else a generous default
+/// whenever `--trace-out` asks for the trace at all.
+fn trace_depth(opts: &Opts) -> usize {
+    let default = if opts.get("trace-out").is_some() {
+        65_536
+    } else {
+        0
+    };
+    opts.get_or("trace-depth", default)
+}
+
+/// Writes the sorted trace as JSONL (wall-clock header line first).
+/// The note goes to stderr: stdout is the deterministic snapshot the
+/// ci.sh gates `cmp`, and the note embeds a run-specific path.
+fn write_trace(path: &str, records: &[TraceRecord]) {
+    let mut sink = JsonlSink::create(path).expect("create --trace-out file");
+    for record in records {
+        sink.record(record.clone());
+    }
+    sink.finish().expect("flush --trace-out file");
+    eprintln!("trace: {} records -> {path}", records.len());
+}
+
 fn run_loopback_mode(opts: &Opts) {
     let spec = LoopbackSpec {
         seed: opts.get_or("seed", 2016),
@@ -70,6 +144,7 @@ fn run_loopback_mode(opts: &Opts) {
         copies: opts.get_or("copies", 4),
         loss: opts.get_or("loss", 0.0),
         corrupt: opts.get_or("corrupt", 0.0),
+        trace_depth: trace_depth(opts),
     };
     println!(
         "dapd --loopback seed={} intervals={} m={} shards={} p={} copies={} loss={} corrupt={}",
@@ -82,15 +157,30 @@ fn run_loopback_mode(opts: &Opts) {
         spec.loss,
         spec.corrupt
     );
-    let report = run_loopback(&spec);
-    print!("{}", report.metrics.render());
+    let shared = opts
+        .get("telemetry")
+        .map(|_| Arc::new(SharedRegistry::new(spec.shards)));
+    let server = opts.get("telemetry").map(|addr| {
+        let server = TelemetryServer::bind(addr, Arc::clone(shared.as_ref().expect("built above")))
+            .expect("bind --telemetry listener");
+        eprintln!("telemetry: http://{}/", server.local_addr());
+        server
+    });
+    let report = run_loopback_with(&spec, shared);
+    print!("{}", report.registry.render());
     println!(
         "auth_rate {:.4}   expected {:.4}   (1 - p^m)",
         report.auth_rate, report.expected_rate
     );
+    if let Some(path) = opts.get("trace-out") {
+        write_trace(path, &report.trace);
+    }
     if opts.flag("assert-soak") {
         assert_soak(&spec, &report, opts.get_or("tolerance", 0.08));
         println!("soak: ok");
+    }
+    if let Some(server) = server {
+        server.stop();
     }
 }
 
@@ -99,6 +189,8 @@ fn run_loopback_mode(opts: &Opts) {
 /// the *only* way a genuine reveal fails is reservoir eviction by the
 /// flood — which is precisely the `1 − p^m` experiment.
 fn assert_soak(spec: &LoopbackSpec, report: &dap_net::loopback::LoopbackReport, tolerance: f64) {
+    use dap_simnet::keys;
+
     assert!(
         spec.loss == 0.0 && spec.corrupt == 0.0,
         "--assert-soak needs a clean wire (loss = corrupt = 0)"
@@ -106,33 +198,41 @@ fn assert_soak(spec: &LoopbackSpec, report: &dap_net::loopback::LoopbackReport, 
     let m = &report.metrics;
     // Nothing on a clean wire may be dropped, garbled or forged-key'd.
     assert_eq!(
-        m.get("net.ingress.dropped"),
+        m.get(keys::NET_INGRESS_DROPPED),
         0,
         "backpressure run shed frames"
     );
     assert_eq!(
-        m.get("net.decode.errors"),
+        m.get(keys::NET_DECODE_ERRORS),
         0,
         "clean wire had decode errors"
     );
-    assert_eq!(m.get("net.reveal.weak_rejected"), 0, "genuine key rejected");
     assert_eq!(
-        m.get("net.reveal.no_candidate"),
+        m.get(keys::NET_REVEAL_WEAK_REJECTED),
+        0,
+        "genuine key rejected"
+    );
+    assert_eq!(
+        m.get(keys::NET_REVEAL_NO_CANDIDATE),
         0,
         "pool vanished on clean wire"
     );
     // Every interval's reveal arrived and was decided one way:
-    assert_eq!(m.get("net.reveal.total"), spec.intervals, "reveals lost");
     assert_eq!(
-        m.get("net.reveal.auth") + m.get("net.reveal.strong_rejected"),
-        m.get("net.reveal.total"),
+        m.get(keys::NET_REVEAL_TOTAL),
+        spec.intervals,
+        "reveals lost"
+    );
+    assert_eq!(
+        m.get(keys::NET_REVEAL_AUTH) + m.get(keys::NET_REVEAL_STRONG_REJECTED),
+        m.get(keys::NET_REVEAL_TOTAL),
         "reveal outcomes do not balance"
     );
     if spec.flood == 0.0 {
         // No adversary: 100% of genuine reveals must authenticate.
         assert_eq!(
-            m.get("net.reveal.auth"),
-            m.get("net.reveal.total"),
+            m.get(keys::NET_REVEAL_AUTH),
+            m.get(keys::NET_REVEAL_TOTAL),
             "clean run failed to authenticate everything"
         );
     } else {
@@ -183,6 +283,8 @@ fn run_receiver(opts: &Opts) {
     let tick_us: u64 = opts.get_or("tick-us", 1000);
     let bind = opts.get("bind").expect("receiver needs --bind host:port");
 
+    sigint::install();
+
     // Derive the sender's commitment from the shared seed (the demo's
     // stand-in for out-of-band bootstrap). The chain commitment is the
     // *end* of the chain, so both sides must agree on `--intervals` too
@@ -191,7 +293,16 @@ fn run_receiver(opts: &Opts) {
     let bootstrap = DapSender::new(&seed.to_be_bytes(), chain_len, udp_params(buffers)).bootstrap();
     let mut transport =
         UdpTransport::receiver(bind, Duration::from_millis(20)).expect("bind receiver socket");
-    let pool = ReceiverPool::spawn(
+    let shared = opts
+        .get("telemetry")
+        .map(|_| Arc::new(SharedRegistry::new(shards)));
+    let server = opts.get("telemetry").map(|addr| {
+        let server = TelemetryServer::bind(addr, Arc::clone(shared.as_ref().expect("built above")))
+            .expect("bind --telemetry listener");
+        eprintln!("telemetry: http://{}/", server.local_addr());
+        server
+    });
+    let pool = ReceiverPool::spawn_with_obs(
         PoolConfig {
             shards,
             queue_depth,
@@ -199,11 +310,18 @@ fn run_receiver(opts: &Opts) {
         },
         seed,
         |shard| DapShard::new(bootstrap, &[b'u', b'd', b'p', shard as u8]),
+        PoolObs {
+            time: TimeSource::wall(),
+            trace_depth: trace_depth(opts),
+            publish: shared,
+            // Live enough for a scrape without a per-frame lock.
+            publish_every: 256,
+        },
     );
     let handle = pool.handle();
     println!(
         "dapd receiver on {bind}: m={buffers} shards={shards} depth={queue_depth}, \
-         listening {duration_ms}ms"
+         listening {duration_ms}ms (Ctrl-C for early snapshot)"
     );
     let deadline = Instant::now() + Duration::from_millis(duration_ms);
     let schedule = udp_params(buffers).schedule();
@@ -211,7 +329,7 @@ fn run_receiver(opts: &Opts) {
     // the interval the first frame claims (loose sync by first contact).
     let mut clock: Option<RealClock> = None;
     let mut buf = vec![0u8; dap_core::codec::MAX_FRAME_LEN];
-    while Instant::now() < deadline {
+    while Instant::now() < deadline && !sigint::interrupted() {
         match transport.recv(&mut buf) {
             Ok(Some(n)) => {
                 let at = clock
@@ -229,11 +347,21 @@ fn run_receiver(opts: &Opts) {
             Err(e) => panic!("receiver socket error: {e}"),
         }
     }
-    let metrics = pool.shutdown();
-    print!("{}", metrics.render());
-    let auth = metrics.get("net.reveal.auth");
-    let total = metrics.get("net.reveal.total");
+    if sigint::interrupted() {
+        println!("interrupted: draining shards and snapshotting");
+    }
+    let report = pool.shutdown_with_report();
+    print!("{}", report.registry.render());
+    if let Some(path) = opts.get("trace-out") {
+        write_trace(path, &report.trace);
+    }
+    let counters = report.registry.counters();
+    let auth = counters.get(dap_simnet::keys::NET_REVEAL_AUTH);
+    let total = counters.get(dap_simnet::keys::NET_REVEAL_TOTAL);
     println!("receiver done: {auth}/{total} reveals authenticated");
+    if let Some(server) = server {
+        server.stop();
+    }
 }
 
 fn run_flooder(opts: &Opts) {

@@ -5,9 +5,11 @@
 //! Usage: `cargo run --release -p dap-net --bin netbench [out_dir]`
 //!
 //! Writes `BENCH_net.json` into `out_dir` (default: current directory)
-//! and prints the same numbers to stdout. `DAP_BENCH_MS` scales the
-//! measurement budget (default 100 ms) — `DAP_BENCH_MS=5` is the CI
-//! smoke shape.
+//! and prints the same numbers to stdout. Per-frame lanes stream their
+//! samples through a [`Histogram`], so each lane reports p50/p95/p99
+//! alongside the mean — tail latency is what a DoS posture cares
+//! about, and a mean hides it. `DAP_BENCH_MS` scales the measurement
+//! budget (default 100 ms) — `DAP_BENCH_MS=5` is the CI smoke shape.
 
 use std::time::Instant;
 
@@ -16,7 +18,8 @@ use dap_bench::timer::measure;
 use dap_core::{codec, DapMessage, DapParams, DapSender};
 use dap_net::loopback::{run_loopback, LoopbackSpec};
 use dap_net::pool::{DapShard, FrameVerifier, LiveCounters, TeslaPpShard};
-use dap_simnet::{Metrics, SimDuration, SimRng, SimTime};
+use dap_obs::Histogram;
+use dap_simnet::{keys, Registry, SimDuration, SimRng, SimTime};
 use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpSender};
 use dap_tesla::TeslaParams;
 
@@ -35,6 +38,9 @@ struct Lane {
     frames_per_sec: f64,
     /// Frames behind the measurement (1 for `measure`-style lanes).
     frames: u64,
+    /// Per-frame latency quantiles `(p50, p95, p99)`; absent for lanes
+    /// without per-frame samples.
+    quantiles: Option<(u64, u64, u64)>,
 }
 
 impl Lane {
@@ -44,6 +50,7 @@ impl Lane {
             ns_per_frame: ns,
             frames_per_sec: 1e9 / ns.max(1) as f64,
             frames: 1,
+            quantiles: None,
         }
     }
 
@@ -54,7 +61,19 @@ impl Lane {
             ns_per_frame: ns,
             frames_per_sec: 1e9 / ns as f64,
             frames,
+            quantiles: None,
         }
+    }
+
+    /// A batch lane with streamed per-frame samples: mean from the
+    /// batch total, tail from the histogram.
+    fn from_hist(name: &'static str, frames: u64, elapsed_ns: u128, hist: &Histogram) -> Self {
+        let mut lane = Self::from_batch(name, frames, elapsed_ns);
+        lane.quantiles = match (hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99)) {
+            (Some(p50), Some(p95), Some(p99)) => Some((p50, p95, p99)),
+            _ => None,
+        };
+        lane
     }
 }
 
@@ -81,6 +100,15 @@ fn during(i: u64) -> SimTime {
     SimTime((i - 1) * 100 + 10)
 }
 
+/// Times one call, feeding the sample into `hist` and the batch total.
+fn sample(hist: &mut Histogram, total: &mut u128, mut call: impl FnMut()) {
+    let t0 = Instant::now();
+    call();
+    let ns = t0.elapsed().as_nanos();
+    hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+    *total += ns;
+}
+
 /// DAP verify latency. The flood lane hammers one announce over and
 /// over — the reservoir bounds state at `m`, so that is a stationary
 /// measurement of the attack's per-frame cost. The announce and reveal
@@ -93,7 +121,7 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
     let mut sender = DapSender::new(b"netbench/dap", chain, bench_params());
     let mut shard = DapShard::new(sender.bootstrap(), b"netbench");
     let mut rng = SimRng::new(7);
-    let mut metrics = Metrics::new();
+    let mut registry = Registry::new();
     let live = LiveCounters::default();
 
     let flood_frame = DapMessage::Announce(
@@ -102,31 +130,38 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
             .expect("fresh chain"),
     );
     let flood_ns = measure(|| {
-        shard.on_frame(&flood_frame, during(1), &mut rng, &mut metrics, &live);
+        shard.on_frame(&flood_frame, during(1), &mut rng, &mut registry, &live);
     });
 
+    let mut announce_hist = Histogram::new();
+    let mut reveal_hist = Histogram::new();
     let mut announce_elapsed: u128 = 0;
     let mut reveal_elapsed: u128 = 0;
     for i in 2..2 + REVEALS {
         let frame = DapMessage::Announce(sender.announce(i, b"batched reading").expect("chain"));
-        let t0 = Instant::now();
-        shard.on_frame(&frame, during(i), &mut rng, &mut metrics, &live);
-        announce_elapsed += t0.elapsed().as_nanos();
+        sample(&mut announce_hist, &mut announce_elapsed, || {
+            shard.on_frame(&frame, during(i), &mut rng, &mut registry, &live);
+        });
 
         let frame = DapMessage::Reveal(sender.reveal(i).expect("announced"));
-        let t0 = Instant::now();
-        shard.on_frame(&frame, during(i + 1), &mut rng, &mut metrics, &live);
-        reveal_elapsed += t0.elapsed().as_nanos();
+        sample(&mut reveal_hist, &mut reveal_elapsed, || {
+            shard.on_frame(&frame, during(i + 1), &mut rng, &mut registry, &live);
+        });
     }
     assert_eq!(
-        metrics.get("net.reveal.auth"),
+        registry.counters().get(keys::NET_REVEAL_AUTH),
         REVEALS,
         "bench reveals must authenticate for the timing to mean anything"
     );
     (
         Lane::from_ns("dap_flood_announce", flood_ns),
-        Lane::from_batch("dap_announce_verify", REVEALS, announce_elapsed),
-        Lane::from_batch("dap_reveal_verify", REVEALS, reveal_elapsed),
+        Lane::from_hist(
+            "dap_announce_verify",
+            REVEALS,
+            announce_elapsed,
+            &announce_hist,
+        ),
+        Lane::from_hist("dap_reveal_verify", REVEALS, reveal_elapsed, &reveal_hist),
     )
 }
 
@@ -142,9 +177,11 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
     let mut sender = TeslaPpSender::new(b"netbench/tpp", chain, params);
     let mut shard = TeslaPpShard::new(sender.bootstrap(), b"netbench");
     let mut rng = SimRng::new(7);
-    let mut metrics = Metrics::new();
+    let mut registry = Registry::new();
     let live = LiveCounters::default();
 
+    let mut announce_hist = Histogram::new();
+    let mut reveal_hist = Histogram::new();
     let mut announce_elapsed: u128 = 0;
     let mut reveal_elapsed: u128 = 0;
     for i in 1..=REVEALS {
@@ -154,9 +191,9 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
             unreachable!("announce returns MacAnnounce")
         };
         let frame = DapMessage::Announce(dap_core::Announce { index, mac });
-        let t0 = Instant::now();
-        shard.on_frame(&frame, during(i), &mut rng, &mut metrics, &live);
-        announce_elapsed += t0.elapsed().as_nanos();
+        sample(&mut announce_hist, &mut announce_elapsed, || {
+            shard.on_frame(&frame, during(i), &mut rng, &mut registry, &live);
+        });
 
         let TeslaPpMessage::Reveal {
             index,
@@ -171,18 +208,28 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
             message,
             key,
         });
-        let t0 = Instant::now();
-        shard.on_frame(&frame, during(i + 1), &mut rng, &mut metrics, &live);
-        reveal_elapsed += t0.elapsed().as_nanos();
+        sample(&mut reveal_hist, &mut reveal_elapsed, || {
+            shard.on_frame(&frame, during(i + 1), &mut rng, &mut registry, &live);
+        });
     }
     assert_eq!(
-        metrics.get("net.reveal.auth"),
+        registry.counters().get(keys::NET_REVEAL_AUTH),
         REVEALS,
         "bench reveals must authenticate for the timing to mean anything"
     );
     (
-        Lane::from_batch("teslapp_announce_verify", REVEALS, announce_elapsed),
-        Lane::from_batch("teslapp_reveal_verify", REVEALS, reveal_elapsed),
+        Lane::from_hist(
+            "teslapp_announce_verify",
+            REVEALS,
+            announce_elapsed,
+            &announce_hist,
+        ),
+        Lane::from_hist(
+            "teslapp_reveal_verify",
+            REVEALS,
+            reveal_elapsed,
+            &reveal_hist,
+        ),
     )
 }
 
@@ -222,18 +269,28 @@ fn main() {
     ];
 
     for lane in &lanes {
+        let tail = lane.quantiles.map_or(String::new(), |(p50, p95, p99)| {
+            format!("   p50={p50} p95={p95} p99={p99}")
+        });
         println!(
-            "{:<26} {:>10} ns/frame   {:>14.0} frames/s   ({} frames)",
+            "{:<26} {:>10} ns/frame   {:>14.0} frames/s   ({} frames){tail}",
             lane.name, lane.ns_per_frame, lane.frames_per_sec, lane.frames
         );
     }
 
     let json = array(&lanes, |lane| {
-        JsonObject::new()
+        let mut object = JsonObject::new()
             .str("name", lane.name)
             .u64("ns_per_frame", lane.ns_per_frame)
             .f64("frames_per_sec", lane.frames_per_sec)
-            .u64("frames", lane.frames)
+            .u64("frames", lane.frames);
+        if let Some((p50, p95, p99)) = lane.quantiles {
+            object = object
+                .u64("p50_ns", p50)
+                .u64("p95_ns", p95)
+                .u64("p99_ns", p99);
+        }
+        object
     });
     let path = format!("{out_dir}/BENCH_net.json");
     std::fs::write(&path, format!("{json}\n")).expect("write BENCH_net.json");

@@ -19,12 +19,26 @@
 //!   owns its reservoir buffers and drains a bounded ingress queue with
 //!   an explicit [`OverflowPolicy`];
 //! * [`loopback`] — the seeded single-driver campaign the ci.sh soak
-//!   gate runs: same seed ⇒ byte-identical metrics.
+//!   gate runs: same seed ⇒ byte-identical metrics, and with
+//!   `trace_depth > 0` a byte-identical structured trace too;
+//! * [`telemetry`] — the live exposition plane: [`SharedRegistry`]
+//!   collects per-shard [`dap_simnet::Registry`] snapshots without
+//!   touching the verify hot path, and [`TelemetryServer`] serves the
+//!   merged view as Prometheus text over a tiny std-only HTTP listener.
+//!
+//! The pool's workers are instrumented through `dap-obs`: verify and
+//! decode latency histograms, queue-occupancy (wall-clock runs only —
+//! see DESIGN §9 for the determinism rules), drop-reason counters, and
+//! a typed trace (frame arrivals, verify spans, buffer decisions, key
+//! reveals, shard stalls) ordered by per-source sequence numbers.
 //!
 //! Two binaries ship with the crate: `dapd` (sender / receiver /
-//! flooder roles over UDP, plus `--loopback`) and `netbench` (ingress
-//! throughput and per-frame verify latency, written to
-//! `BENCH_net.json`). See README § "Running on a real wire".
+//! flooder roles over UDP, plus `--loopback`; `--telemetry <addr>`
+//! serves live metrics, `--trace-out <path>` writes the trace as
+//! JSONL, and the receiver prints its final sorted snapshot on Ctrl-C)
+//! and `netbench` (ingress throughput and per-frame verify latency
+//! with p50/p95/p99 tails, written to `BENCH_net.json`). See README
+//! § "Running on a real wire".
 //!
 //! ## Quickstart (in-process)
 //!
@@ -48,14 +62,16 @@ pub mod opts;
 pub mod pool;
 pub mod pump;
 pub mod queue;
+pub mod telemetry;
 pub mod transport;
 
 pub use clock::{ManualClock, NetClock, RealClock};
 pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
 pub use pool::{
-    DapShard, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig, PoolHandle, ReceiverPool,
-    TeslaPpShard,
+    BufferNote, DapShard, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig,
+    PoolHandle, PoolObs, PoolReport, ReceiverPool, TeslaPpShard,
 };
 pub use pump::{Flooder, PumpStats, SenderPump};
-pub use queue::IngressQueue;
+pub use queue::{IngressQueue, Pop, PushError};
+pub use telemetry::{SharedRegistry, TelemetryServer};
 pub use transport::{LoopbackTransport, Transport, UdpTransport};

@@ -17,11 +17,15 @@
 //! authenticates iff a genuine copy survived reservoir sampling:
 //! probability `≈ 1 − p^m` (exactly hypergeometric at finite `n`).
 
-use dap_core::{codec, DapMessage, DapParams, DapSender};
-use dap_simnet::{ChannelModel, Metrics, SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
-use crate::pool::{DapShard, OverflowPolicy, PoolConfig, ReceiverPool};
+use dap_core::{codec, DapMessage, DapParams, DapSender};
+use dap_obs::{TimeSource, TraceRecord};
+use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
+
+use crate::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool};
 use crate::pump::Flooder;
+use crate::telemetry::SharedRegistry;
 use crate::transport::{LoopbackTransport, Transport};
 
 /// Everything a loopback campaign needs; all fields seeded/explicit so
@@ -46,6 +50,11 @@ pub struct LoopbackSpec {
     pub loss: f64,
     /// Wire corruption probability (one flipped bit per hit).
     pub corrupt: f64,
+    /// Per-source trace ring capacity; 0 disables tracing. Traced runs
+    /// stay bit-reproducible: the pool runs on frozen clocks and every
+    /// record is stamped with protocol time, so two same-seed runs
+    /// render identical JSONL.
+    pub trace_depth: usize,
 }
 
 impl Default for LoopbackSpec {
@@ -62,6 +71,7 @@ impl Default for LoopbackSpec {
             copies: 4,
             loss: 0.0,
             corrupt: 0.0,
+            trace_depth: 0,
         }
     }
 }
@@ -71,6 +81,13 @@ impl Default for LoopbackSpec {
 pub struct LoopbackReport {
     /// Merged pool + wire counters.
     pub metrics: Metrics,
+    /// The full observability picture: the same counters plus latency
+    /// histograms (zero-duration under frozen clocks — their *counts*
+    /// fingerprint the run) and drop-reason attribution.
+    pub registry: Registry,
+    /// `(source, seq)`-sorted trace records (empty when
+    /// [`LoopbackSpec::trace_depth`] is 0).
+    pub trace: Vec<TraceRecord>,
     /// `authenticated / reveals` (0 when no reveal arrived).
     pub auth_rate: f64,
     /// The paper's large-`n` prediction `1 − p^m`.
@@ -87,6 +104,21 @@ pub struct LoopbackReport {
 /// loss/corruption outside `[0, 1]`) and if a pool worker panics.
 #[must_use]
 pub fn run_loopback(spec: &LoopbackSpec) -> LoopbackReport {
+    run_loopback_with(spec, None)
+}
+
+/// [`run_loopback`] with an optional live telemetry registry the pool
+/// shards publish into while the campaign runs (slot `i` = shard `i`;
+/// the registry must have at least `spec.shards` slots).
+///
+/// # Panics
+///
+/// As [`run_loopback`].
+#[must_use]
+pub fn run_loopback_with(
+    spec: &LoopbackSpec,
+    publish: Option<Arc<SharedRegistry>>,
+) -> LoopbackReport {
     let params = DapParams::new(SimDuration(100), 1, 0, spec.buffers);
     let schedule = params.schedule();
     let d = params.disclosure_delay;
@@ -101,7 +133,13 @@ pub fn run_loopback(spec: &LoopbackSpec) -> LoopbackReport {
     let mut shuffle_rng = rng.fork(4);
 
     let wire = LoopbackTransport::new(wire_rng_seed, ChannelModel::lossy(spec.loss), spec.corrupt);
-    let pool = ReceiverPool::spawn(
+    if spec.trace_depth > 0 {
+        // Reserved trace source ids: shards take 0..shards, the pool's
+        // socket reader takes `shards`, the wire sits one past it.
+        let wire_source = u32::try_from(spec.shards).expect("shard count fits u32") + 1;
+        wire.enable_trace(wire_source, spec.trace_depth);
+    }
+    let pool = ReceiverPool::spawn_with_obs(
         PoolConfig {
             shards: spec.shards,
             queue_depth: spec.queue_depth,
@@ -109,6 +147,16 @@ pub fn run_loopback(spec: &LoopbackSpec) -> LoopbackReport {
         },
         pool_seed,
         |shard| DapShard::new(bootstrap, &[b'l', b'o', shard as u8]),
+        PoolObs {
+            // Frozen clocks: stopwatch durations collapse to 0, so the
+            // latency histograms carry no scheduler timing — only
+            // deterministic sample counts — and the whole registry is a
+            // pure function of the seed.
+            time: TimeSource::frozen(),
+            trace_depth: spec.trace_depth,
+            publish,
+            publish_every: 64,
+        },
     );
     let handle = pool.handle();
     let mut flooder = Flooder::new(wire.clone(), flooder_seed, spec.flood);
@@ -165,10 +213,15 @@ pub fn run_loopback(spec: &LoopbackSpec) -> LoopbackReport {
     }
 
     let frames = handle.live().frames();
-    let mut metrics = pool.shutdown();
-    metrics.merge(&wire.wire_metrics());
+    let report = pool.shutdown_with_report();
+    let mut registry = report.registry;
+    registry.merge_metrics(&wire.wire_metrics());
+    let mut trace = report.trace;
+    trace.extend(wire.take_trace());
+    dap_obs::sort_records(&mut trace);
+    let metrics = registry.counters().clone();
     let auth_rate = metrics
-        .ratio("net.reveal.auth", "net.reveal.total")
+        .ratio(keys::NET_REVEAL_AUTH, keys::NET_REVEAL_TOTAL)
         .unwrap_or(0.0);
     LoopbackReport {
         auth_rate,
@@ -178,6 +231,8 @@ pub fn run_loopback(spec: &LoopbackSpec) -> LoopbackReport {
                 .powi(i32::try_from(spec.buffers).unwrap_or(i32::MAX)),
         frames,
         metrics,
+        registry,
+        trace,
     }
 }
 
@@ -207,11 +262,11 @@ mod tests {
             ..LoopbackSpec::default()
         };
         let report = run_loopback(&spec);
-        assert_eq!(report.metrics.get("net.reveal.total"), 50);
-        assert_eq!(report.metrics.get("net.reveal.auth"), 50);
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_TOTAL), 50);
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_AUTH), 50);
         assert!((report.auth_rate - 1.0).abs() < f64::EPSILON);
-        assert_eq!(report.metrics.get("net.decode.errors"), 0);
-        assert_eq!(report.metrics.get("net.ingress.dropped"), 0);
+        assert_eq!(report.metrics.get(keys::NET_DECODE_ERRORS), 0);
+        assert_eq!(report.metrics.get(keys::NET_INGRESS_DROPPED), 0);
     }
 
     #[test]
@@ -225,12 +280,12 @@ mod tests {
         };
         let report = run_loopback(&spec);
         // Every reveal still weak-authenticates; only eviction hurts.
-        assert_eq!(report.metrics.get("net.reveal.weak_rejected"), 0);
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
         assert_eq!(
-            report.metrics.get("net.reveal.auth")
-                + report.metrics.get("net.reveal.strong_rejected")
-                + report.metrics.get("net.reveal.no_candidate"),
-            report.metrics.get("net.reveal.total")
+            report.metrics.get(keys::NET_REVEAL_AUTH)
+                + report.metrics.get(keys::NET_REVEAL_STRONG_REJECTED)
+                + report.metrics.get(keys::NET_REVEAL_NO_CANDIDATE),
+            report.metrics.get(keys::NET_REVEAL_TOTAL)
         );
         // 1 − 0.8³ = 0.488; seeded run, wide tolerance for the finite-n
         // hypergeometric correction.
@@ -254,18 +309,18 @@ mod tests {
         let report = run_loopback(&spec);
         let m = &report.metrics;
         assert_eq!(
-            m.get("net.wire.sent"),
-            m.get("net.wire.lost") + report.frames
+            m.get(keys::NET_WIRE_SENT),
+            m.get(keys::NET_WIRE_LOST) + report.frames
         );
         // Reveals can be lost, so fewer than `intervals` arrive — but
         // every one that does is accounted for.
-        assert!(m.get("net.reveal.total") <= 120);
+        assert!(m.get(keys::NET_REVEAL_TOTAL) <= 120);
         assert_eq!(
-            m.get("net.reveal.auth")
-                + m.get("net.reveal.strong_rejected")
-                + m.get("net.reveal.no_candidate")
-                + m.get("net.reveal.weak_rejected"),
-            m.get("net.reveal.total")
+            m.get(keys::NET_REVEAL_AUTH)
+                + m.get(keys::NET_REVEAL_STRONG_REJECTED)
+                + m.get(keys::NET_REVEAL_NO_CANDIDATE)
+                + m.get(keys::NET_REVEAL_WEAK_REJECTED),
+            m.get(keys::NET_REVEAL_TOTAL)
         );
     }
 
@@ -279,12 +334,12 @@ mod tests {
             ..LoopbackSpec::default()
         };
         let report = run_loopback(&spec);
-        let corrupted = report.metrics.get("net.wire.corrupted");
+        let corrupted = report.metrics.get(keys::NET_WIRE_CORRUPTED);
         assert!(corrupted > 0, "corruption never sampled");
         // A flipped bit can land anywhere (tag, index, MAC, key,
         // message): decode errors, weak rejects, strong rejects and
         // missing candidates are all legitimate fates — what must hold
         // is that not everything authenticates.
-        assert!(report.metrics.get("net.reveal.auth") < 80);
+        assert!(report.metrics.get(keys::NET_REVEAL_AUTH) < 80);
     }
 }

@@ -17,18 +17,33 @@
 //! through) — while `Block` applies backpressure, which is what the
 //! deterministic loopback runs use (a drop decided by scheduler timing
 //! would break bit-reproducibility).
+//!
+//! # Observability
+//!
+//! Every worker owns a [`Registry`] (counters + latency histograms +
+//! queue gauges) and a [`TraceEmitter`] whose source id is its shard
+//! index, so the collected records totally order per source even though
+//! threads interleave freely. [`PoolObs`] selects the posture: wall
+//! time + live publishing on the wire, frozen [`TimeSource`] + bounded
+//! ring traces in the deterministic loopback runs (where every
+//! stopwatch reads 0 and two same-seed runs render byte-identical
+//! snapshots). [`ReceiverPool::shutdown_with_report`] returns the whole
+//! picture; the legacy [`ReceiverPool::shutdown`] still returns plain
+//! counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use dap_core::codec::FrameAssembler;
 use dap_core::{codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, RevealOutcome};
-use dap_simnet::{Metrics, SimRng, SimTime};
+use dap_obs::{RingSink, TimeSource, TraceEmitter, TraceEvent, TraceRecord};
+use dap_simnet::{keys, Metrics, Registry, SimRng, SimTime};
 use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
 use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver};
 
-use crate::queue::IngressQueue;
+use crate::queue::{IngressQueue, Pop, PushError};
+use crate::telemetry::SharedRegistry;
 
 /// What a full shard queue does to the next frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,18 +78,75 @@ impl Default for PoolConfig {
     }
 }
 
+/// Observability posture for a pool run.
+#[derive(Debug, Clone)]
+pub struct PoolObs {
+    /// Where stopwatches read from: [`TimeSource::wall`] on the wire,
+    /// [`TimeSource::frozen`] in deterministic runs (durations collapse
+    /// to 0 but histogram *counts* still fingerprint the run).
+    pub time: TimeSource,
+    /// Per-source trace ring capacity; 0 disables tracing entirely.
+    pub trace_depth: usize,
+    /// Live registry the shards clone their state into (the telemetry
+    /// endpoint scrapes this). Slot `i` belongs to shard `i`.
+    pub publish: Option<Arc<SharedRegistry>>,
+    /// Publish cadence in datagrams (0 publishes only at shutdown).
+    pub publish_every: u64,
+}
+
+impl Default for PoolObs {
+    /// Wall clocks, no tracing, no live publishing — the posture the
+    /// legacy [`ReceiverPool::spawn`] runs under.
+    fn default() -> Self {
+        Self {
+            time: TimeSource::wall(),
+            trace_depth: 0,
+            publish: None,
+            publish_every: 1024,
+        }
+    }
+}
+
+/// How an announce fared against its interval's reservoir — the data a
+/// [`TraceEvent::BufferDecision`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferNote {
+    /// Whether the μMAC survived sampling (stored or replaced an entry).
+    pub kept: bool,
+    /// Offers the interval's pool has seen so far (the paper's `k`).
+    pub offered: u64,
+    /// Pool capacity (the paper's `m`).
+    pub capacity: u64,
+}
+
+/// What a verifier concluded about one frame — the pool turns this into
+/// trace events without knowing protocol internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameVerdict {
+    /// Outcome label (`"stored"`, `"auth"`, `"unsafe"`, …) for the
+    /// [`TraceEvent::VerifyEnd`] record.
+    pub outcome: &'static str,
+    /// The interval index the frame claimed.
+    pub interval: u64,
+    /// Present when the frame went through reservoir sampling.
+    pub buffer: Option<BufferNote>,
+    /// Whether the frame disclosed a chain key (reveals do).
+    pub key_reveal: bool,
+}
+
 /// Per-shard protocol state: turns decoded frames into outcomes and
 /// counters. One verifier instance lives on each worker thread.
 pub trait FrameVerifier: Send {
-    /// Processes one decoded frame stamped with its receive time.
+    /// Processes one decoded frame stamped with its receive time,
+    /// returning the verdict the pool traces.
     fn on_frame(
         &mut self,
         frame: &DapMessage,
         at: SimTime,
         rng: &mut SimRng,
-        metrics: &mut Metrics,
+        registry: &mut Registry,
         live: &LiveCounters,
-    );
+    ) -> FrameVerdict;
 }
 
 /// Counters the pool mirrors into atomics so callers can watch a live
@@ -84,7 +156,8 @@ pub trait FrameVerifier: Send {
 pub struct LiveCounters {
     frames: AtomicU64,
     authenticated: AtomicU64,
-    dropped: AtomicU64,
+    dropped_full: AtomicU64,
+    dropped_closed: AtomicU64,
 }
 
 impl LiveCounters {
@@ -100,10 +173,22 @@ impl LiveCounters {
         self.authenticated.load(Ordering::SeqCst)
     }
 
-    /// Frames shed by full shard queues.
+    /// Frames shed by full shard queues (all drop reasons).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::SeqCst)
+        self.dropped_full() + self.dropped_closed()
+    }
+
+    /// Frames shed because a shard queue was at capacity.
+    #[must_use]
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full.load(Ordering::SeqCst)
+    }
+
+    /// Frames rejected because the pool was shutting down.
+    #[must_use]
+    pub fn dropped_closed(&self) -> u64 {
+        self.dropped_closed.load(Ordering::SeqCst)
     }
 
     /// Records an authentication (verifier-side).
@@ -142,27 +227,56 @@ impl FrameVerifier for DapShard {
         frame: &DapMessage,
         at: SimTime,
         rng: &mut SimRng,
-        metrics: &mut Metrics,
+        registry: &mut Registry,
         live: &LiveCounters,
-    ) {
+    ) -> FrameVerdict {
         match frame {
-            DapMessage::Announce(a) => match self.receiver.on_announce(a, at, rng) {
-                AnnounceOutcome::Stored => metrics.incr("net.announce.stored"),
-                AnnounceOutcome::Dropped => metrics.incr("net.announce.sampled_out"),
-                AnnounceOutcome::Unsafe => metrics.incr("net.announce.unsafe"),
-            },
+            DapMessage::Announce(a) => {
+                let announce = self.receiver.on_announce(a, at, rng);
+                let (key, outcome, kept) = match announce {
+                    AnnounceOutcome::Stored => (keys::NET_ANNOUNCE_STORED, "stored", true),
+                    AnnounceOutcome::Dropped => {
+                        (keys::NET_ANNOUNCE_SAMPLED_OUT, "sampled_out", false)
+                    }
+                    AnnounceOutcome::Unsafe => (keys::NET_ANNOUNCE_UNSAFE, "unsafe", false),
+                };
+                registry.incr(key);
+                // An unsafe announce never reached the reservoir.
+                let buffer = (announce != AnnounceOutcome::Unsafe).then(|| BufferNote {
+                    kept,
+                    offered: self.receiver.offered(a.index),
+                    capacity: self.receiver.buffer_capacity() as u64,
+                });
+                FrameVerdict {
+                    outcome,
+                    interval: a.index,
+                    buffer,
+                    key_reveal: false,
+                }
+            }
             DapMessage::Reveal(r) => {
-                metrics.incr("net.reveal.total");
-                match self.receiver.on_reveal(r, at) {
+                registry.incr(keys::NET_REVEAL_TOTAL);
+                let (key, outcome) = match self.receiver.on_reveal(r, at) {
                     RevealOutcome::Authenticated { .. } => {
-                        metrics.incr("net.reveal.auth");
                         live.count_authenticated();
+                        (keys::NET_REVEAL_AUTH, "auth")
                     }
-                    RevealOutcome::WeakRejected { .. } => metrics.incr("net.reveal.weak_rejected"),
+                    RevealOutcome::WeakRejected { .. } => {
+                        (keys::NET_REVEAL_WEAK_REJECTED, "weak_rejected")
+                    }
                     RevealOutcome::StrongRejected { .. } => {
-                        metrics.incr("net.reveal.strong_rejected");
+                        (keys::NET_REVEAL_STRONG_REJECTED, "strong_rejected")
                     }
-                    RevealOutcome::NoCandidate { .. } => metrics.incr("net.reveal.no_candidate"),
+                    RevealOutcome::NoCandidate { .. } => {
+                        (keys::NET_REVEAL_NO_CANDIDATE, "no_candidate")
+                    }
+                };
+                registry.incr(key);
+                FrameVerdict {
+                    outcome,
+                    interval: r.index,
+                    buffer: None,
+                    key_reveal: true,
                 }
             }
         }
@@ -211,24 +325,36 @@ impl FrameVerifier for TeslaPpShard {
         frame: &DapMessage,
         at: SimTime,
         _rng: &mut SimRng,
-        metrics: &mut Metrics,
+        registry: &mut Registry,
         live: &LiveCounters,
-    ) {
+    ) -> FrameVerdict {
         let message = Self::convert(frame);
-        if matches!(message, TeslaPpMessage::Reveal { .. }) {
-            metrics.incr("net.reveal.total");
+        let key_reveal = matches!(message, TeslaPpMessage::Reveal { .. });
+        let interval = match frame {
+            DapMessage::Announce(a) => a.index,
+            DapMessage::Reveal(r) => r.index,
+        };
+        if key_reveal {
+            registry.incr(keys::NET_REVEAL_TOTAL);
         }
-        match self.receiver.on_message(&message, at) {
-            TeslaPpOutcome::AnnouncementStored { .. } => metrics.incr("net.announce.stored"),
-            TeslaPpOutcome::AnnouncementUnsafe { .. } => metrics.incr("net.announce.unsafe"),
+        let (key, outcome) = match self.receiver.on_message(&message, at) {
+            TeslaPpOutcome::AnnouncementStored { .. } => (keys::NET_ANNOUNCE_STORED, "stored"),
+            TeslaPpOutcome::AnnouncementUnsafe { .. } => (keys::NET_ANNOUNCE_UNSAFE, "unsafe"),
             TeslaPpOutcome::Authenticated { .. } => {
-                metrics.incr("net.reveal.auth");
                 live.count_authenticated();
+                (keys::NET_REVEAL_AUTH, "auth")
             }
-            TeslaPpOutcome::KeyRejected { .. } => metrics.incr("net.reveal.weak_rejected"),
+            TeslaPpOutcome::KeyRejected { .. } => (keys::NET_REVEAL_WEAK_REJECTED, "weak_rejected"),
             TeslaPpOutcome::NoMatchingAnnouncement { .. } => {
-                metrics.incr("net.reveal.no_match");
+                (keys::NET_REVEAL_NO_MATCH, "no_match")
             }
+        };
+        registry.incr(key);
+        FrameVerdict {
+            outcome,
+            interval,
+            buffer: None,
+            key_reveal,
         }
     }
 }
@@ -247,6 +373,7 @@ pub struct PoolHandle {
     queues: Arc<Vec<IngressQueue<IngressFrame>>>,
     overflow: OverflowPolicy,
     live: Arc<LiveCounters>,
+    reader_trace: Option<Arc<Mutex<TraceEmitter<RingSink>>>>,
 }
 
 impl PoolHandle {
@@ -263,7 +390,8 @@ impl PoolHandle {
         // Unroutable garbage still goes to a worker (deterministically,
         // by length) so its decode failure is counted like any other.
         let index = codec::peek_index(bytes).unwrap_or(bytes.len() as u64);
-        let queue = &self.queues[self.shard_of(index)];
+        let shard = self.shard_of(index);
+        let queue = &self.queues[shard];
         let frame = IngressFrame {
             bytes: bytes.to_vec(),
             at,
@@ -272,12 +400,29 @@ impl PoolHandle {
             OverflowPolicy::DropCount => queue.try_push(frame),
             OverflowPolicy::Block => queue.push_blocking(frame),
         };
-        if outcome.is_err() {
-            self.live.dropped.fetch_add(1, Ordering::SeqCst);
-            return false;
+        match outcome {
+            Ok(()) => {
+                self.live.frames.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Err(PushError::Full(_)) => {
+                self.live.dropped_full.fetch_add(1, Ordering::SeqCst);
+                if let Some(trace) = &self.reader_trace {
+                    trace.lock().expect("reader trace poisoned").emit(
+                        at.ticks(),
+                        TraceEvent::ShardStall {
+                            shard: shard as u32,
+                            depth: queue.len() as u64,
+                        },
+                    );
+                }
+                false
+            }
+            Err(PushError::Closed(_)) => {
+                self.live.dropped_closed.fetch_add(1, Ordering::SeqCst);
+                false
+            }
         }
-        self.live.frames.fetch_add(1, Ordering::SeqCst);
-        true
     }
 
     /// The live counters (frames / authenticated / dropped).
@@ -287,22 +432,49 @@ impl PoolHandle {
     }
 }
 
+/// Everything a pool run observed: the merged registry (counters,
+/// latency histograms, queue gauges) and the total-ordered trace.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Merged per-shard registries plus reader-side drop attribution.
+    pub registry: Registry,
+    /// All trace records, sorted by `(source, seq)`.
+    pub trace: Vec<TraceRecord>,
+}
+
 /// `N` verifier threads behind bounded ingress queues.
 pub struct ReceiverPool {
     handle: PoolHandle,
-    workers: Vec<JoinHandle<Metrics>>,
+    workers: Vec<JoinHandle<(Registry, Vec<TraceRecord>)>>,
 }
 
 impl ReceiverPool {
-    /// Spawns the worker threads. `make(shard)` builds each shard's
-    /// verifier; per-shard RNGs are forked deterministically from
-    /// `seed` in shard order, so a run's sampling decisions depend only
-    /// on each shard's frame sequence — not on thread scheduling.
+    /// Spawns the worker threads under the default (wall-clock,
+    /// untraced) observability posture; see
+    /// [`ReceiverPool::spawn_with_obs`].
     ///
     /// # Panics
     ///
     /// Panics if `config.shards` is zero.
-    pub fn spawn<V, F>(config: PoolConfig, seed: u64, mut make: F) -> Self
+    pub fn spawn<V, F>(config: PoolConfig, seed: u64, make: F) -> Self
+    where
+        V: FrameVerifier + 'static,
+        F: FnMut(usize) -> V,
+    {
+        Self::spawn_with_obs(config, seed, make, PoolObs::default())
+    }
+
+    /// Spawns the worker threads. `make(shard)` builds each shard's
+    /// verifier; per-shard RNGs are forked deterministically from
+    /// `seed` in shard order, so a run's sampling decisions depend only
+    /// on each shard's frame sequence — not on thread scheduling. `obs`
+    /// picks the observability posture (time source, trace depth, live
+    /// publishing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn spawn_with_obs<V, F>(config: PoolConfig, seed: u64, mut make: F, obs: PoolObs) -> Self
     where
         V: FrameVerifier + 'static,
         F: FnMut(usize) -> V,
@@ -314,6 +486,14 @@ impl ReceiverPool {
                 .collect(),
         );
         let live = Arc::new(LiveCounters::default());
+        // Reserved trace source id: the socket reader sits one past the
+        // last shard.
+        let reader_trace = (obs.trace_depth > 0).then(|| {
+            Arc::new(Mutex::new(TraceEmitter::new(
+                config.shards as u32,
+                RingSink::new(obs.trace_depth),
+            )))
+        });
         let mut parent = SimRng::new(seed);
         let workers = (0..config.shards)
             .map(|shard| {
@@ -321,36 +501,11 @@ impl ReceiverPool {
                 let live = Arc::clone(&live);
                 let mut rng = parent.fork(shard as u64);
                 let mut verifier = make(shard);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("dap-net-shard-{shard}"))
                     .spawn(move || {
-                        let mut metrics = Metrics::new();
-                        while let Some(frame) = queues[shard].pop() {
-                            metrics.incr("net.ingress.frames");
-                            metrics.add("net.ingress.bytes", frame.bytes.len() as u64);
-                            // One assembler per datagram: frames may be
-                            // packed back to back inside one datagram,
-                            // but never split across two — so leftover
-                            // bytes are damage, not a continuation, and
-                            // must not poison the next datagram.
-                            let mut assembler = FrameAssembler::new();
-                            assembler.push(&frame.bytes);
-                            while let Some(decoded) = assembler.next_frame() {
-                                verifier.on_frame(
-                                    &decoded,
-                                    frame.at,
-                                    &mut rng,
-                                    &mut metrics,
-                                    &live,
-                                );
-                            }
-                            let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
-                            if junk > 0 {
-                                metrics.incr("net.decode.errors");
-                                metrics.add("net.decode.resync_bytes", junk);
-                            }
-                        }
-                        metrics
+                        run_shard(shard, &queues[shard], &mut verifier, &mut rng, &live, &obs)
                     })
                     .expect("spawn shard worker")
             })
@@ -360,6 +515,7 @@ impl ReceiverPool {
                 queues,
                 overflow: config.overflow,
                 live,
+                reader_trace,
             },
             workers,
         }
@@ -373,27 +529,182 @@ impl ReceiverPool {
 
     /// Closes every shard queue, joins the workers and returns their
     /// merged counters (summation over shards — order-independent), with
-    /// `net.ingress.dropped` folded in from the live counter.
+    /// `net.ingress.dropped` folded in from the live counter. Histograms
+    /// and traces are discarded; use
+    /// [`ReceiverPool::shutdown_with_report`] to keep them.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panicked.
     #[must_use]
     pub fn shutdown(self) -> Metrics {
+        self.shutdown_with_report().registry.into_counters()
+    }
+
+    /// Closes every shard queue, joins the workers and returns the full
+    /// observability picture: merged registries (drop reasons folded in
+    /// from the live counters) and the `(source, seq)`-sorted trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn shutdown_with_report(self) -> PoolReport {
         for queue in self.handle.queues.iter() {
             queue.close();
         }
-        let mut merged = Metrics::new();
+        let mut registry = Registry::new();
+        let mut trace = Vec::new();
         for worker in self.workers {
-            let shard_metrics = worker.join().expect("shard worker panicked");
-            merged.merge(&shard_metrics);
+            let (shard_registry, shard_trace) = worker.join().expect("shard worker panicked");
+            registry.merge(&shard_registry);
+            trace.extend(shard_trace);
         }
-        let dropped = self.handle.live.dropped();
-        if dropped > 0 {
-            merged.add("net.ingress.dropped", dropped);
+        if let Some(reader) = &self.handle.reader_trace {
+            let reader = reader.lock().expect("reader trace poisoned");
+            trace.extend(reader.sink().records().iter().cloned());
         }
-        merged
+        dap_obs::sort_records(&mut trace);
+        let full = self.handle.live.dropped_full();
+        let closed = self.handle.live.dropped_closed();
+        if full > 0 {
+            registry.add(keys::NET_DROP_QUEUE_FULL, full);
+        }
+        if closed > 0 {
+            registry.add(keys::NET_DROP_CLOSED, closed);
+        }
+        if full + closed > 0 {
+            registry.add(keys::NET_INGRESS_DROPPED, full + closed);
+        }
+        PoolReport { registry, trace }
     }
+}
+
+/// One shard's drain loop: decode, verify, count, trace, publish.
+fn run_shard<V: FrameVerifier>(
+    shard: usize,
+    queue: &IngressQueue<IngressFrame>,
+    verifier: &mut V,
+    rng: &mut SimRng,
+    live: &LiveCounters,
+    obs: &PoolObs,
+) -> (Registry, Vec<TraceRecord>) {
+    let mut registry = Registry::new();
+    let mut trace = TraceEmitter::new(shard as u32, RingSink::new(obs.trace_depth));
+    let mut datagrams = 0u64;
+    let mut published_at = 0u64;
+    loop {
+        // With live publishing the pop carries a timeout so a quiet wire
+        // still gets fresh scrapes; without it, block outright — no
+        // spurious wakeups in the deterministic runs.
+        let frame = if obs.publish.is_some() {
+            match queue.pop_timeout(std::time::Duration::from_millis(200)) {
+                Pop::Item(frame) => frame,
+                Pop::Idle => {
+                    if let Some(shared) = &obs.publish {
+                        if published_at != datagrams {
+                            shared.publish(shard, &registry);
+                            published_at = datagrams;
+                        }
+                    }
+                    continue;
+                }
+                Pop::Closed => break,
+            }
+        } else {
+            match queue.pop() {
+                Some(frame) => frame,
+                None => break,
+            }
+        };
+        let at = frame.at.ticks();
+        registry.incr(keys::NET_INGRESS_FRAMES);
+        registry.add(keys::NET_INGRESS_BYTES, frame.bytes.len() as u64);
+        if obs.time.is_wall() {
+            // Occupancy depends on scheduler timing, so it is recorded
+            // only on the wire — a deterministic run must not let thread
+            // interleavings into its fingerprint.
+            let depth = queue.len() as u64;
+            registry.record(keys::NET_QUEUE_OCCUPANCY, depth);
+            registry.gauge(keys::NET_QUEUE_DEPTH).set(depth);
+        }
+        trace.emit(
+            at,
+            TraceEvent::FrameRx {
+                bytes: frame.bytes.len() as u64,
+            },
+        );
+        // One assembler per datagram: frames may be packed back to back
+        // inside one datagram, but never split across two — so leftover
+        // bytes are damage, not a continuation, and must not poison the
+        // next datagram.
+        let decode_watch = obs.time.stopwatch();
+        let mut assembler = FrameAssembler::new();
+        assembler.push(&frame.bytes);
+        let mut decoded = Vec::new();
+        while let Some(message) = assembler.next_frame() {
+            decoded.push(message);
+        }
+        registry.record(
+            keys::NET_DECODE_LATENCY_NS,
+            decode_watch.elapsed_ns(&obs.time),
+        );
+        for message in &decoded {
+            let verify_watch = obs.time.stopwatch();
+            let verdict = verifier.on_frame(message, frame.at, rng, &mut registry, live);
+            let elapsed_ns = verify_watch.elapsed_ns(&obs.time);
+            registry.record(keys::NET_VERIFY_LATENCY_NS, elapsed_ns);
+            trace.emit(
+                at,
+                TraceEvent::VerifyStart {
+                    interval: verdict.interval,
+                },
+            );
+            trace.emit(
+                at,
+                TraceEvent::VerifyEnd {
+                    interval: verdict.interval,
+                    outcome: verdict.outcome,
+                    elapsed_ns,
+                },
+            );
+            if let Some(note) = verdict.buffer {
+                trace.emit(
+                    at,
+                    TraceEvent::BufferDecision {
+                        interval: verdict.interval,
+                        kept: note.kept,
+                        k: note.offered,
+                        m: note.capacity,
+                    },
+                );
+            }
+            if verdict.key_reveal {
+                trace.emit(
+                    at,
+                    TraceEvent::KeyReveal {
+                        interval: verdict.interval,
+                    },
+                );
+            }
+        }
+        let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
+        if junk > 0 {
+            registry.incr(keys::NET_DECODE_ERRORS);
+            registry.add(keys::NET_DECODE_RESYNC_BYTES, junk);
+        }
+        datagrams += 1;
+        if let Some(shared) = &obs.publish {
+            if obs.publish_every > 0 && datagrams.is_multiple_of(obs.publish_every) {
+                shared.publish(shard, &registry);
+                published_at = datagrams;
+            }
+        }
+    }
+    if let Some(shared) = &obs.publish {
+        shared.publish(shard, &registry);
+    }
+    (registry, trace.into_sink().into_records())
 }
 
 /// SplitMix64's finalizer — mixes consecutive interval indices across
@@ -441,11 +752,11 @@ mod tests {
             assert!(handle.ingest(&rev, during(i + 1)));
         }
         let metrics = pool.shutdown();
-        assert_eq!(metrics.get("net.reveal.auth"), 20);
-        assert_eq!(metrics.get("net.reveal.total"), 20);
-        assert_eq!(metrics.get("net.ingress.frames"), 40);
-        assert_eq!(metrics.get("net.decode.errors"), 0);
-        assert_eq!(metrics.get("net.ingress.dropped"), 0);
+        assert_eq!(metrics.get(keys::NET_REVEAL_AUTH), 20);
+        assert_eq!(metrics.get(keys::NET_REVEAL_TOTAL), 20);
+        assert_eq!(metrics.get(keys::NET_INGRESS_FRAMES), 40);
+        assert_eq!(metrics.get(keys::NET_DECODE_ERRORS), 0);
+        assert_eq!(metrics.get(keys::NET_INGRESS_DROPPED), 0);
     }
 
     #[test]
@@ -475,15 +786,16 @@ mod tests {
         let handle = pool.handle();
         assert!(handle.ingest(&[0xff, 0xfe, 0xfd], SimTime(10)));
         let metrics = pool.shutdown();
-        assert_eq!(metrics.get("net.ingress.frames"), 1);
-        assert_eq!(metrics.get("net.decode.errors"), 1);
-        assert_eq!(metrics.get("net.decode.resync_bytes"), 3);
+        assert_eq!(metrics.get(keys::NET_INGRESS_FRAMES), 1);
+        assert_eq!(metrics.get(keys::NET_DECODE_ERRORS), 1);
+        assert_eq!(metrics.get(keys::NET_DECODE_RESYNC_BYTES), 3);
     }
 
     #[test]
     fn drop_count_policy_sheds_when_full() {
         // One shard, depth 1, and the worker can't start drain faster
-        // than we push 200 frames — some must shed, all must be counted.
+        // than we push 200 frames — some must shed, all must be counted
+        // and attributed to the queue-full reason.
         let sender = DapSender::new(b"pool", 8, params(2));
         let pool = ReceiverPool::spawn(
             PoolConfig {
@@ -507,10 +819,13 @@ mod tests {
             }
         }
         let dropped = handle.live().dropped();
-        let metrics = pool.shutdown();
+        let report = pool.shutdown_with_report();
+        let counters = report.registry.counters();
         assert_eq!(accepted + dropped, 200);
-        assert_eq!(metrics.get("net.ingress.frames"), accepted);
-        assert_eq!(metrics.get("net.ingress.dropped"), dropped);
+        assert_eq!(counters.get(keys::NET_INGRESS_FRAMES), accepted);
+        assert_eq!(counters.get(keys::NET_INGRESS_DROPPED), dropped);
+        assert_eq!(counters.get(keys::NET_DROP_QUEUE_FULL), dropped);
+        assert_eq!(counters.get(keys::NET_DROP_CLOSED), 0);
     }
 
     #[test]
@@ -555,7 +870,114 @@ mod tests {
             handle.ingest(&rev, during(i + 1));
         }
         let metrics = pool.shutdown();
-        assert_eq!(metrics.get("net.reveal.auth"), 5);
-        assert_eq!(metrics.get("net.announce.stored"), 5);
+        assert_eq!(metrics.get(keys::NET_REVEAL_AUTH), 5);
+        assert_eq!(metrics.get(keys::NET_ANNOUNCE_STORED), 5);
+    }
+
+    #[test]
+    fn traced_pool_reports_latency_histograms_and_ordered_events() {
+        use dap_obs::ManualTime;
+
+        let mut sender = DapSender::new(b"traced", 64, params(4));
+        let bootstrap = sender.bootstrap();
+        let obs = PoolObs {
+            time: TimeSource::manual(ManualTime::new()),
+            trace_depth: 4096,
+            publish: None,
+            publish_every: 0,
+        };
+        let pool = ReceiverPool::spawn_with_obs(
+            PoolConfig {
+                shards: 2,
+                queue_depth: 64,
+                overflow: OverflowPolicy::Block,
+            },
+            11,
+            |shard| DapShard::new(bootstrap, &[b't', shard as u8]),
+            obs,
+        );
+        let handle = pool.handle();
+        for i in 1..=10u64 {
+            let ann =
+                codec::encode(&DapMessage::Announce(sender.announce(i, b"r").unwrap())).unwrap();
+            handle.ingest(&ann, during(i));
+            let rev = codec::encode(&DapMessage::Reveal(sender.reveal(i).unwrap())).unwrap();
+            handle.ingest(&rev, during(i + 1));
+        }
+        let report = pool.shutdown_with_report();
+        // 20 frames → 20 verify-latency samples (frozen clocks: all 0).
+        let verify = report
+            .registry
+            .get_histogram(keys::NET_VERIFY_LATENCY_NS)
+            .expect("verify histogram");
+        assert_eq!(verify.count(), 20);
+        assert_eq!(verify.max(), Some(0));
+        // Manual time ⇒ no scheduler-dependent occupancy samples.
+        assert!(report
+            .registry
+            .get_histogram(keys::NET_QUEUE_OCCUPANCY)
+            .is_none());
+        // The trace is sorted by (source, seq) and seqs are gapless per
+        // source.
+        let mut last: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for record in &report.trace {
+            let next = last.entry(record.source).or_insert(0);
+            assert_eq!(record.seq, *next, "gapless per-source seq");
+            *next += 1;
+        }
+        // Every protocol event made it in: 10 buffer decisions (one per
+        // announce), 10 key reveals, 20 verify start/end pairs.
+        let count = |name: &str| {
+            report
+                .trace
+                .iter()
+                .filter(|r| r.event.name() == name)
+                .count()
+        };
+        assert_eq!(count("frame_rx"), 20);
+        assert_eq!(count("verify_start"), 20);
+        assert_eq!(count("verify_end"), 20);
+        assert_eq!(count("buffer_decision"), 10);
+        assert_eq!(count("key_reveal"), 10);
+        assert_eq!(count("shard_stall"), 0);
+    }
+
+    #[test]
+    fn live_publish_feeds_the_shared_registry() {
+        let mut sender = DapSender::new(b"pub", 32, params(4));
+        let bootstrap = sender.bootstrap();
+        let shared = Arc::new(SharedRegistry::new(2));
+        let obs = PoolObs {
+            time: TimeSource::frozen(),
+            trace_depth: 0,
+            publish: Some(Arc::clone(&shared)),
+            publish_every: 1,
+        };
+        let pool = ReceiverPool::spawn_with_obs(
+            PoolConfig {
+                shards: 2,
+                queue_depth: 64,
+                overflow: OverflowPolicy::Block,
+            },
+            5,
+            |shard| DapShard::new(bootstrap, &[b'p', shard as u8]),
+            obs,
+        );
+        let handle = pool.handle();
+        for i in 1..=8u64 {
+            let ann =
+                codec::encode(&DapMessage::Announce(sender.announce(i, b"r").unwrap())).unwrap();
+            handle.ingest(&ann, during(i));
+        }
+        let report = pool.shutdown_with_report();
+        // The final publish happens at worker exit, so the scraped view
+        // agrees with the shutdown merge (reader-side drop folding
+        // aside — there were no drops here).
+        let snapshot = shared.snapshot();
+        assert_eq!(
+            snapshot.counters().get(keys::NET_INGRESS_FRAMES),
+            report.registry.counters().get(keys::NET_INGRESS_FRAMES)
+        );
+        assert_eq!(snapshot.counters().get(keys::NET_INGRESS_FRAMES), 8);
     }
 }

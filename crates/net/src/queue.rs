@@ -16,6 +16,37 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// Why a push was rejected, carrying the item back so the caller can
+/// count the drop (and attribute it: a full queue is congestion, a
+/// closed queue is shutdown — different telemetry).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity (only `try_push` reports this).
+    Full(T),
+    /// The queue has been closed; no push can ever succeed again.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(item) | Self::Closed(item) => item,
+        }
+    }
+}
+
+/// What a timed pop yielded; see [`IngressQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item arrived (or was already queued).
+    Item(T),
+    /// The timeout elapsed with the queue open and empty.
+    Idle,
+    /// The queue is closed *and* drained — the worker is done.
+    Closed,
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -54,10 +85,18 @@ impl<T> IngressQueue<T> {
 
     /// Non-blocking push: `Err` returns the item when the queue is full
     /// or closed — the caller decides whether that is a counted drop.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`IngressQueue::close`]; both carry the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue mutex poisoned");
-        if state.closed || state.items.len() >= self.capacity {
-            return Err(item);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
         }
         state.items.push_back(item);
         drop(state);
@@ -65,15 +104,19 @@ impl<T> IngressQueue<T> {
         Ok(())
     }
 
-    /// Blocking push: waits for space (backpressure). `Err` returns the
-    /// item only when the queue has been closed.
-    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+    /// Blocking push: waits for space (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] (the only failure — a full queue parks the
+    /// caller instead).
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue mutex poisoned");
         while !state.closed && state.items.len() >= self.capacity {
             state = self.writable.wait(state).expect("queue mutex poisoned");
         }
         if state.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
         state.items.push_back(item);
         drop(state);
@@ -98,6 +141,36 @@ impl<T> IngressQueue<T> {
         }
     }
 
+    /// Like [`IngressQueue::pop`], but gives up after `timeout` when the
+    /// queue is open and empty — so a worker can interleave periodic
+    /// work (telemetry publishing) with draining, without busy-polling
+    /// and without stalling live metrics behind a quiet wire.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> Pop<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.writable.notify_one();
+                return Pop::Item(item);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return Pop::Idle;
+            };
+            let (next, result) = self
+                .readable
+                .wait_timeout(state, remaining)
+                .expect("queue mutex poisoned");
+            state = next;
+            if result.timed_out() && state.items.is_empty() && !state.closed {
+                return Pop::Idle;
+            }
+        }
+    }
+
     /// Closes the queue: pushes start failing, pops drain then end.
     pub fn close(&self) {
         let mut state = self.state.lock().expect("queue mutex poisoned");
@@ -113,6 +186,12 @@ impl<T> IngressQueue<T> {
         self.state.lock().expect("queue mutex poisoned").items.len()
     }
 
+    /// The configured capacity (occupancy telemetry wants `len/cap`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the queue is currently empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -124,6 +203,22 @@ impl<T> IngressQueue<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn pop_timeout_reports_idle_item_and_closed() {
+        let q = IngressQueue::new(4);
+        let t = std::time::Duration::from_millis(10);
+        assert_eq!(q.pop_timeout(t), Pop::Idle);
+        q.try_push(5).unwrap();
+        assert_eq!(q.pop_timeout(t), Pop::Item(5));
+        q.try_push(6).unwrap();
+        q.close();
+        // Items pushed before close still drain, then Closed — never
+        // Idle on a closed queue.
+        assert_eq!(q.pop_timeout(t), Pop::Item(6));
+        assert_eq!(q.pop_timeout(t), Pop::Closed);
+        assert_eq!(q.pop_timeout(t), Pop::Closed);
+    }
 
     #[test]
     fn fifo_roundtrip() {
@@ -139,9 +234,10 @@ mod tests {
     #[test]
     fn try_push_rejects_when_full() {
         let q = IngressQueue::new(2);
+        assert_eq!(q.capacity(), 2);
         q.try_push("a").unwrap();
         q.try_push("b").unwrap();
-        assert_eq!(q.try_push("c"), Err("c"));
+        assert_eq!(q.try_push("c"), Err(PushError::Full("c")));
         assert_eq!(q.pop(), Some("a"));
         q.try_push("c").unwrap();
     }
@@ -151,8 +247,8 @@ mod tests {
         let q = IngressQueue::new(4);
         q.try_push(7).unwrap();
         q.close();
-        assert_eq!(q.try_push(8), Err(8));
-        assert_eq!(q.push_blocking(9), Err(9));
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.push_blocking(9).map_err(PushError::into_inner), Err(9));
         assert_eq!(q.pop(), Some(7));
         assert_eq!(q.pop(), None);
     }

@@ -14,7 +14,8 @@ use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use dap_simnet::{ChannelModel, Metrics, SimRng};
+use dap_obs::{RingSink, TraceEmitter, TraceEvent, TraceRecord};
+use dap_simnet::{keys, ChannelModel, Metrics, SimRng};
 
 /// A broadcast medium a node can send frames into and read frames from.
 ///
@@ -124,6 +125,10 @@ struct LoopbackState {
     sent: u64,
     lost: u64,
     corrupted: u64,
+    /// Wire-fault trace (loss/corruption injections), stamped with the
+    /// send ordinal — fate is sampled at send time, so the ordinal is
+    /// the deterministic "when" of the wire.
+    trace: Option<TraceEmitter<RingSink>>,
 }
 
 /// A seeded in-process broadcast medium.
@@ -162,8 +167,29 @@ impl LoopbackTransport {
                 sent: 0,
                 lost: 0,
                 corrupted: 0,
+                trace: None,
             })),
         }
+    }
+
+    /// Enables wire-fault tracing: loss/corruption injections are
+    /// recorded as [`TraceEvent::FaultInjected`] under `source`, ring-
+    /// bounded at `depth` records. Pick a `source` id that does not
+    /// collide with the pool's shard/reader ids.
+    pub fn enable_trace(&self, source: u32, depth: usize) {
+        self.state.lock().expect("loopback mutex poisoned").trace =
+            Some(TraceEmitter::new(source, RingSink::new(depth)));
+    }
+
+    /// Drains the wire-fault trace records collected so far.
+    #[must_use]
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        self.state
+            .lock()
+            .expect("loopback mutex poisoned")
+            .trace
+            .take()
+            .map_or_else(Vec::new, |emitter| emitter.into_sink().into_records())
     }
 
     /// Wire-level counters (`net.wire.*`): frames sent, lost, corrupted.
@@ -171,9 +197,9 @@ impl LoopbackTransport {
     pub fn wire_metrics(&self) -> Metrics {
         let state = self.state.lock().expect("loopback mutex poisoned");
         let mut m = Metrics::new();
-        m.add("net.wire.sent", state.sent);
-        m.add("net.wire.lost", state.lost);
-        m.add("net.wire.corrupted", state.corrupted);
+        m.add(keys::NET_WIRE_SENT, state.sent);
+        m.add(keys::NET_WIRE_LOST, state.lost);
+        m.add(keys::NET_WIRE_CORRUPTED, state.corrupted);
         m
     }
 
@@ -193,8 +219,12 @@ impl Transport for LoopbackTransport {
         let mut guard = self.state.lock().expect("loopback mutex poisoned");
         let state = &mut *guard;
         state.sent += 1;
+        let ordinal = state.sent;
         if state.channel.sample(&mut state.rng).is_none() {
             state.lost += 1;
+            if let Some(trace) = &mut state.trace {
+                trace.emit(ordinal, TraceEvent::FaultInjected { kind: "wire.loss" });
+            }
             return Ok(());
         }
         let mut bytes = frame.to_vec();
@@ -202,6 +232,14 @@ impl Transport for LoopbackTransport {
             let bit = state.rng.below((bytes.len() as u64) * 8);
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
             state.corrupted += 1;
+            if let Some(trace) = &mut state.trace {
+                trace.emit(
+                    ordinal,
+                    TraceEvent::FaultInjected {
+                        kind: "wire.corrupt",
+                    },
+                );
+            }
         }
         state.queue.push_back(bytes);
         Ok(())

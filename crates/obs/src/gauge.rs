@@ -1,0 +1,137 @@
+//! A last/min/max sample tracker for instantaneous readings (queue
+//! occupancy, in-flight frames) where a histogram's bucket resolution
+//! would be overkill but "what was it, how bad did it get" still
+//! matters.
+
+/// Tracks the last, smallest and largest of a series of `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gauge {
+    last: u64,
+    min: u64,
+    max: u64,
+    sets: u64,
+}
+
+impl Gauge {
+    /// An unset gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn set(&mut self, v: u64) {
+        if self.sets == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.last = v;
+        self.sets = self.sets.saturating_add(1);
+    }
+
+    /// The most recent sample, `None` when unset.
+    #[must_use]
+    pub fn last(&self) -> Option<u64> {
+        (self.sets > 0).then_some(self.last)
+    }
+
+    /// The smallest sample seen, `None` when unset.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.sets > 0).then_some(self.min)
+    }
+
+    /// The largest sample seen, `None` when unset.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.sets > 0).then_some(self.max)
+    }
+
+    /// How many samples have been recorded.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Folds another gauge into this one. Min/max combine exactly; for
+    /// `last` there is no global order between two merged streams, so
+    /// the larger of the two lasts wins — a deterministic choice that
+    /// keeps shard-merge results independent of merge order.
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.sets == 0 {
+            return;
+        }
+        if self.sets == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.last = self.last.max(other.last);
+        self.sets = self.sets.saturating_add(other.sets);
+    }
+
+    /// A byte-stable one-line summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.sets == 0 {
+            return "unset".to_string();
+        }
+        format!(
+            "last={} min={} max={} sets={}",
+            self.last, self.min, self.max, self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_gauge_reports_nothing() {
+        let g = Gauge::new();
+        assert_eq!(g.last(), None);
+        assert_eq!(g.min(), None);
+        assert_eq!(g.max(), None);
+        assert_eq!(g.render(), "unset");
+    }
+
+    #[test]
+    fn tracks_last_min_max() {
+        let mut g = Gauge::new();
+        g.set(5);
+        g.set(2);
+        g.set(9);
+        g.set(4);
+        assert_eq!(g.last(), Some(4));
+        assert_eq!(g.min(), Some(2));
+        assert_eq!(g.max(), Some(9));
+        assert_eq!(g.sets(), 4);
+        assert_eq!(g.render(), "last=4 min=2 max=9 sets=4");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Gauge::new();
+        a.set(3);
+        a.set(7);
+        let mut b = Gauge::new();
+        b.set(1);
+        b.set(5);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.min(), Some(1));
+        assert_eq!(ab.max(), Some(7));
+        assert_eq!(ab.last(), Some(7));
+        let mut with_empty = a.clone();
+        with_empty.merge(&Gauge::new());
+        assert_eq!(with_empty, a);
+    }
+}

@@ -1,9 +1,14 @@
-//! A minimal JSON writer for the experiment binaries.
+//! A minimal JSON writer for the experiment binaries and the trace
+//! layer.
 //!
 //! The workspace builds hermetically, so there is no `serde`; the bench
-//! outputs are flat arrays of records, which this covers in a few dozen
-//! lines. Strings are escaped per RFC 8259; non-finite floats (which
-//! JSON cannot represent) serialise as `null`.
+//! outputs and trace records are flat objects, which this covers in a
+//! few dozen lines. Strings are escaped per RFC 8259; non-finite floats
+//! (which JSON cannot represent) serialise as `null`.
+//!
+//! Historically this lived in `dap-bench`; it moved here so the JSONL
+//! trace sink could use it without a dependency cycle (`dap-bench`
+//! re-exports it unchanged).
 
 use std::fmt::Write;
 

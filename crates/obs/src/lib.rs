@@ -1,0 +1,50 @@
+//! # dap-obs — the observability plane
+//!
+//! The paper's claims are distributional — buffer survival `1 − p^m`,
+//! verify cost under flood — so sums are not enough: this crate gives
+//! every layer of the workspace the same vocabulary for *distributions*
+//! and *event sequences*, without pulling in a single dependency (the
+//! workspace builds hermetically) and without breaking the seeded
+//! bit-reproducibility the chaos and soak gates rely on.
+//!
+//! The pieces:
+//!
+//! * [`hist`] — an allocation-free log2-bucketed streaming
+//!   [`Histogram`] (HDR-style: 64 major buckets × 16 linear sub-buckets
+//!   cover all of `u64` at ≤ 1/16 relative error) with `record`,
+//!   `merge`, `quantile` and a byte-stable `render`;
+//! * [`gauge`] — [`Gauge`], a last/min/max sample tracker;
+//! * [`time`] — [`TimeSource`]: wall-clock `Instant` on the wire, a
+//!   tick-driven [`ManualTime`] in sim and tests, and [`Stopwatch`]
+//!   over either, so latency instrumentation can stay in place while a
+//!   deterministic run records all-zero durations instead of
+//!   scheduler noise;
+//! * [`trace`] — typed [`TraceEvent`]s behind a [`TraceSink`] trait
+//!   (bounded ring buffer or JSONL file), each record carrying a
+//!   per-source monotone sequence number so interleavings from a
+//!   sharded pool can be totally ordered and replay-diffed;
+//! * [`json`] — the minimal JSON writer the bench binaries use (moved
+//!   here from `dap-bench` so the trace layer can sit below it;
+//!   `dap_bench::json` re-exports it unchanged).
+//!
+//! Determinism rule of thumb: anything that feeds a fingerprint must be
+//! derived from protocol state (interval indices, frame ordinals, seeded
+//! draws) or from a [`ManualTime`]; wall-clock readings are for live
+//! runs and bench reports only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gauge;
+pub mod hist;
+pub mod json;
+pub mod time;
+pub mod trace;
+
+pub use gauge::Gauge;
+pub use hist::Histogram;
+pub use time::{ManualTime, Stopwatch, TimeSource};
+pub use trace::{
+    render_jsonl, sort_records, JsonlSink, NullSink, RingSink, TraceEmitter, TraceEvent,
+    TraceRecord, TraceSink,
+};

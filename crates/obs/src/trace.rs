@@ -1,0 +1,456 @@
+//! Structured tracing: typed events, per-source monotone sequence
+//! numbers, pluggable sinks.
+//!
+//! Every record names its *source* (a shard index, the wire, the socket
+//! reader) and carries that source's own monotone sequence number. Two
+//! same-seed runs of the sharded pool interleave work differently
+//! across threads, but each source's event *sequence* is deterministic
+//! — so sorting the collected records by `(source, seq)`
+//! ([`sort_records`]) produces a total order that is byte-identical
+//! across runs, which is what the ci.sh telemetry gate diffs.
+//!
+//! The `at` field is protocol time (the simulator-tick timestamp the
+//! frame was ingested at, or a source-specific ordinal for the wire) —
+//! **not** wall time, which would destroy reproducibility. Wall time
+//! appears exactly once, in the JSONL header line [`JsonlSink::create`]
+//! writes, and trace diffs skip that line.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use crate::json::JsonObject;
+
+/// One typed trace event. Fields are the data a replay-diff needs to
+/// explain a divergence, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame arrived at a shard (payload length in bytes).
+    FrameRx {
+        /// Datagram length in bytes.
+        bytes: u64,
+    },
+    /// Verification of a decoded frame is starting.
+    VerifyStart {
+        /// The interval index the frame claims.
+        interval: u64,
+    },
+    /// Verification finished.
+    VerifyEnd {
+        /// The interval index the frame claims.
+        interval: u64,
+        /// Outcome label (`"stored"`, `"auth"`, `"unsafe"`, …).
+        outcome: &'static str,
+        /// Stopwatch reading (0 under manual time).
+        elapsed_ns: u64,
+    },
+    /// A reservoir buffer decided an announce's fate.
+    BufferDecision {
+        /// The interval whose pool decided.
+        interval: u64,
+        /// Whether the μMAC was kept (stored or replaced an entry).
+        kept: bool,
+        /// Offers this interval's pool has seen so far (the paper's `k`).
+        k: u64,
+        /// Pool capacity (the paper's `m`).
+        m: u64,
+    },
+    /// A reveal disclosed a chain key.
+    KeyReveal {
+        /// The revealed interval.
+        interval: u64,
+    },
+    /// A shard's ingress queue rejected a frame (DropCount posture).
+    ShardStall {
+        /// Which shard stalled.
+        shard: u32,
+        /// Queue occupancy at the moment of rejection.
+        depth: u64,
+    },
+    /// The medium injected a fault (loss, corruption, …).
+    FaultInjected {
+        /// Fault label (`"wire.loss"`, `"wire.corrupt"`, …).
+        kind: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// The event's stable name (the `ev` field in JSONL).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FrameRx { .. } => "frame_rx",
+            Self::VerifyStart { .. } => "verify_start",
+            Self::VerifyEnd { .. } => "verify_end",
+            Self::BufferDecision { .. } => "buffer_decision",
+            Self::KeyReveal { .. } => "key_reveal",
+            Self::ShardStall { .. } => "shard_stall",
+            Self::FaultInjected { .. } => "fault_injected",
+        }
+    }
+}
+
+/// One emitted record: who, when (protocol time), in what order, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Source id (shard index; see the pool for reserved ids).
+    pub source: u32,
+    /// This source's monotone sequence number, starting at 0.
+    pub seq: u64,
+    /// Protocol-time stamp (simulator ticks or a source ordinal).
+    pub at: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// One JSONL line (no trailing newline): fixed field order
+    /// `src, seq, at, ev`, then the event's own fields.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let base = JsonObject::new()
+            .u64("src", u64::from(self.source))
+            .u64("seq", self.seq)
+            .u64("at", self.at)
+            .str("ev", self.event.name());
+        match &self.event {
+            TraceEvent::FrameRx { bytes } => base.u64("bytes", *bytes),
+            TraceEvent::VerifyStart { interval } => base.u64("interval", *interval),
+            TraceEvent::VerifyEnd {
+                interval,
+                outcome,
+                elapsed_ns,
+            } => base
+                .u64("interval", *interval)
+                .str("outcome", outcome)
+                .u64("elapsed_ns", *elapsed_ns),
+            TraceEvent::BufferDecision {
+                interval,
+                kept,
+                k,
+                m,
+            } => base
+                .u64("interval", *interval)
+                .bool("kept", *kept)
+                .u64("k", *k)
+                .u64("m", *m),
+            TraceEvent::KeyReveal { interval } => base.u64("interval", *interval),
+            TraceEvent::ShardStall { shard, depth } => {
+                base.u64("shard", u64::from(*shard)).u64("depth", *depth)
+            }
+            TraceEvent::FaultInjected { kind } => base.str("kind", kind),
+        }
+        .finish()
+    }
+}
+
+/// Where records go. Sinks are owned per emitter, so recording needs no
+/// synchronisation on the hot path.
+pub trait TraceSink {
+    /// Accepts one record.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// Swallows everything — tracing compiled in, turned off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _record: TraceRecord) {}
+}
+
+/// A bounded ring buffer keeping the most recent records; older ones
+/// are shed and counted. This is the in-memory sink the pool shards
+/// use — bounded so a flood cannot turn tracing into an allocator
+/// attack on the defender.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    shed: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (0 disables retention:
+    /// every record is shed and counted).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            shed: 0,
+        }
+    }
+
+    /// Records shed because the ring was full.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Records currently retained, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &VecDeque<TraceRecord> {
+        &self.records
+    }
+
+    /// Consumes the ring, returning retained records oldest first.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records.into()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, record: TraceRecord) {
+        if self.capacity == 0 {
+            self.shed = self.shed.saturating_add(1);
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.shed = self.shed.saturating_add(1);
+        }
+        self.records.push_back(record);
+    }
+}
+
+/// Writes one JSON object per line to an [`io::Write`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlSink<io::BufWriter<std::fs::File>> {
+    /// Creates `path` and writes the header line — the only place wall
+    /// time appears in a trace, which is why trace diffs compare from
+    /// line 2 (`tail -n +2`).
+    ///
+    /// # Errors
+    ///
+    /// File creation / write errors.
+    pub fn create(path: &str) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = io::BufWriter::new(file);
+        let wall_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        let header = JsonObject::new()
+            .str("trace", "dap-obs")
+            .u64("version", 1)
+            .u64("wall_unix_ms", wall_ms)
+            .finish();
+        writeln!(writer, "{header}")?;
+        Ok(Self { writer })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink over an arbitrary writer, with no header line.
+    pub fn from_writer(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Flushes and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, record: TraceRecord) {
+        // A full disk mid-trace must not take the run down with it.
+        let _ = writeln!(self.writer, "{}", record.to_json());
+    }
+}
+
+/// Stamps records with one source id and that source's monotone
+/// sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceEmitter<S: TraceSink> {
+    source: u32,
+    next_seq: u64,
+    sink: S,
+}
+
+impl<S: TraceSink> TraceEmitter<S> {
+    /// An emitter for `source` writing into `sink`.
+    pub fn new(source: u32, sink: S) -> Self {
+        Self {
+            source,
+            next_seq: 0,
+            sink,
+        }
+    }
+
+    /// Emits one event at protocol time `at`.
+    pub fn emit(&mut self, at: u64, event: TraceEvent) {
+        let record = TraceRecord {
+            source: self.source,
+            seq: self.next_seq,
+            at,
+            event,
+        };
+        self.next_seq += 1;
+        self.sink.record(record);
+    }
+
+    /// This emitter's source id.
+    #[must_use]
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// Records emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sink, for in-place inspection.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the emitter, returning its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+/// Sorts records into the canonical total order: by `(source, seq)`.
+/// Each source's sequence is deterministic, so the sorted stream of a
+/// seeded run is byte-identical across executions regardless of how
+/// threads interleaved.
+pub fn sort_records(records: &mut [TraceRecord]) {
+    records.sort_by_key(|r| (r.source, r.seq));
+}
+
+/// Renders records as JSONL (one line each, trailing newline after the
+/// last when non-empty).
+#[must_use]
+pub fn render_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(source: u32, seq: u64) -> TraceRecord {
+        TraceRecord {
+            source,
+            seq,
+            at: seq * 10,
+            event: TraceEvent::FrameRx { bytes: 42 },
+        }
+    }
+
+    #[test]
+    fn emitter_assigns_monotone_seqs() {
+        let mut emitter = TraceEmitter::new(3, RingSink::new(8));
+        emitter.emit(100, TraceEvent::VerifyStart { interval: 7 });
+        emitter.emit(
+            100,
+            TraceEvent::VerifyEnd {
+                interval: 7,
+                outcome: "stored",
+                elapsed_ns: 0,
+            },
+        );
+        assert_eq!(emitter.emitted(), 2);
+        let records = emitter.into_sink().into_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert!(records.iter().all(|r| r.source == 3));
+    }
+
+    #[test]
+    fn ring_sheds_oldest_and_counts() {
+        let mut ring = RingSink::new(2);
+        for seq in 0..5 {
+            ring.record(sample(0, seq));
+        }
+        assert_eq!(ring.shed(), 3);
+        let kept: Vec<u64> = ring.records().iter().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+        let mut zero = RingSink::new(0);
+        zero.record(sample(0, 0));
+        assert_eq!(zero.shed(), 1);
+        assert!(zero.records().is_empty());
+    }
+
+    #[test]
+    fn sort_is_total_by_source_then_seq() {
+        let mut records = vec![sample(1, 0), sample(0, 1), sample(0, 0), sample(1, 1)];
+        sort_records(&mut records);
+        let order: Vec<(u32, u64)> = records.iter().map(|r| (r.source, r.seq)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn every_event_serialises_with_its_name() {
+        let events = [
+            TraceEvent::FrameRx { bytes: 9 },
+            TraceEvent::VerifyStart { interval: 2 },
+            TraceEvent::VerifyEnd {
+                interval: 2,
+                outcome: "auth",
+                elapsed_ns: 5,
+            },
+            TraceEvent::BufferDecision {
+                interval: 2,
+                kept: true,
+                k: 7,
+                m: 4,
+            },
+            TraceEvent::KeyReveal { interval: 2 },
+            TraceEvent::ShardStall {
+                shard: 1,
+                depth: 64,
+            },
+            TraceEvent::FaultInjected { kind: "wire.loss" },
+        ];
+        for event in events {
+            let name = event.name();
+            let record = TraceRecord {
+                source: 0,
+                seq: 0,
+                at: 0,
+                event,
+            };
+            let line = record.to_json();
+            assert!(line.starts_with("{\"src\":0,\"seq\":0,\"at\":0,"), "{line}");
+            assert!(line.contains(&format!("\"ev\":\"{name}\"")), "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::from_writer(Vec::new());
+        sink.record(sample(0, 0));
+        sink.record(sample(0, 1));
+        let bytes = sink.finish().expect("flush");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(render_jsonl(&[sample(0, 0), sample(0, 1)]), text);
+    }
+
+    #[test]
+    fn render_jsonl_round_trips_byte_stably() {
+        let records = vec![sample(0, 0), sample(2, 5)];
+        assert_eq!(render_jsonl(&records), render_jsonl(&records.clone()));
+        assert_eq!(render_jsonl(&[]), "");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the streaming histogram: on arbitrary sample
+//! sets, quantiles must behave like quantiles — monotone in `p`,
+//! bounded by the exact min/max, within the documented ≤ 1/16 relative
+//! error of the true order statistic — and merging must equal
+//! recording, so per-shard histograms can be folded without bias.
+
+use dap_obs::Histogram;
+use dap_testkit::check;
+
+/// Arbitrary sample sets need spread across bucket scales, not just a
+/// uniform draw (which would almost never land in the small exact
+/// buckets): pick a magnitude, then a value within it.
+fn arbitrary_samples(g: &mut dap_testkit::Gen) -> Vec<u64> {
+    let n = g.usize_in(1..200);
+    (0..n)
+        .map(|_| {
+            let bits = g.u64_in(1..64);
+            g.u64_in(0..1u64 << bits)
+        })
+        .collect()
+}
+
+#[test]
+fn quantile_is_monotone_in_p_and_bounded_by_min_max() {
+    check("hist_quantile_monotone_bounded", |g| {
+        let samples = arbitrary_samples(g);
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let min = h.min().expect("non-empty");
+        let max = h.max().expect("non-empty");
+        assert_eq!(min, *samples.iter().min().expect("non-empty"));
+        assert_eq!(max, *samples.iter().max().expect("non-empty"));
+        let mut prev = min;
+        for i in 0..=20 {
+            let q = h.quantile(f64::from(i) / 20.0).expect("non-empty");
+            assert!(q >= prev, "quantile regressed: {q} < {prev} at i={i}");
+            assert!((min..=max).contains(&q), "{q} outside [{min}, {max}]");
+            prev = q;
+        }
+    });
+}
+
+#[test]
+fn quantile_tracks_the_exact_order_statistic_within_a_sixteenth() {
+    check("hist_quantile_relative_error", |g| {
+        let samples = arbitrary_samples(g);
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(p).expect("non-empty");
+            // Bucket lower bound: approx ≤ exact, within one sub-bucket
+            // (1/16 relative, and never more than one off absolutely).
+            assert!(approx <= exact, "p={p}: {approx} > exact {exact}");
+            let tolerance = (exact / 16).max(1);
+            assert!(
+                exact - approx <= tolerance,
+                "p={p}: {approx} vs exact {exact} (tolerance {tolerance})"
+            );
+        }
+    });
+}
+
+#[test]
+fn merging_shards_equals_recording_in_one() {
+    check("hist_merge_equals_record", |g| {
+        let left = arbitrary_samples(g);
+        let right = arbitrary_samples(g);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &s in &left {
+            a.record(s);
+            whole.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+            whole.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal recording the union");
+        assert_eq!(a.render(), whole.render());
+        assert_eq!(a.count(), (left.len() + right.len()) as u64);
+    });
+}

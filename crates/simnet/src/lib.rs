@@ -75,7 +75,7 @@ pub use channel::{ChannelModel, LossModel};
 pub use clock::ClockOffsets;
 pub use energy::EnergyModel;
 pub use fault::{DriftSchedule, FaultPlan, FaultWindow};
-pub use metrics::Metrics;
+pub use metrics::{keys, Metrics, Registry};
 pub use network::{Context, Frame, Network, Node, NodeId, TimerToken};
 pub use rng::SimRng;
 pub use stats::Samples;

@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 
 use crate::channel::ChannelModel;
 use crate::fault::FaultPlan;
-use crate::metrics::Metrics;
+use crate::metrics::{keys, Metrics};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -377,7 +377,7 @@ impl<M: Clone + 'static> Network<M> {
         };
         if drift != slot.last_drift {
             slot.last_drift = drift;
-            self.metrics.incr("fault.drift_shifts");
+            self.metrics.incr(keys::FAULT_DRIFT_SHIFTS);
         }
         let clock_offset = slot.clock_offset.saturating_add(drift);
         let Some(mut behavior) = slot.behavior.take() else {
@@ -415,11 +415,11 @@ impl<M: Clone + 'static> Network<M> {
         match action {
             Action::Broadcast { message, size_bits } => {
                 if silenced {
-                    self.metrics.incr("fault.crash_silenced");
+                    self.metrics.incr(keys::FAULT_CRASH_SILENCED);
                     return;
                 }
-                self.metrics.incr("net.frames_broadcast");
-                self.metrics.add("net.bits_sent", u64::from(size_bits));
+                self.metrics.incr(keys::NET_FRAMES_BROADCAST);
+                self.metrics.add(keys::NET_BITS_SENT, u64::from(size_bits));
                 for i in 0..self.nodes.len() {
                     if i == src.0 {
                         continue;
@@ -433,11 +433,11 @@ impl<M: Clone + 'static> Network<M> {
                 size_bits,
             } => {
                 if silenced {
-                    self.metrics.incr("fault.crash_silenced");
+                    self.metrics.incr(keys::FAULT_CRASH_SILENCED);
                     return;
                 }
-                self.metrics.incr("net.frames_unicast");
-                self.metrics.add("net.bits_sent", u64::from(size_bits));
+                self.metrics.incr(keys::NET_FRAMES_UNICAST);
+                self.metrics.add(keys::NET_BITS_SENT, u64::from(size_bits));
                 self.deliver_one(src, to, message, size_bits);
             }
             Action::Timer { delay, token } => {
@@ -456,18 +456,18 @@ impl<M: Clone + 'static> Network<M> {
             // Blackouts gate the send instant: nothing new enters the
             // medium, but frames already in flight still land.
             if plan.blackout_at(now) {
-                self.metrics.incr("fault.blackout_dropped");
+                self.metrics.incr(keys::FAULT_BLACKOUT_DROPPED);
                 return;
             }
             // A crashed receiver's radio is off.
             if plan.crashed(to, now) {
-                self.metrics.incr("fault.crash_dropped");
+                self.metrics.incr(keys::FAULT_CRASH_DROPPED);
                 return;
             }
         }
         let slot = &mut self.nodes[to.0];
         let Some(latency) = slot.channel.sample(&mut self.rng) else {
-            self.metrics.incr("net.frames_lost");
+            self.metrics.incr(keys::NET_FRAMES_LOST);
             return;
         };
         let copies = if self
@@ -475,7 +475,7 @@ impl<M: Clone + 'static> Network<M> {
             .as_mut()
             .is_some_and(|plan| plan.duplicate_frame(now))
         {
-            self.metrics.incr("fault.duplicated");
+            self.metrics.incr(keys::FAULT_DUPLICATED);
             2
         } else {
             1
@@ -485,7 +485,7 @@ impl<M: Clone + 'static> Network<M> {
             let mut delivered = message.clone();
             if let Some(plan) = &mut self.fault {
                 if let Some(extra) = plan.reorder_extra(now) {
-                    self.metrics.incr("fault.reordered");
+                    self.metrics.incr(keys::FAULT_REORDERED);
                     at += extra;
                 }
                 if plan.corrupt_frame(now) {
@@ -495,19 +495,20 @@ impl<M: Clone + 'static> Network<M> {
                         .and_then(|corrupt| corrupt(&delivered, plan.rng_mut()));
                     match mangled {
                         Some(corrupted) => {
-                            self.metrics.incr("fault.corrupted");
+                            self.metrics.incr(keys::FAULT_CORRUPTED);
                             delivered = corrupted;
                         }
                         None => {
                             // Unparseable garbage: the link layer drops it.
-                            self.metrics.incr("fault.corrupt_dropped");
+                            self.metrics.incr(keys::FAULT_CORRUPT_DROPPED);
                             continue;
                         }
                     }
                 }
             }
-            self.metrics.incr("net.frames_delivered");
-            self.metrics.add("net.bits_delivered", u64::from(size_bits));
+            self.metrics.incr(keys::NET_FRAMES_DELIVERED);
+            self.metrics
+                .add(keys::NET_BITS_DELIVERED, u64::from(size_bits));
             self.schedule(
                 at,
                 Event::Deliver {
@@ -629,8 +630,8 @@ mod tests {
         for id in rxs {
             assert_eq!(net.node_as::<CountRx>(id).unwrap().0, 1);
         }
-        assert_eq!(net.metrics().get("net.frames_delivered"), 5);
-        assert_eq!(net.metrics().get("net.bits_sent"), 8);
+        assert_eq!(net.metrics().get(keys::NET_FRAMES_DELIVERED), 5);
+        assert_eq!(net.metrics().get(keys::NET_BITS_SENT), 8);
     }
 
     #[test]
@@ -669,7 +670,8 @@ mod tests {
         let got = net.node_as::<Sink>(rx).unwrap().0;
         assert!((400..600).contains(&got), "got {got}");
         assert_eq!(
-            net.metrics().get("net.frames_delivered") + net.metrics().get("net.frames_lost"),
+            net.metrics().get(keys::NET_FRAMES_DELIVERED)
+                + net.metrics().get(keys::NET_FRAMES_LOST),
             1000
         );
     }
@@ -870,7 +872,7 @@ mod tests {
             net.node_as::<Collect>(rx).unwrap().0,
             vec![0, 1, 5, 6, 7, 8, 9]
         );
-        assert_eq!(net.metrics().get("fault.blackout_dropped"), 3);
+        assert_eq!(net.metrics().get(keys::FAULT_BLACKOUT_DROPPED), 3);
     }
 
     #[test]
@@ -886,7 +888,7 @@ mod tests {
             net.node_as::<Collect>(rx).unwrap().0,
             vec![0, 1, 5, 6, 7, 8, 9]
         );
-        assert_eq!(net.metrics().get("fault.crash_silenced"), 3);
+        assert_eq!(net.metrics().get(keys::FAULT_CRASH_SILENCED), 3);
     }
 
     #[test]
@@ -900,7 +902,7 @@ mod tests {
             net.node_as::<Collect>(rx).unwrap().0,
             vec![0, 1, 5, 6, 7, 8, 9]
         );
-        assert_eq!(net.metrics().get("fault.crash_dropped"), 3);
+        assert_eq!(net.metrics().get(keys::FAULT_CRASH_DROPPED), 3);
     }
 
     #[test]
@@ -915,8 +917,8 @@ mod tests {
             net.node_as::<Collect>(rx).unwrap().0,
             vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9]
         );
-        assert_eq!(net.metrics().get("fault.duplicated"), 10);
-        assert_eq!(net.metrics().get("net.frames_delivered"), 20);
+        assert_eq!(net.metrics().get(keys::FAULT_DUPLICATED), 10);
+        assert_eq!(net.metrics().get(keys::NET_FRAMES_DELIVERED), 20);
     }
 
     #[test]
@@ -927,7 +929,7 @@ mod tests {
         );
         net.run_until(SimTime(100));
         assert!(net.node_as::<Collect>(rx).unwrap().0.is_empty());
-        assert_eq!(net.metrics().get("fault.corrupt_dropped"), 10);
+        assert_eq!(net.metrics().get(keys::FAULT_CORRUPT_DROPPED), 10);
     }
 
     #[test]
@@ -947,7 +949,7 @@ mod tests {
         for (i, n) in got.iter().enumerate() {
             assert_ne!(*n, i as u32, "frame {i} arrived uncorrupted");
         }
-        assert_eq!(net.metrics().get("fault.corrupted"), 10);
+        assert_eq!(net.metrics().get(keys::FAULT_CORRUPTED), 10);
     }
 
     #[test]
@@ -962,7 +964,7 @@ mod tests {
         // Every sent ping was delayed; the ones whose spike pushed them
         // past the deadline are still queued, the rest landed.
         let got = &net.node_as::<Collect>(rx).unwrap().0;
-        assert_eq!(net.metrics().get("fault.reordered"), 20);
+        assert_eq!(net.metrics().get(keys::FAULT_REORDERED), 20);
         assert!((10..=20).contains(&got.len()), "got {got:?}");
     }
 
@@ -1000,7 +1002,7 @@ mod tests {
             net.node_as::<Probe>(id).unwrap().0,
             vec![110, 120, 137, 147, 147, 157]
         );
-        assert_eq!(net.metrics().get("fault.drift_shifts"), 2);
+        assert_eq!(net.metrics().get(keys::FAULT_DRIFT_SHIFTS), 2);
     }
 
     #[test]
@@ -1015,8 +1017,8 @@ mod tests {
             net.run_until(SimTime(500));
             (
                 net.node_as::<Collect>(rx).unwrap().0.clone(),
-                net.metrics().get("net.frames_delivered"),
-                net.metrics().get("net.frames_lost"),
+                net.metrics().get(keys::NET_FRAMES_DELIVERED),
+                net.metrics().get(keys::NET_FRAMES_LOST),
             )
         }
         assert_eq!(run(None), run(Some(FaultPlan::new(99))));
@@ -1041,9 +1043,9 @@ mod tests {
             net.run_until(SimTime(500));
             (
                 net.node_as::<Collect>(rx).unwrap().0.clone(),
-                net.metrics().get("fault.blackout_dropped"),
-                net.metrics().get("fault.corrupted"),
-                net.metrics().get("fault.duplicated"),
+                net.metrics().get(keys::FAULT_BLACKOUT_DROPPED),
+                net.metrics().get(keys::FAULT_CORRUPTED),
+                net.metrics().get(keys::FAULT_DUPLICATED),
             )
         }
         assert_eq!(run(), run());

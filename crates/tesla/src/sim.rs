@@ -10,7 +10,7 @@
 use std::any::Any;
 
 use dap_crypto::Mac80;
-use dap_simnet::{Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
+use dap_simnet::{keys, Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
 
 use crate::tesla::{
     Bootstrap, DisclosedKey, ReceiverEvent, TeslaPacket, TeslaReceiver, TeslaSender,
@@ -69,11 +69,11 @@ impl Node<TeslaNet> for TeslaSenderNode {
             // fault plan may still perturb scheduling — degrade to silence
             // rather than crash the node.
             let Ok(packet) = self.sender.packet(self.interval, &message) else {
-                ctx.metrics().incr("tesla.sender.exhausted");
+                ctx.metrics().incr(keys::TESLA_SENDER_EXHAUSTED);
                 return;
             };
             let bits = packet.size_bits();
-            ctx.metrics().incr("tesla.sender.packets");
+            ctx.metrics().incr(keys::TESLA_SENDER_PACKETS);
             ctx.broadcast(TeslaNet::Packet(packet), bits);
         }
         ctx.set_timer(self.interval_len(), TimerToken(0));
@@ -125,11 +125,19 @@ impl Node<TeslaNet> for TeslaReceiverNode {
         let events = self.receiver.on_packet(packet, ctx.local_time());
         for event in events {
             match event {
-                ReceiverEvent::Authenticated { .. } => ctx.metrics().incr("tesla.rx.authenticated"),
-                ReceiverEvent::RejectedMac { .. } => ctx.metrics().incr("tesla.rx.rejected_mac"),
-                ReceiverEvent::DiscardedUnsafe { .. } => ctx.metrics().incr("tesla.rx.unsafe"),
-                ReceiverEvent::KeyAccepted { .. } => ctx.metrics().incr("tesla.rx.key_accepted"),
-                ReceiverEvent::KeyRejected { .. } => ctx.metrics().incr("tesla.rx.key_rejected"),
+                ReceiverEvent::Authenticated { .. } => {
+                    ctx.metrics().incr(keys::TESLA_RX_AUTHENTICATED)
+                }
+                ReceiverEvent::RejectedMac { .. } => {
+                    ctx.metrics().incr(keys::TESLA_RX_REJECTED_MAC)
+                }
+                ReceiverEvent::DiscardedUnsafe { .. } => ctx.metrics().incr(keys::TESLA_RX_UNSAFE),
+                ReceiverEvent::KeyAccepted { .. } => {
+                    ctx.metrics().incr(keys::TESLA_RX_KEY_ACCEPTED)
+                }
+                ReceiverEvent::KeyRejected { .. } => {
+                    ctx.metrics().incr(keys::TESLA_RX_KEY_REJECTED)
+                }
             }
         }
         self.peak_buffered_bits = self.peak_buffered_bits.max(self.receiver.buffered_bits());
@@ -205,7 +213,7 @@ impl Node<TeslaNet> for TeslaFloodAttacker {
                 disclosed: None,
             };
             let bits = packet.size_bits();
-            ctx.metrics().incr("tesla.attacker.forged");
+            ctx.metrics().incr(keys::TESLA_ATTACKER_FORGED);
             ctx.broadcast(TeslaNet::Packet(packet), bits);
         }
         ctx.set_timer(self.bootstrap.params.schedule.interval(), TimerToken(0));
@@ -268,7 +276,7 @@ mod tests {
         let node = net.node_as::<TeslaReceiverNode>(rx).unwrap();
         // 30 intervals, keys disclosed up to interval 28 (d = 2).
         assert_eq!(node.receiver().authenticated().len(), 28 * 2);
-        assert_eq!(net.metrics().get("tesla.rx.rejected_mac"), 0);
+        assert_eq!(net.metrics().get(keys::TESLA_RX_REJECTED_MAC), 0);
     }
 
     #[test]
@@ -279,7 +287,7 @@ mod tests {
         // ~70% of 56 packets arrive; all arriving packets eventually
         // authenticate because any later disclosure recovers the chain.
         assert!(authed > 20, "authenticated {authed}");
-        assert_eq!(net.metrics().get("tesla.rx.rejected_mac"), 0);
+        assert_eq!(net.metrics().get(keys::TESLA_RX_REJECTED_MAC), 0);
     }
 
     #[test]
@@ -300,7 +308,7 @@ mod tests {
             "peak {} bits",
             node.peak_buffered_bits()
         );
-        assert!(net.metrics().get("tesla.rx.rejected_mac") > 0);
+        assert!(net.metrics().get(keys::TESLA_RX_REJECTED_MAC) > 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::any::Any;
 
 use dap_crypto::{Key, Mac80};
-use dap_simnet::{Context, Frame, Node, SimDuration, TimerToken};
+use dap_simnet::{keys, Context, Frame, Node, SimDuration, TimerToken};
 
 use crate::edrp::{EdrpCdm, EdrpReceiver, EdrpSender};
 use crate::multilevel::{
@@ -105,14 +105,14 @@ impl MlSenderNode {
                     SenderFlavor::MultiLevel(s) => {
                         if let Some(cdm) = s.cdm(high) {
                             let bits = cdm.size_bits();
-                            ctx.metrics().incr("ml.sender.cdm");
+                            ctx.metrics().incr(keys::ML_SENDER_CDM);
                             ctx.broadcast(MlNet::Cdm(cdm), bits);
                         }
                     }
                     SenderFlavor::Edrp(s) => {
                         if let Some(cdm) = s.cdm(high) {
                             let bits = cdm.size_bits();
-                            ctx.metrics().incr("ml.sender.cdm");
+                            ctx.metrics().incr(keys::ML_SENDER_CDM);
                             ctx.broadcast(MlNet::EdrpCdm(cdm.clone()), bits);
                         }
                     }
@@ -134,14 +134,14 @@ impl MlSenderNode {
         };
         if let Some(packet) = packet {
             let bits = MlNet::Low(packet.clone()).size_bits();
-            ctx.metrics().incr("ml.sender.data");
+            ctx.metrics().incr(keys::ML_SENDER_DATA);
             ctx.broadcast(MlNet::Low(packet), bits);
         } else {
-            ctx.metrics().incr("ml.sender.exhausted");
+            ctx.metrics().incr(keys::ML_SENDER_EXHAUSTED);
         }
         if let Some(d) = disclosure {
             let bits = MlNet::LowKey(d).size_bits();
-            ctx.metrics().incr("ml.sender.disclosure");
+            ctx.metrics().incr(keys::ML_SENDER_DISCLOSURE);
             ctx.broadcast(MlNet::LowKey(d), bits);
         }
     }
@@ -193,14 +193,14 @@ impl MlReceiverNode {
 fn count_events(ctx: &mut Context<'_, MlNet>, events: &[MlEvent]) {
     for e in events {
         let name = match e {
-            MlEvent::CdmUnsafe { .. } => "ml.rx.cdm_unsafe",
-            MlEvent::HighKeyAccepted { .. } => "ml.rx.high_key_accepted",
-            MlEvent::HighKeyRejected { .. } => "ml.rx.high_key_rejected",
-            MlEvent::CdmAuthenticated { .. } => "ml.rx.cdm_authenticated",
-            MlEvent::CommitmentInstalled { .. } => "ml.rx.commitment_installed",
-            MlEvent::LowAuthenticated { .. } => "ml.rx.low_authenticated",
-            MlEvent::LowRejected { .. } => "ml.rx.low_rejected",
-            MlEvent::LowUnsafe { .. } => "ml.rx.low_unsafe",
+            MlEvent::CdmUnsafe { .. } => keys::ML_RX_CDM_UNSAFE,
+            MlEvent::HighKeyAccepted { .. } => keys::ML_RX_HIGH_KEY_ACCEPTED,
+            MlEvent::HighKeyRejected { .. } => keys::ML_RX_HIGH_KEY_REJECTED,
+            MlEvent::CdmAuthenticated { .. } => keys::ML_RX_CDM_AUTHENTICATED,
+            MlEvent::CommitmentInstalled { .. } => keys::ML_RX_COMMITMENT_INSTALLED,
+            MlEvent::LowAuthenticated { .. } => keys::ML_RX_LOW_AUTHENTICATED,
+            MlEvent::LowRejected { .. } => keys::ML_RX_LOW_REJECTED,
+            MlEvent::LowUnsafe { .. } => keys::ML_RX_LOW_UNSAFE,
         };
         ctx.metrics().incr(name);
     }
@@ -339,7 +339,7 @@ impl Node<MlNet> for CdmFloodAttacker {
                 })
             };
             let bits = msg.size_bits();
-            ctx.metrics().incr("ml.attacker.forged_cdm");
+            ctx.metrics().incr(keys::ML_ATTACKER_FORGED_CDM);
             ctx.broadcast(msg, bits);
         }
         ctx.set_timer(self.params.high_interval(), TimerToken(0));

@@ -7,7 +7,7 @@
 use std::any::Any;
 
 use dap_crypto::Mac80;
-use dap_simnet::{Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
+use dap_simnet::{keys, Context, FloodIntensity, Frame, Node, SimDuration, TimerToken};
 
 use crate::mutesla::{MuTeslaMessage, MuTeslaReceiver, MuTeslaSender};
 use crate::params::TeslaParams;
@@ -58,7 +58,7 @@ impl Node<MuTeslaMessage> for MuTeslaSenderNode {
         // Disclosure for interval − d, once per interval.
         if let Some(disclosure) = self.sender.disclosure(self.interval) {
             let bits = disclosure.size_bits();
-            ctx.metrics().incr("mutesla.sender.disclosures");
+            ctx.metrics().incr(keys::MUTESLA_SENDER_DISCLOSURES);
             ctx.broadcast(disclosure, bits);
         }
         if self.interval <= self.horizon {
@@ -67,11 +67,11 @@ impl Node<MuTeslaMessage> for MuTeslaSenderNode {
                 message.extend_from_slice(&self.interval.to_be_bytes());
                 message.push(copy as u8);
                 let Ok(data) = self.sender.data(self.interval, &message) else {
-                    ctx.metrics().incr("mutesla.sender.exhausted");
+                    ctx.metrics().incr(keys::MUTESLA_SENDER_EXHAUSTED);
                     return;
                 };
                 let bits = data.size_bits();
-                ctx.metrics().incr("mutesla.sender.data");
+                ctx.metrics().incr(keys::MUTESLA_SENDER_DATA);
                 ctx.broadcast(data, bits);
             }
             ctx.set_timer(self.params.schedule.interval(), TimerToken(0));
@@ -116,11 +116,11 @@ impl Node<MuTeslaMessage> for MuTeslaReceiverNode {
         let events = self.receiver.on_message(&frame.message, ctx.local_time());
         for event in events {
             let name = match event {
-                ReceiverEvent::Authenticated { .. } => "mutesla.rx.authenticated",
-                ReceiverEvent::RejectedMac { .. } => "mutesla.rx.rejected_mac",
-                ReceiverEvent::DiscardedUnsafe { .. } => "mutesla.rx.unsafe",
-                ReceiverEvent::KeyAccepted { .. } => "mutesla.rx.key_accepted",
-                ReceiverEvent::KeyRejected { .. } => "mutesla.rx.key_rejected",
+                ReceiverEvent::Authenticated { .. } => keys::MUTESLA_RX_AUTHENTICATED,
+                ReceiverEvent::RejectedMac { .. } => keys::MUTESLA_RX_REJECTED_MAC,
+                ReceiverEvent::DiscardedUnsafe { .. } => keys::MUTESLA_RX_UNSAFE,
+                ReceiverEvent::KeyAccepted { .. } => keys::MUTESLA_RX_KEY_ACCEPTED,
+                ReceiverEvent::KeyRejected { .. } => keys::MUTESLA_RX_KEY_REJECTED,
             };
             ctx.metrics().incr(name);
         }
@@ -172,7 +172,7 @@ impl Node<TeslaPpMessage> for TeslaPpSenderNode {
         if self.interval > 1 {
             if let Some(reveal) = self.sender.reveal(self.interval - 1) {
                 let bits = reveal.size_bits();
-                ctx.metrics().incr("teslapp.sender.reveals");
+                ctx.metrics().incr(keys::TESLAPP_SENDER_REVEALS);
                 ctx.broadcast(reveal, bits);
             }
         }
@@ -181,10 +181,10 @@ impl Node<TeslaPpMessage> for TeslaPpSenderNode {
             message.extend_from_slice(&self.interval.to_be_bytes());
             if let Ok(announce) = self.sender.announce(self.interval, &message) {
                 let bits = announce.size_bits();
-                ctx.metrics().incr("teslapp.sender.announces");
+                ctx.metrics().incr(keys::TESLAPP_SENDER_ANNOUNCES);
                 ctx.broadcast(announce, bits);
             } else {
-                ctx.metrics().incr("teslapp.sender.exhausted");
+                ctx.metrics().incr(keys::TESLAPP_SENDER_EXHAUSTED);
             }
             ctx.set_timer(self.params.schedule.interval(), TimerToken(0));
         }
@@ -233,11 +233,11 @@ impl Node<TeslaPpMessage> for TeslaPpReceiverNode {
     fn on_frame(&mut self, ctx: &mut Context<'_, TeslaPpMessage>, frame: &Frame<TeslaPpMessage>) {
         let outcome = self.receiver.on_message(&frame.message, ctx.local_time());
         let name = match outcome {
-            TeslaPpOutcome::Authenticated { .. } => "teslapp.rx.authenticated",
-            TeslaPpOutcome::KeyRejected { .. } => "teslapp.rx.key_rejected",
-            TeslaPpOutcome::NoMatchingAnnouncement { .. } => "teslapp.rx.no_match",
-            TeslaPpOutcome::AnnouncementUnsafe { .. } => "teslapp.rx.unsafe",
-            TeslaPpOutcome::AnnouncementStored { .. } => "teslapp.rx.stored",
+            TeslaPpOutcome::Authenticated { .. } => keys::TESLAPP_RX_AUTHENTICATED,
+            TeslaPpOutcome::KeyRejected { .. } => keys::TESLAPP_RX_KEY_REJECTED,
+            TeslaPpOutcome::NoMatchingAnnouncement { .. } => keys::TESLAPP_RX_NO_MATCH,
+            TeslaPpOutcome::AnnouncementUnsafe { .. } => keys::TESLAPP_RX_UNSAFE,
+            TeslaPpOutcome::AnnouncementStored { .. } => keys::TESLAPP_RX_STORED,
         };
         ctx.metrics().incr(name);
         self.peak_stored_bits = self.peak_stored_bits.max(self.receiver.stored_bits());
@@ -301,7 +301,7 @@ impl Node<TeslaPpMessage> for TeslaPpFloodAttacker {
                 mac: Mac80::from_slice(&mac).expect("fixed length"),
             };
             let bits = announce.size_bits();
-            ctx.metrics().incr("teslapp.attacker.forged");
+            ctx.metrics().incr(keys::TESLAPP_ATTACKER_FORGED);
             ctx.broadcast(announce, bits);
         }
         ctx.set_timer(self.params.schedule.interval(), TimerToken(0));
@@ -334,7 +334,7 @@ mod tests {
         net.run_until(SimTime(32 * 100));
         let node = net.node_as::<MuTeslaReceiverNode>(rx).unwrap();
         assert_eq!(node.receiver().authenticated().len(), 28 * 2);
-        assert_eq!(net.metrics().get("mutesla.rx.rejected_mac"), 0);
+        assert_eq!(net.metrics().get(keys::MUTESLA_RX_REJECTED_MAC), 0);
     }
 
     #[test]
@@ -350,8 +350,8 @@ mod tests {
         net.add_node(MuTeslaReceiverNode::new(bootstrap), ChannelModel::perfect());
         net.run_until(SimTime(25 * 100));
         // 5 data frames per interval but only one disclosure.
-        let data = net.metrics().get("mutesla.sender.data");
-        let disc = net.metrics().get("mutesla.sender.disclosures");
+        let data = net.metrics().get(keys::MUTESLA_SENDER_DATA);
+        let disc = net.metrics().get(keys::MUTESLA_SENDER_DISCLOSURES);
         assert_eq!(data, 20 * 5);
         assert!(disc <= 21, "disclosures {disc}");
     }

@@ -4,7 +4,7 @@
 //! Authentication in Crowdsensing Networks via Evolutionary Game"*
 //! (Ruan et al., ICDCS 2016).
 //!
-//! This umbrella crate re-exports the workspace's six libraries:
+//! This umbrella crate re-exports the workspace's seven libraries:
 //!
 //! * [`crypto`] — SHA-256/HMAC, truncated MACs, one-way key chains;
 //! * [`simnet`] — a deterministic discrete-event network simulator;
@@ -15,7 +15,10 @@
 //!   dynamics, ESS analysis and the buffer-count optimiser;
 //! * [`net`] — the real-wire runtime: UDP/loopback transports, a paced
 //!   sender pump, a sharded multi-threaded receiver pool with
-//!   backpressure, and the live flooder adversary.
+//!   backpressure, and the live flooder adversary;
+//! * [`obs`] — the observability plane: streaming histograms, gauges,
+//!   wall/manual stopwatches and structured trace events shared by the
+//!   simulator and the wire runtime.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -45,5 +48,6 @@ pub use dap_core as dap;
 pub use dap_crypto as crypto;
 pub use dap_game as game;
 pub use dap_net as net;
+pub use dap_obs as obs;
 pub use dap_simnet as simnet;
 pub use dap_tesla as tesla;
