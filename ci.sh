@@ -54,10 +54,41 @@ tail -n +2 target/net_trace_b.jsonl > target/net_trace_b.body
 cmp target/net_trace_a.body target/net_trace_b.body
 test -s target/net_trace_a.body
 
+echo "== fleet soak (1k tagged senders, session tables, byte-identity) =="
+# Crowd-scale gate: every sender spoofed by the flooder at p = 0.8,
+# frames routed to shards by SenderId, per-sender sessions under a fixed
+# memory budget. --assert-soak checks balanced counters, no weak
+# accepts, budget compliance and the per-sender 1 - p^m rate; two
+# same-seed campaigns must print byte-identical snapshots (DESIGN §10).
+$soak --fleet --seed 2016 --senders 1024 --intervals 4 --buffers 4 \
+    --shards 4 --flood 0.8 --assert-soak > target/fleet_soak_a.txt
+$soak --fleet --seed 2016 --senders 1024 --intervals 4 --buffers 4 \
+    --shards 4 --flood 0.8 --assert-soak > target/fleet_soak_b.txt
+cmp target/fleet_soak_a.txt target/fleet_soak_b.txt
+
+echo "== sweep parallelism gate (workers engaged, bit-identical) =="
+# The perf smoke above wrote target/BENCH_sweep.json. The provisioning
+# floor guarantees at least two engaged workers on any box; the speedup
+# claim only means something with two real cores under the process.
+engaged=$(grep -o '"workers_engaged":[0-9]*' target/BENCH_sweep.json | cut -d: -f2)
+test -n "$engaged" && test "$engaged" -ge 2
+grep -q '"bit_identical":true' target/BENCH_sweep.json
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -ge 2 ]; then
+    speedup=$(grep -o '"speedup":[0-9.]*' target/BENCH_sweep.json | cut -d: -f2)
+    echo "$speedup" | awk '{ exit !($1 > 1.2) }' || {
+        echo "sweep speedup $speedup <= 1.2 on a $cores-core box" >&2
+        exit 1
+    }
+fi
+
 echo "== netbench smoke (ingress throughput + verify latency) =="
 DAP_BENCH_MS=5 cargo run --release --offline -q -p dap-net --bin netbench -- target > /dev/null
 # The verify lanes must report a real latency tail in BENCH_net.json.
 p99=$(grep -o '"p99_ns":[0-9]*' target/BENCH_net.json | head -n1 | cut -d: -f2)
 test -n "$p99" && test "$p99" -gt 0
+# The fleet ingress lane (tagged frames through session tables) must be
+# present and report a real rate.
+grep -q '"name":"fleet_ingest"' target/BENCH_net.json
 
 echo "ci.sh: all green"

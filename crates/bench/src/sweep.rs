@@ -95,7 +95,7 @@ pub fn cell_seed(base: u64, pi: usize, mi: usize, li: usize) -> u64 {
 /// Scheduling statistics from a parallel sweep run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepStats {
-    /// Worker threads spawned (`min(available cores, grid cells)`).
+    /// Worker threads spawned (see [`worker_count`]).
     pub workers_spawned: usize,
     /// Workers that completed at least one cell — with more cells than
     /// workers and non-trivial campaigns, this equals `workers_spawned`.
@@ -186,6 +186,28 @@ pub fn run_sweep_sequential(config: &SweepConfig) -> Vec<SweepRow> {
     rows
 }
 
+/// Worker threads for a grid of `cells` cells: the `DAP_SWEEP_WORKERS`
+/// environment override when set, else `max(available cores, 2)` —
+/// never fewer than two for a multi-cell grid. Containers and cgroup
+/// quotas routinely report one core while the work-stealing engine is
+/// the code path under test; a floor of two keeps the parallel engine
+/// *engaged* everywhere (correctness is scheduling-independent — see
+/// `--check` — and two workers on one core cost only negligible
+/// oversubscription). Capped at the cell count: idle workers are noise.
+#[must_use]
+pub fn worker_count(cells: usize) -> usize {
+    let requested = std::env::var("DAP_SWEEP_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .max(2)
+        });
+    requested.min(cells).max(1)
+}
+
 /// Runs the full grid with a work-stealing worker pool, returning
 /// scheduling statistics alongside the rows.
 ///
@@ -199,10 +221,7 @@ pub fn run_sweep_sequential(config: &SweepConfig) -> Vec<SweepRow> {
 #[must_use]
 pub fn run_sweep_with_stats(config: &SweepConfig) -> (Vec<SweepRow>, SweepStats) {
     let cells = grid(config);
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(cells.len())
-        .max(1);
+    let workers = worker_count(cells.len());
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<SweepRow>> = vec![None; cells.len()];
     let mut engaged = 0usize;
@@ -385,13 +404,46 @@ mod tests {
         let (rows, stats) = run_sweep_with_stats(&config);
         assert_eq!(rows.len(), 384);
         assert_eq!(stats.cells, 384);
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        assert_eq!(stats.workers_spawned, cores.min(384));
+        assert_eq!(stats.workers_spawned, worker_count(384));
+        assert!(stats.workers_spawned >= 2, "provisioning floor regressed");
         assert_eq!(stats.workers_engaged, stats.workers_spawned);
         // Every cell contributes exactly one wall-time sample, and the
         // quantile curve those samples form is well-defined.
         assert_eq!(stats.cell_wall.count(), 384);
         assert!(stats.cell_wall.quantile(0.99) >= stats.cell_wall.quantile(0.5));
+    }
+
+    #[test]
+    fn multi_worker_engagement_is_enforced() {
+        // The regression this pins down: a cgroup-capped box reported
+        // one core, the engine spawned one worker, and BENCH_sweep.json
+        // shipped `workers_spawned: 1, speedup ≈ 1` — the parallel
+        // engine silently untested. The floor guarantees ≥ 2 workers on
+        // *any* box, and with cells several times slower than a thread
+        // spawn, every worker must actually pull from the queue — while
+        // the rows stay bit-identical to the sequential reference.
+        let config = SweepConfig {
+            attack_levels: vec![0.3, 0.6, 0.9],
+            buffer_counts: vec![1, 2, 4, 8],
+            loss_rates: vec![0.0],
+            intervals: 300,
+            announce_copies: 1,
+            seed: 5,
+            fault: None,
+        };
+        let (rows, stats) = run_sweep_with_stats(&config);
+        assert!(
+            stats.workers_spawned >= 2,
+            "spawned {} workers; the ≥2 provisioning floor is gone",
+            stats.workers_spawned
+        );
+        assert!(
+            stats.workers_engaged >= 2,
+            "only {} of {} workers engaged on a 12-cell grid",
+            stats.workers_engaged,
+            stats.workers_spawned
+        );
+        assert_eq!(rows, run_sweep_sequential(&config), "--check bit-identity");
     }
 
     #[test]

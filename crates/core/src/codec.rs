@@ -4,20 +4,46 @@
 //! |---|---|---|
 //! | announce | `0x01 ‖ index:u32 ‖ mac:10B` | 15 B |
 //! | reveal | `0x02 ‖ index:u32 ‖ key:10B ‖ len:u16 ‖ message` | 17 B + len |
+//! | tagged announce | `0x03 ‖ sender:u32 ‖ index:u32 ‖ mac:10B` | 19 B |
+//! | tagged reveal | `0x04 ‖ sender:u32 ‖ index:u32 ‖ key:10B ‖ len:u16 ‖ message` | 21 B + len |
 //!
 //! The paper counts 112 bits (14 B) for the announcement; the one extra
-//! byte here is the frame tag a self-describing codec needs. Decoding is
-//! total: any byte string yields either a frame or a [`DecodeError`],
-//! never a panic — receivers parse attacker-controlled bytes.
+//! byte here is the frame tag a self-describing codec needs. The tagged
+//! shapes carry the crowdsensing many-to-one attribution — a
+//! [`SenderId`] naming which contributor's chain the frame claims —
+//! so a fleet receiver can route and verify per sender; untagged frames
+//! decode as [`SenderId::UNTAGGED`], which keeps every single-sender
+//! deployment on the wire format it already speaks. Decoding is total:
+//! any byte string yields either a frame or a [`DecodeError`], never a
+//! panic — receivers parse attacker-controlled bytes.
 
 use dap_crypto::{Key, Mac80};
 
+use crate::multi::SenderId;
 use crate::wire::{Announce, DapMessage, Reveal};
 
 /// Frame tag for announcements.
 const TAG_ANNOUNCE: u8 = 0x01;
 /// Frame tag for reveals.
 const TAG_REVEAL: u8 = 0x02;
+/// Frame tag for sender-tagged announcements.
+const TAG_ANNOUNCE_FROM: u8 = 0x03;
+/// Frame tag for sender-tagged reveals.
+const TAG_REVEAL_FROM: u8 = 0x04;
+
+/// A decoded frame together with the sender it claims to be from.
+///
+/// The sender field is *attribution, not authentication*: it only says
+/// which chain anchor to verify against. A forger can claim any id, but
+/// the claimed sender's chain then rejects the forged key — see the
+/// cross-sender splice property in `tests/codec_fuzz.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedFrame {
+    /// The claimed sender ([`SenderId::UNTAGGED`] for legacy frames).
+    pub sender: SenderId,
+    /// The frame payload.
+    pub message: DapMessage,
+}
 
 /// Why a frame could not be encoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +59,11 @@ pub enum EncodeError {
         /// The offending length in bytes.
         len: usize,
     },
+    /// The sender id exceeds the 32-bit wire field of the tagged frames.
+    SenderOverflow {
+        /// The offending sender id.
+        sender: u64,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -43,6 +74,9 @@ impl std::fmt::Display for EncodeError {
             }
             EncodeError::MessageTooLong { len } => {
                 write!(f, "message of {len} bytes exceeds the 16-bit length field")
+            }
+            EncodeError::SenderOverflow { sender } => {
+                write!(f, "sender id {sender} exceeds the 32-bit wire field")
             }
         }
     }
@@ -86,11 +120,36 @@ impl std::error::Error for DecodeError {}
 /// Fails when a field does not fit its wire representation — see
 /// [`EncodeError`].
 pub fn encode(message: &DapMessage) -> Result<Vec<u8>, EncodeError> {
+    encode_frame(None, message)
+}
+
+/// Encodes a frame tagged with the sender it is from (the `0x03`/`0x04`
+/// wire shapes).
+///
+/// # Errors
+///
+/// As [`encode`], plus [`EncodeError::SenderOverflow`] when the sender
+/// id does not fit the 32-bit wire field.
+pub fn encode_tagged(sender: SenderId, message: &DapMessage) -> Result<Vec<u8>, EncodeError> {
+    let wire =
+        u32::try_from(sender.0).map_err(|_| EncodeError::SenderOverflow { sender: sender.0 })?;
+    encode_frame(Some(wire), message)
+}
+
+fn encode_frame(sender: Option<u32>, message: &DapMessage) -> Result<Vec<u8>, EncodeError> {
+    let sender_len = if sender.is_some() { 4 } else { 0 };
     match message {
         DapMessage::Announce(a) => {
             let index = wire_index(a.index)?;
-            let mut out = Vec::with_capacity(1 + 4 + Mac80::LEN);
-            out.push(TAG_ANNOUNCE);
+            let mut out = Vec::with_capacity(1 + sender_len + 4 + Mac80::LEN);
+            out.push(if sender.is_some() {
+                TAG_ANNOUNCE_FROM
+            } else {
+                TAG_ANNOUNCE
+            });
+            if let Some(s) = sender {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
             out.extend_from_slice(&index.to_be_bytes());
             out.extend_from_slice(a.mac.as_bytes());
             Ok(out)
@@ -100,8 +159,15 @@ pub fn encode(message: &DapMessage) -> Result<Vec<u8>, EncodeError> {
             let len = u16::try_from(r.message.len()).map_err(|_| EncodeError::MessageTooLong {
                 len: r.message.len(),
             })?;
-            let mut out = Vec::with_capacity(1 + 4 + Key::LEN + 2 + r.message.len());
-            out.push(TAG_REVEAL);
+            let mut out = Vec::with_capacity(1 + sender_len + 4 + Key::LEN + 2 + r.message.len());
+            out.push(if sender.is_some() {
+                TAG_REVEAL_FROM
+            } else {
+                TAG_REVEAL
+            });
+            if let Some(s) = sender {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
             out.extend_from_slice(&index.to_be_bytes());
             out.extend_from_slice(r.key.as_bytes());
             out.extend_from_slice(&len.to_be_bytes());
@@ -115,8 +181,9 @@ fn wire_index(index: u64) -> Result<u32, EncodeError> {
     u32::try_from(index).map_err(|_| EncodeError::IndexOverflow { index })
 }
 
-/// The largest encoded frame: a reveal with a maximal 16-bit message.
-pub const MAX_FRAME_LEN: usize = 1 + 4 + Key::LEN + 2 + u16::MAX as usize;
+/// The largest encoded frame: a sender-tagged reveal with a maximal
+/// 16-bit message.
+pub const MAX_FRAME_LEN: usize = 1 + 4 + 4 + Key::LEN + 2 + u16::MAX as usize;
 
 /// Decodes a frame; total over arbitrary input.
 ///
@@ -127,6 +194,18 @@ pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
     let (message, used) = decode_prefix(bytes)?;
     ensure_empty(&bytes[used..])?;
     Ok(message)
+}
+
+/// Decodes a frame keeping its sender attribution; total over arbitrary
+/// input. Untagged frames decode as [`SenderId::UNTAGGED`].
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode_tagged(bytes: &[u8]) -> Result<TaggedFrame, DecodeError> {
+    let (frame, used) = decode_prefix_tagged(bytes)?;
+    ensure_empty(&bytes[used..])?;
+    Ok(frame)
 }
 
 /// Decodes one frame from the front of `bytes`, tolerating trailing
@@ -140,20 +219,43 @@ pub fn decode(bytes: &[u8]) -> Result<DapMessage, DecodeError> {
 /// may complete it), [`DecodeError::UnknownTag`] when the first byte is
 /// not a frame tag. Never [`DecodeError::TrailingBytes`].
 pub fn decode_prefix(bytes: &[u8]) -> Result<(DapMessage, usize), DecodeError> {
+    let (frame, used) = decode_prefix_tagged(bytes)?;
+    Ok((frame.message, used))
+}
+
+/// [`decode_prefix`] keeping the sender attribution: legacy `0x01`/`0x02`
+/// frames decode as [`SenderId::UNTAGGED`], the `0x03`/`0x04` shapes
+/// carry their explicit sender field.
+///
+/// # Errors
+///
+/// As [`decode_prefix`].
+pub fn decode_prefix_tagged(bytes: &[u8]) -> Result<(TaggedFrame, usize), DecodeError> {
     let (&tag, rest) = bytes.split_first().ok_or(DecodeError::Truncated)?;
+    let (sender, rest, header) = match tag {
+        TAG_ANNOUNCE | TAG_REVEAL => (SenderId::UNTAGGED, rest, 1),
+        TAG_ANNOUNCE_FROM | TAG_REVEAL_FROM => {
+            let (sender, rest) = take_u32(rest)?;
+            (SenderId(u64::from(sender)), rest, 1 + 4)
+        }
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
     match tag {
-        TAG_ANNOUNCE => {
+        TAG_ANNOUNCE | TAG_ANNOUNCE_FROM => {
             let (index, rest) = take_u32(rest)?;
             let (mac, _) = take_mac(rest)?;
             Ok((
-                DapMessage::Announce(Announce {
-                    index: u64::from(index),
-                    mac,
-                }),
-                1 + 4 + Mac80::LEN,
+                TaggedFrame {
+                    sender,
+                    message: DapMessage::Announce(Announce {
+                        index: u64::from(index),
+                        mac,
+                    }),
+                },
+                header + 4 + Mac80::LEN,
             ))
         }
-        TAG_REVEAL => {
+        TAG_REVEAL | TAG_REVEAL_FROM => {
             let (index, rest) = take_u32(rest)?;
             let (key, rest) = take_key(rest)?;
             let (len, rest) = take_u16(rest)?;
@@ -162,15 +264,18 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(DapMessage, usize), DecodeError> {
             }
             let message = &rest[..usize::from(len)];
             Ok((
-                DapMessage::Reveal(Reveal {
-                    index: u64::from(index),
-                    key,
-                    message: message.to_vec(),
-                }),
-                1 + 4 + Key::LEN + 2 + usize::from(len),
+                TaggedFrame {
+                    sender,
+                    message: DapMessage::Reveal(Reveal {
+                        index: u64::from(index),
+                        key,
+                        message: message.to_vec(),
+                    }),
+                },
+                header + 4 + Key::LEN + 2 + usize::from(len),
             ))
         }
-        other => Err(DecodeError::UnknownTag(other)),
+        _ => unreachable!("tag classified above"),
     }
 }
 
@@ -181,11 +286,31 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(DapMessage, usize), DecodeError> {
 #[must_use]
 pub fn peek_index(bytes: &[u8]) -> Option<u64> {
     let (&tag, rest) = bytes.split_first()?;
-    if tag != TAG_ANNOUNCE && tag != TAG_REVEAL {
-        return None;
-    }
+    let rest = match tag {
+        TAG_ANNOUNCE | TAG_REVEAL => rest,
+        TAG_ANNOUNCE_FROM | TAG_REVEAL_FROM => rest.get(4..)?,
+        _ => return None,
+    };
     let (index, _) = take_u32(rest).ok()?;
     Some(u64::from(index))
+}
+
+/// Reads the claimed sender of the frame at the front of `bytes`
+/// without decoding the rest — the pre-crypto routing key of a
+/// by-sender sharded pool. Legacy untagged frames report
+/// [`SenderId::UNTAGGED`]; `None` when the prefix is not a known tag
+/// followed by a full sender field.
+#[must_use]
+pub fn peek_sender(bytes: &[u8]) -> Option<SenderId> {
+    let (&tag, rest) = bytes.split_first()?;
+    match tag {
+        TAG_ANNOUNCE | TAG_REVEAL => Some(SenderId::UNTAGGED),
+        TAG_ANNOUNCE_FROM | TAG_REVEAL_FROM => {
+            let (sender, _) = take_u32(rest).ok()?;
+            Some(SenderId(u64::from(sender)))
+        }
+        _ => None,
+    }
 }
 
 /// Reassembles frames from a byte stream that may split or concatenate
@@ -237,11 +362,17 @@ impl FrameAssembler {
     /// Extracts the next complete frame, skipping garbage as needed.
     /// `None` means the buffered bytes hold no complete frame yet.
     pub fn next_frame(&mut self) -> Option<DapMessage> {
+        self.next_tagged_frame().map(|frame| frame.message)
+    }
+
+    /// [`next_frame`](Self::next_frame) keeping the sender attribution
+    /// (untagged frames come back as [`SenderId::UNTAGGED`]).
+    pub fn next_tagged_frame(&mut self) -> Option<TaggedFrame> {
         loop {
             if self.buf.is_empty() {
                 return None;
             }
-            match decode_prefix(&self.buf) {
+            match decode_prefix_tagged(&self.buf) {
                 Ok((frame, used)) => {
                     self.buf.drain(..used);
                     return Some(frame);
@@ -467,6 +598,103 @@ mod tests {
         asm.push(&stream);
         assert_eq!(asm.next_frame(), Some(frame));
         assert_eq!(asm.skipped_bytes(), 7);
+    }
+
+    #[test]
+    fn roundtrip_tagged_announce() {
+        let encoded = encode_tagged(SenderId(9), &sample_announce()).unwrap();
+        assert_eq!(encoded.len(), 19);
+        assert_eq!(
+            decode_tagged(&encoded).unwrap(),
+            TaggedFrame {
+                sender: SenderId(9),
+                message: sample_announce(),
+            }
+        );
+        // The legacy decoder accepts the same bytes, dropping the tag.
+        assert_eq!(decode(&encoded).unwrap(), sample_announce());
+    }
+
+    #[test]
+    fn roundtrip_tagged_reveal() {
+        let encoded = encode_tagged(SenderId(u64::from(u32::MAX)), &sample_reveal()).unwrap();
+        assert_eq!(encoded.len(), 21 + 14);
+        let frame = decode_tagged(&encoded).unwrap();
+        assert_eq!(frame.sender, SenderId(u64::from(u32::MAX)));
+        assert_eq!(frame.message, sample_reveal());
+    }
+
+    #[test]
+    fn untagged_frames_decode_as_the_untagged_sender() {
+        for sample in [sample_announce(), sample_reveal()] {
+            let encoded = encode(&sample).unwrap();
+            let frame = decode_tagged(&encoded).unwrap();
+            assert_eq!(frame.sender, SenderId::UNTAGGED);
+            assert_eq!(frame.message, sample);
+        }
+    }
+
+    #[test]
+    fn sender_overflow_is_an_encode_error() {
+        let err = encode_tagged(SenderId(u64::from(u32::MAX) + 1), &sample_announce());
+        assert!(matches!(err, Err(EncodeError::SenderOverflow { .. })));
+        assert!(err.unwrap_err().to_string().contains("32-bit"));
+    }
+
+    #[test]
+    fn tagged_truncations_at_every_length_are_rejected() {
+        for sample in [sample_announce(), sample_reveal()] {
+            let full = encode_tagged(SenderId(3), &sample).unwrap();
+            for cut in 0..full.len() {
+                assert_eq!(
+                    decode_tagged(&full[..cut]),
+                    Err(DecodeError::Truncated),
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peek_sender_and_index_read_tagged_headers() {
+        let tagged = encode_tagged(SenderId(7), &sample_announce()).unwrap();
+        assert_eq!(peek_sender(&tagged), Some(SenderId(7)));
+        assert_eq!(peek_index(&tagged), Some(42));
+        // Enough for tag + sender, even if the index is missing.
+        assert_eq!(peek_sender(&tagged[..5]), Some(SenderId(7)));
+        assert_eq!(peek_index(&tagged[..8]), None);
+        let legacy = encode(&sample_announce()).unwrap();
+        assert_eq!(peek_sender(&legacy), Some(SenderId::UNTAGGED));
+        assert_eq!(peek_sender(&[0x7f, 0, 0, 0, 1]), None);
+        assert_eq!(peek_sender(&[]), None);
+    }
+
+    #[test]
+    fn assembler_yields_tagged_frames_with_attribution() {
+        let tagged = encode_tagged(SenderId(11), &sample_reveal()).unwrap();
+        let legacy = encode(&sample_announce()).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.push(&tagged[..10]);
+        assert_eq!(asm.next_tagged_frame(), None);
+        asm.push(&tagged[10..]);
+        asm.push(&legacy);
+        assert_eq!(
+            asm.next_tagged_frame(),
+            Some(TaggedFrame {
+                sender: SenderId(11),
+                message: sample_reveal(),
+            })
+        );
+        assert_eq!(
+            asm.next_tagged_frame(),
+            Some(TaggedFrame {
+                sender: SenderId::UNTAGGED,
+                message: sample_announce(),
+            })
+        );
+        assert_eq!(asm.next_tagged_frame(), None);
+        assert_eq!(asm.skipped_bytes(), 0);
+        assert_eq!(asm.pending_bytes(), 0);
     }
 
     #[test]

@@ -39,6 +39,13 @@ use crate::wire::{Announce, DapParams, Reveal};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SenderId(pub u64);
 
+impl SenderId {
+    /// The implicit sender of untagged (single-sender) wire frames —
+    /// what [`crate::codec::decode_prefix_tagged`] attributes a legacy
+    /// `0x01`/`0x02` frame to.
+    pub const UNTAGGED: SenderId = SenderId(0);
+}
+
 impl std::fmt::Display for SenderId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "sender#{}", self.0)

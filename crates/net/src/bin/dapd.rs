@@ -1,6 +1,6 @@
 //! `dapd` — DAP on a wire.
 //!
-//! One binary, four modes:
+//! One binary, five modes:
 //!
 //! ```text
 //! # Deterministic in-process campaign (the ci.sh soak gate):
@@ -9,14 +9,22 @@
 //!      [--tolerance T] [--assert-soak] [--trace-out PATH] [--trace-depth D]
 //!      [--telemetry ADDR]
 //!
+//! # Deterministic fleet campaign (the ci.sh fleet gate): N tagged
+//! # senders, per-sender spoofing flood, session-table shards:
+//! dapd --fleet [--senders N] [--seed N] [--intervals N] [--buffers M]
+//!      [--shards S] [--queue-depth Q] [--flood P] [--copies G]
+//!      [--max-sessions K] [--session-budget-bits B] [--tolerance T]
+//!      [--assert-soak] [--trace-out PATH] [--trace-depth D]
+//!      [--telemetry ADDR]
+//!
 //! # Real UDP, three roles (run in separate terminals):
 //! dapd --role receiver --bind 127.0.0.1:7440 [--seed N] [--intervals N]
 //!      [--buffers M] [--shards S] [--queue-depth Q] [--duration-ms T]
 //!      [--tick-us U] [--telemetry ADDR] [--trace-out PATH]
 //! dapd --role sender   --target 127.0.0.1:7440 [--seed N] [--intervals N]
-//!      [--copies G] [--tick-us U]
+//!      [--copies G] [--tick-us U] [--sender-id ID]
 //! dapd --role flooder  --target 127.0.0.1:7440 [--flood P] [--rate FPS]
-//!      [--duration-ms T] [--seed N] [--tick-us U]
+//!      [--duration-ms T] [--seed N] [--tick-us U] [--spoof ID]
 //! ```
 //!
 //! `--seed` and `--intervals` together stand in for the out-of-band
@@ -35,18 +43,19 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dap_core::{DapParams, DapSender};
+use dap_core::{DapParams, DapSender, SenderId};
 use dap_net::clock::{NetClock, RealClock};
+use dap_net::fleet::{run_fleet_with, FleetSpec};
 use dap_net::loopback::{run_loopback_with, LoopbackSpec};
 use dap_net::opts::Opts;
-use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool};
+use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool, RoutePolicy};
 use dap_net::pump::{Flooder, SenderPump};
 use dap_net::telemetry::{SharedRegistry, TelemetryServer};
 use dap_net::transport::{Transport, UdpTransport};
 use dap_obs::{JsonlSink, TimeSource, TraceRecord, TraceSink};
 use dap_simnet::SimDuration;
 
-const FLAGS: &[&str] = &["loopback", "assert-soak"];
+const FLAGS: &[&str] = &["loopback", "fleet", "assert-soak"];
 
 /// Stores a Ctrl-C so the receiver loop can drain, snapshot and exit
 /// cleanly instead of dying mid-run with its telemetry unprinted.
@@ -94,12 +103,16 @@ fn main() {
         run_loopback_mode(&opts);
         return;
     }
+    if opts.flag("fleet") {
+        run_fleet_mode(&opts);
+        return;
+    }
     match opts.get("role") {
         Some("sender") => run_sender(&opts),
         Some("receiver") => run_receiver(&opts),
         Some("flooder") => run_flooder(&opts),
         Some(other) => panic!("unknown --role {other:?} (sender | receiver | flooder)"),
-        None => panic!("need --loopback or --role sender|receiver|flooder"),
+        None => panic!("need --loopback, --fleet or --role sender|receiver|flooder"),
     }
 }
 
@@ -184,6 +197,116 @@ fn run_loopback_mode(opts: &Opts) {
     }
 }
 
+fn run_fleet_mode(opts: &Opts) {
+    let spec = FleetSpec {
+        seed: opts.get_or("seed", 2016),
+        senders: opts.get_or("senders", 64),
+        intervals: opts.get_or("intervals", 8),
+        buffers: opts.get_or("buffers", 4),
+        shards: opts.get_or("shards", 4),
+        queue_depth: opts.get_or("queue-depth", 4096),
+        flood: opts.get_or("flood", 0.8),
+        copies: opts.get_or("copies", 4),
+        max_sessions: opts.get_or("max-sessions", usize::MAX),
+        memory_budget_bits: opts.get_or("session-budget-bits", 16 * 1024 * 1024),
+        trace_depth: trace_depth(opts),
+    };
+    println!(
+        "dapd --fleet seed={} senders={} intervals={} m={} shards={} p={} copies={} budget={}b",
+        spec.seed,
+        spec.senders,
+        spec.intervals,
+        spec.buffers,
+        spec.shards,
+        spec.flood,
+        spec.copies,
+        spec.memory_budget_bits
+    );
+    let shared = opts
+        .get("telemetry")
+        .map(|_| Arc::new(SharedRegistry::new(spec.shards)));
+    let server = opts.get("telemetry").map(|addr| {
+        let server = TelemetryServer::bind(addr, Arc::clone(shared.as_ref().expect("built above")))
+            .expect("bind --telemetry listener");
+        eprintln!("telemetry: http://{}/", server.local_addr());
+        server
+    });
+    let report = run_fleet_with(&spec, shared);
+    print!("{}", report.registry.render());
+    println!(
+        "auth_rate {:.4}   expected {:.4}   (1 - p^m, per sender)",
+        report.auth_rate, report.expected_rate
+    );
+    if let (Some(lo), Some(hi)) = (
+        report.min_sender_auth_permille,
+        report.max_sender_auth_permille,
+    ) {
+        println!("sender envelope: {lo}..{hi} permille");
+    }
+    if let Some(path) = opts.get("trace-out") {
+        write_trace(path, &report.trace);
+    }
+    if opts.flag("assert-soak") {
+        assert_fleet_soak(&spec, &report, opts.get_or("tolerance", 0.08));
+        println!("fleet soak: ok");
+    }
+    if let Some(server) = server {
+        server.stop();
+    }
+}
+
+/// The fleet-soak invariants the ci.sh fleet gate relies on: the
+/// loopback wire is clean by construction, so every genuine reveal is
+/// decided, no forged announce ever authenticates, session residency
+/// respects the configured budget, and the aggregate auth rate tracks
+/// the per-sender `1 − p^m`.
+fn assert_fleet_soak(spec: &FleetSpec, report: &dap_net::fleet::FleetReport, tolerance: f64) {
+    use dap_simnet::keys;
+
+    let m = &report.metrics;
+    assert_eq!(
+        m.get(keys::NET_INGRESS_DROPPED),
+        0,
+        "Block overflow shed frames"
+    );
+    assert_eq!(
+        m.get(keys::NET_DECODE_ERRORS),
+        0,
+        "clean wire had decode errors"
+    );
+    assert_eq!(
+        m.get(keys::NET_REVEAL_WEAK_REJECTED),
+        0,
+        "forged or cross-sender key accepted by the weak check"
+    );
+    assert_eq!(
+        m.get(keys::NET_REVEAL_AUTH) + m.get(keys::NET_REVEAL_STRONG_REJECTED),
+        m.get(keys::NET_REVEAL_TOTAL),
+        "reveal outcomes do not balance"
+    );
+    if let Some(memory) = report.registry.get_gauge(keys::NET_SESSION_MEMORY_BITS) {
+        assert!(
+            memory.max().unwrap_or(0) <= spec.memory_budget_bits,
+            "session memory exceeded the per-shard budget"
+        );
+    }
+    if spec.flood == 0.0 && m.get(keys::NET_SESSION_EVICTED) == 0 {
+        assert_eq!(
+            m.get(keys::NET_REVEAL_AUTH),
+            m.get(keys::NET_REVEAL_TOTAL),
+            "clean un-evicted fleet failed to authenticate everything"
+        );
+    } else if spec.flood > 0.0 {
+        let gap = (report.auth_rate - report.expected_rate).abs();
+        assert!(
+            gap <= tolerance,
+            "fleet auth rate {:.4} vs expected {:.4}: gap {gap:.4} > tolerance {tolerance}",
+            report.auth_rate,
+            report.expected_rate
+        );
+    }
+}
+
 /// The soak invariants the ci.sh gate relies on. Only meaningful on a
 /// clean wire (`loss = corrupt = 0`): every reveal then arrives, and
 /// the *only* way a genuine reveal fails is reservoir eviction by the
@@ -259,11 +382,18 @@ fn run_sender(opts: &Opts) {
     let sender = DapSender::new(&seed.to_be_bytes(), chain_len, udp_params(8));
     let transport = UdpTransport::sender(bind, target).expect("bind sender socket");
     let clock = RealClock::new(Duration::from_micros(tick_us));
+    let tag = opts
+        .get("sender-id")
+        .map(|id| SenderId(id.parse().expect("--sender-id must be a number")));
     println!(
         "dapd sender -> {target}: {intervals} intervals x {copies} copies, seed {seed}, \
-         {tick_us}us ticks"
+         {tick_us}us ticks{}",
+        tag.map_or(String::new(), |id| format!(", sender-id {}", id.0))
     );
     let mut pump = SenderPump::new(sender, transport, clock, copies);
+    if let Some(id) = tag {
+        pump = pump.with_sender_id(id);
+    }
     let stats = pump
         .run(intervals, |i| format!("reading {i}").into_bytes())
         .expect("send failed");
@@ -307,6 +437,7 @@ fn run_receiver(opts: &Opts) {
             shards,
             queue_depth,
             overflow: OverflowPolicy::DropCount,
+            route: RoutePolicy::ByInterval,
         },
         seed,
         |shard| DapShard::new(bootstrap, &[b'u', b'd', b'p', shard as u8]),
@@ -378,15 +509,35 @@ fn run_flooder(opts: &Opts) {
     let clock = RealClock::new(Duration::from_micros(tick_us));
     let schedule = udp_params(8).schedule();
     let mut flooder = Flooder::new(transport, seed, p);
-    println!("dapd flooder -> {target}: p={p} ({rate} forged/s for {duration_ms}ms, seed {seed})");
+    let spoof = opts
+        .get("spoof")
+        .map(|id| SenderId(id.parse().expect("--spoof must be a sender id number")));
+    println!(
+        "dapd flooder -> {target}: p={p} ({rate} forged/s for {duration_ms}ms, seed {seed}{})",
+        spoof.map_or(String::new(), |id| format!(", spoofing sender {}", id.0))
+    );
     let deadline = Instant::now() + Duration::from_millis(duration_ms);
     // Send in 10ms batches so the claimed interval index stays current.
     let batch = (rate / 100).max(1);
     let mut sent = 0u64;
     while Instant::now() < deadline {
-        sent += flooder
-            .flood_current(&clock, &schedule, batch)
-            .expect("flood send failed");
+        match spoof {
+            // Spoofed fleet attack: tagged forgeries claiming a victim.
+            Some(victim) => {
+                let index = schedule.index_at(clock.now());
+                for _ in 0..batch {
+                    flooder
+                        .send_forged_as(victim, index)
+                        .expect("flood send failed");
+                }
+                sent += batch;
+            }
+            None => {
+                sent += flooder
+                    .flood_current(&clock, &schedule, batch)
+                    .expect("flood send failed");
+            }
+        }
         std::thread::sleep(Duration::from_millis(10));
     }
     println!("flooder done: {sent} forged announces");

@@ -15,7 +15,8 @@ use std::time::Instant;
 
 use dap_bench::json::{array, JsonObject};
 use dap_bench::timer::measure;
-use dap_core::{codec, DapMessage, DapParams, DapSender};
+use dap_core::{codec, DapMessage, DapParams, DapSender, SenderId};
+use dap_net::fleet::{run_fleet, FleetSpec};
 use dap_net::loopback::{run_loopback, LoopbackSpec};
 use dap_net::pool::{DapShard, FrameVerifier, LiveCounters, TeslaPpShard};
 use dap_obs::Histogram;
@@ -91,6 +92,20 @@ fn bench_ingest() -> Lane {
     Lane::from_batch("loopback_ingest", report.frames, t0.elapsed().as_nanos())
 }
 
+/// Fleet frames/sec: tagged frames from many senders through
+/// sender-routing, session tables and per-session verify — the
+/// many-to-one ingress path `tests/fleet_soak.rs` gates.
+fn bench_fleet_ingest() -> Lane {
+    let spec = FleetSpec {
+        senders: (budget_ms() * 2).clamp(32, 512),
+        intervals: 6,
+        ..FleetSpec::default()
+    };
+    let t0 = Instant::now();
+    let report = run_fleet(&spec);
+    Lane::from_batch("fleet_ingest", report.frames, t0.elapsed().as_nanos())
+}
+
 /// The interval grid both verify lanes use: `d = 1`, synchronised.
 fn bench_params() -> DapParams {
     DapParams::new(SimDuration(100), 1, 0, 8)
@@ -130,7 +145,14 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
             .expect("fresh chain"),
     );
     let flood_ns = measure(|| {
-        shard.on_frame(&flood_frame, during(1), &mut rng, &mut registry, &live);
+        shard.on_frame(
+            SenderId::UNTAGGED,
+            &flood_frame,
+            during(1),
+            &mut rng,
+            &mut registry,
+            &live,
+        );
     });
 
     let mut announce_hist = Histogram::new();
@@ -140,12 +162,26 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
     for i in 2..2 + REVEALS {
         let frame = DapMessage::Announce(sender.announce(i, b"batched reading").expect("chain"));
         sample(&mut announce_hist, &mut announce_elapsed, || {
-            shard.on_frame(&frame, during(i), &mut rng, &mut registry, &live);
+            shard.on_frame(
+                SenderId::UNTAGGED,
+                &frame,
+                during(i),
+                &mut rng,
+                &mut registry,
+                &live,
+            );
         });
 
         let frame = DapMessage::Reveal(sender.reveal(i).expect("announced"));
         sample(&mut reveal_hist, &mut reveal_elapsed, || {
-            shard.on_frame(&frame, during(i + 1), &mut rng, &mut registry, &live);
+            shard.on_frame(
+                SenderId::UNTAGGED,
+                &frame,
+                during(i + 1),
+                &mut rng,
+                &mut registry,
+                &live,
+            );
         });
     }
     assert_eq!(
@@ -192,7 +228,14 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
         };
         let frame = DapMessage::Announce(dap_core::Announce { index, mac });
         sample(&mut announce_hist, &mut announce_elapsed, || {
-            shard.on_frame(&frame, during(i), &mut rng, &mut registry, &live);
+            shard.on_frame(
+                SenderId::UNTAGGED,
+                &frame,
+                during(i),
+                &mut rng,
+                &mut registry,
+                &live,
+            );
         });
 
         let TeslaPpMessage::Reveal {
@@ -209,7 +252,14 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
             key,
         });
         sample(&mut reveal_hist, &mut reveal_elapsed, || {
-            shard.on_frame(&frame, during(i + 1), &mut rng, &mut registry, &live);
+            shard.on_frame(
+                SenderId::UNTAGGED,
+                &frame,
+                during(i + 1),
+                &mut rng,
+                &mut registry,
+                &live,
+            );
         });
     }
     assert_eq!(
@@ -255,11 +305,13 @@ fn main() {
         .unwrap_or_else(|| ".".into());
 
     let ingest = bench_ingest();
+    let fleet = bench_fleet_ingest();
     let (dap_flood, dap_announce, dap_reveal) = bench_dap_verify();
     let (tpp_announce, tpp_reveal) = bench_teslapp_verify();
     let codec_lane = bench_codec();
     let lanes = [
         ingest,
+        fleet,
         dap_flood,
         dap_announce,
         dap_reveal,

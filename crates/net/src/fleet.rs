@@ -1,0 +1,581 @@
+//! The deterministic fleet campaign: many tagged senders, per-sender
+//! spoofing flooders, and a session-table receiver — crowd-scale DAP on
+//! one seeded loopback wire.
+//!
+//! Where [`crate::loopback`] reproduces the paper's flood experiment for
+//! a single chain, this module runs it for a *fleet*: `N` senders each
+//! walking their own key chain, emitting [`SenderId`]-tagged frames,
+//! while the flooder spoofs each sender's tag with forged announces at
+//! bandwidth share `p`. Frames route to shards by sender
+//! ([`RoutePolicy::BySender`]), each shard owns a [`SessionTable`]
+//! slice of the fleet, and the per-sender `1 − p^m` arithmetic holds
+//! independently for every resident session — the many-to-one setting
+//! the paper's crowdsensing scenario actually describes.
+//!
+//! Determinism follows the loopback recipe: one driver thread plays all
+//! traffic in virtual time, [`OverflowPolicy::Block`] forbids
+//! timing-dependent shedding, frozen clocks zero the stopwatches, and
+//! every shard RNG forks from the pool seed — so two same-seed runs
+//! render byte-identical registries (the fleet-soak ci gate `cmp`s
+//! exactly this).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dap_core::{codec, DapBootstrap, DapMessage, DapParams, DapSender, SenderId};
+use dap_obs::{TimeSource, TraceRecord};
+use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
+
+use crate::pool::{
+    BufferNote, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig, PoolObs,
+    ReceiverPool, RoutePolicy,
+};
+use crate::pump::Flooder;
+use crate::session::{Admission, SessionConfig, SessionTable};
+use crate::telemetry::SharedRegistry;
+use crate::transport::{LoopbackTransport, Transport};
+
+/// Everything a fleet campaign needs; all fields seeded/explicit so a
+/// spec fully determines the run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Master seed (per-sender chains, flooder MACs, shard sampling).
+    pub seed: u64,
+    /// Fleet size — sender ids run `1..=senders`.
+    pub senders: u64,
+    /// Intervals of traffic per sender.
+    pub intervals: u64,
+    /// Receiver buffers `m` per pending interval per session.
+    pub buffers: usize,
+    /// Receiver pool shards.
+    pub shards: usize,
+    /// Per-shard ingress queue depth.
+    pub queue_depth: usize,
+    /// Flooder bandwidth share `p ∈ [0, 1)`, spoofed per sender.
+    pub flood: f64,
+    /// Genuine announce copies per sender per interval.
+    pub copies: u32,
+    /// Per-shard session-count cap.
+    pub max_sessions: usize,
+    /// Per-shard session memory budget in bits.
+    pub memory_budget_bits: u64,
+    /// Per-source trace ring capacity; 0 disables tracing.
+    pub trace_depth: usize,
+}
+
+impl Default for FleetSpec {
+    /// A small smoke-scale fleet: 64 senders × 8 intervals, `m = 4`,
+    /// `p = 0.8`, sessions unconstrained in count but budgeted at
+    /// 16 Mbit per shard. Four genuine copies per interval keep the
+    /// per-interval stream long relative to `m`, where the paper's
+    /// `1 − p^m` limit holds (a 5-frame stream against a 4-slot
+    /// reservoir barely evicts anything).
+    fn default() -> Self {
+        Self {
+            seed: 2016,
+            senders: 64,
+            intervals: 8,
+            buffers: 4,
+            shards: 4,
+            queue_depth: 4096,
+            flood: 0.8,
+            copies: 4,
+            max_sessions: usize::MAX,
+            memory_budget_bits: 16 * 1024 * 1024,
+            trace_depth: 0,
+        }
+    }
+}
+
+/// What a fleet campaign produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Merged pool + wire + session counters.
+    pub metrics: Metrics,
+    /// The full observability picture, including the per-shard session
+    /// occupancy/memory gauges and the per-sender auth-rate envelope.
+    pub registry: Registry,
+    /// `(source, seq)`-sorted trace records.
+    pub trace: Vec<TraceRecord>,
+    /// Aggregate `authenticated / reveals` across the fleet.
+    pub auth_rate: f64,
+    /// The paper's per-sender prediction `1 − p^m`.
+    pub expected_rate: f64,
+    /// Frames the driver pushed into the pool.
+    pub frames: u64,
+    /// Smallest per-sender auth rate observed (permille), across
+    /// senders with at least one reveal.
+    pub min_sender_auth_permille: Option<u64>,
+    /// Largest per-sender auth rate observed (permille).
+    pub max_sender_auth_permille: Option<u64>,
+}
+
+/// The protocol parameters every fleet sender runs (100-tick intervals,
+/// `d = 1`, Δ = 0 — the loopback wire has no skew).
+#[must_use]
+pub fn fleet_params(buffers: usize) -> DapParams {
+    DapParams::new(SimDuration(100), 1, 0, buffers)
+}
+
+/// The chain seed sender `id` derives its key chain from — shared by
+/// the driver (which plays the sender) and the receiver-side directory
+/// (which re-derives the commitment), standing in for out-of-band
+/// bootstrap exactly like `dapd --role receiver`'s `--seed`.
+#[must_use]
+pub fn fleet_chain_seed(fleet_seed: u64, sender: SenderId) -> [u8; 16] {
+    let mut seed = [0u8; 16];
+    seed[..8].copy_from_slice(&fleet_seed.to_be_bytes());
+    seed[8..].copy_from_slice(&sender.0.to_be_bytes());
+    seed
+}
+
+/// The fleet directory: bootstraps for sender ids `1..=senders`, all
+/// chains re-derived from the fleet seed. Ids outside the range are
+/// unknown (a spoofed id the roster never provisioned).
+#[must_use]
+pub fn fleet_bootstrap(
+    fleet_seed: u64,
+    senders: u64,
+    chain_len: usize,
+    params: DapParams,
+    sender: SenderId,
+) -> Option<DapBootstrap> {
+    (1..=senders).contains(&sender.0).then(|| {
+        DapSender::new(&fleet_chain_seed(fleet_seed, sender), chain_len, params).bootstrap()
+    })
+}
+
+/// A shard verifier owning a [`SessionTable`] slice of the fleet:
+/// frames verify against their wire-attributed sender's session, and
+/// shutdown folds session counters, occupancy gauges and the per-sender
+/// auth-rate envelope into the shard registry.
+pub struct FleetShard {
+    table: SessionTable,
+    fleet_seed: u64,
+    senders: u64,
+    chain_len: usize,
+    params: DapParams,
+    /// Per-sender `(authenticated, reveals)` — kept verifier-side so an
+    /// *evicted* sender's history still reaches the report.
+    reveal_outcomes: BTreeMap<u64, (u64, u64)>,
+}
+
+impl FleetShard {
+    /// One shard's slice of the fleet described by `spec`; `shard`
+    /// salts the session table's node-local secrets.
+    #[must_use]
+    pub fn new(spec: &FleetSpec, shard: usize) -> Self {
+        let chain_len = usize::try_from(spec.intervals).expect("interval count fits usize") + 2;
+        Self {
+            table: SessionTable::new(
+                SessionConfig {
+                    max_sessions: spec.max_sessions,
+                    memory_budget_bits: spec.memory_budget_bits,
+                },
+                spec.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            fleet_seed: spec.seed,
+            senders: spec.senders,
+            chain_len,
+            params: fleet_params(spec.buffers),
+            reveal_outcomes: BTreeMap::new(),
+        }
+    }
+
+    /// The shard's session table (post-run inspection).
+    #[must_use]
+    pub fn table(&self) -> &SessionTable {
+        &self.table
+    }
+}
+
+impl FrameVerifier for FleetShard {
+    fn on_frame(
+        &mut self,
+        sender: SenderId,
+        frame: &DapMessage,
+        at: SimTime,
+        rng: &mut SimRng,
+        registry: &mut Registry,
+        live: &LiveCounters,
+    ) -> FrameVerdict {
+        let interval = match frame {
+            DapMessage::Announce(a) => a.index,
+            DapMessage::Reveal(r) => r.index,
+        };
+        let (fleet_seed, senders, chain_len, params) =
+            (self.fleet_seed, self.senders, self.chain_len, self.params);
+        let Some(session) = self.table.lookup(sender, |id| {
+            fleet_bootstrap(fleet_seed, senders, chain_len, params, id)
+        }) else {
+            registry.incr(keys::NET_SESSION_UNKNOWN);
+            return FrameVerdict {
+                outcome: "unknown_sender",
+                interval,
+                buffer: None,
+                key_reveal: false,
+                evicted: None,
+            };
+        };
+        match session.admission {
+            Admission::Resident => {}
+            Admission::Admitted => registry.incr(keys::NET_SESSION_ADMITTED),
+            Admission::Readmitted => registry.incr(keys::NET_SESSION_READMITTED),
+        }
+        registry.add(keys::NET_SESSION_EVICTED, session.evicted.len() as u64);
+        let evicted = session.evicted.first().copied();
+        let receiver = session.receiver;
+        match frame {
+            DapMessage::Announce(a) => {
+                use dap_core::AnnounceOutcome;
+                let announce = receiver.on_announce(a, at, rng);
+                let (key, outcome, kept) = match announce {
+                    AnnounceOutcome::Stored => (keys::NET_ANNOUNCE_STORED, "stored", true),
+                    AnnounceOutcome::Dropped => {
+                        (keys::NET_ANNOUNCE_SAMPLED_OUT, "sampled_out", false)
+                    }
+                    AnnounceOutcome::Unsafe => (keys::NET_ANNOUNCE_UNSAFE, "unsafe", false),
+                };
+                registry.incr(key);
+                let buffer = (announce != AnnounceOutcome::Unsafe).then(|| BufferNote {
+                    kept,
+                    offered: receiver.offered(a.index),
+                    capacity: receiver.buffer_capacity() as u64,
+                });
+                FrameVerdict {
+                    outcome,
+                    interval,
+                    buffer,
+                    key_reveal: false,
+                    evicted,
+                }
+            }
+            DapMessage::Reveal(r) => {
+                use dap_core::RevealOutcome;
+                registry.incr(keys::NET_REVEAL_TOTAL);
+                let tally = self.reveal_outcomes.entry(sender.0).or_insert((0, 0));
+                tally.1 += 1;
+                let (key, outcome) = match receiver.on_reveal(r, at) {
+                    RevealOutcome::Authenticated { .. } => {
+                        live.count_authenticated();
+                        tally.0 += 1;
+                        (keys::NET_REVEAL_AUTH, "auth")
+                    }
+                    RevealOutcome::WeakRejected { .. } => {
+                        (keys::NET_REVEAL_WEAK_REJECTED, "weak_rejected")
+                    }
+                    RevealOutcome::StrongRejected { .. } => {
+                        (keys::NET_REVEAL_STRONG_REJECTED, "strong_rejected")
+                    }
+                    RevealOutcome::NoCandidate { .. } => {
+                        (keys::NET_REVEAL_NO_CANDIDATE, "no_candidate")
+                    }
+                };
+                registry.incr(key);
+                FrameVerdict {
+                    outcome,
+                    interval,
+                    buffer: None,
+                    key_reveal: true,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    fn on_shutdown(&mut self, registry: &mut Registry) {
+        registry
+            .gauge(keys::NET_SESSION_OCCUPANCY)
+            .set(self.table.occupancy() as u64);
+        registry
+            .gauge(keys::NET_SESSION_MEMORY_BITS)
+            .set(self.table.memory_bits());
+        // One set per sender: the gauge's min/max envelope becomes the
+        // shard's per-sender auth-rate spread, and the cross-shard merge
+        // (exact min/max) turns it into the fleet-wide envelope.
+        for (auth, total) in self.reveal_outcomes.values() {
+            if *total > 0 {
+                registry
+                    .gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE)
+                    .set(auth * 1000 / total);
+            }
+        }
+    }
+}
+
+/// Runs one seeded fleet campaign; see the module docs.
+///
+/// # Panics
+///
+/// Panics on invalid spec fields (zero shards/buffers/senders,
+/// `p ∉ [0, 1)`) and if a pool worker panics.
+#[must_use]
+pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+    run_fleet_with(spec, None)
+}
+
+/// [`run_fleet`] with an optional live telemetry registry (slot `i` =
+/// shard `i`; must have at least `spec.shards` slots).
+///
+/// # Panics
+///
+/// As [`run_fleet`].
+#[must_use]
+pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) -> FleetReport {
+    assert!(spec.senders >= 1, "need at least one sender");
+    let params = fleet_params(spec.buffers);
+    let schedule = params.schedule();
+    let d = params.disclosure_delay;
+    let chain_len = usize::try_from(spec.intervals).expect("interval count fits usize") + 2;
+
+    let mut rng = SimRng::new(spec.seed);
+    let wire_rng_seed = rng.next_u64();
+    let pool_seed = rng.next_u64();
+    let flooder_seed = rng.next_u64();
+    let mut shuffle_rng = rng.fork(4);
+
+    // The fleet: every sender its own chain, re-derived on the receiver
+    // side by the directory.
+    let mut fleet: Vec<DapSender> = (1..=spec.senders)
+        .map(|id| {
+            DapSender::new(
+                &fleet_chain_seed(spec.seed, SenderId(id)),
+                chain_len,
+                params,
+            )
+        })
+        .collect();
+
+    let wire = LoopbackTransport::new(wire_rng_seed, ChannelModel::perfect(), 0.0);
+    if spec.trace_depth > 0 {
+        let wire_source = u32::try_from(spec.shards).expect("shard count fits u32") + 1;
+        wire.enable_trace(wire_source, spec.trace_depth);
+    }
+    let pool = ReceiverPool::spawn_with_obs(
+        PoolConfig {
+            shards: spec.shards,
+            queue_depth: spec.queue_depth,
+            overflow: OverflowPolicy::Block,
+            route: RoutePolicy::BySender,
+        },
+        pool_seed,
+        |shard| FleetShard::new(spec, shard),
+        PoolObs {
+            time: TimeSource::frozen(),
+            trace_depth: spec.trace_depth,
+            publish,
+            publish_every: 64,
+        },
+    );
+    let handle = pool.handle();
+    let mut flooder = Flooder::new(wire.clone(), flooder_seed, spec.flood);
+    let forged_per_sender = flooder.forged_copies(u64::from(spec.copies));
+
+    let mut tx = wire.clone();
+    let mut rx = wire.clone();
+    let mut recv_buf = vec![0u8; codec::MAX_FRAME_LEN];
+    let mut drain = |rx: &mut LoopbackTransport, at: SimTime| {
+        while let Some(n) = rx.recv(&mut recv_buf).expect("loopback recv") {
+            handle.ingest(&recv_buf[..n], at);
+        }
+    };
+
+    for i in 1..=spec.intervals {
+        let at = SimTime(schedule.start_of(i).ticks() + 10);
+        for (slot, sender) in fleet.iter_mut().enumerate() {
+            let id = SenderId(slot as u64 + 1);
+            // The reveal for i − d leads the interval (Algorithm 1).
+            if i > d {
+                if let Some(reveal) = sender.reveal(i - d) {
+                    let frame = codec::encode_tagged(id, &DapMessage::Reveal(reveal))
+                        .expect("encodable reveal");
+                    tx.send(&frame).expect("loopback send");
+                }
+            }
+            // Genuine copies and spoofed forgeries, uniformly
+            // interleaved per sender by seeded draw.
+            let announce = sender
+                .announce(i, format!("s{} reading {i}", id.0).as_bytes())
+                .expect("chain sized for the run");
+            let genuine = codec::encode_tagged(id, &DapMessage::Announce(announce))
+                .expect("encodable announce");
+            let total = u64::from(spec.copies) + forged_per_sender;
+            let mut genuine_left = u64::from(spec.copies);
+            let mut slots_left = total;
+            for _ in 0..total {
+                if genuine_left > 0 && shuffle_rng.below(slots_left) < genuine_left {
+                    tx.send(&genuine).expect("loopback send");
+                    genuine_left -= 1;
+                } else {
+                    flooder.send_forged_as(id, i).expect("loopback send");
+                }
+                slots_left -= 1;
+            }
+        }
+        drain(&mut rx, at);
+    }
+    // Tail: flush the last reveals.
+    for i in spec.intervals.saturating_sub(d) + 1..=spec.intervals {
+        let at = SimTime(schedule.start_of(i + d).ticks() + 10);
+        for (slot, sender) in fleet.iter_mut().enumerate() {
+            let id = SenderId(slot as u64 + 1);
+            if let Some(reveal) = sender.reveal(i) {
+                let frame = codec::encode_tagged(id, &DapMessage::Reveal(reveal))
+                    .expect("encodable reveal");
+                tx.send(&frame).expect("loopback send");
+            }
+        }
+        drain(&mut rx, at);
+    }
+
+    let frames = handle.live().frames();
+    let report = pool.shutdown_with_report();
+    let mut registry = report.registry;
+    registry.merge_metrics(&wire.wire_metrics());
+    let mut trace = report.trace;
+    trace.extend(wire.take_trace());
+    dap_obs::sort_records(&mut trace);
+    let metrics = registry.counters().clone();
+    let auth_rate = metrics
+        .ratio(keys::NET_REVEAL_AUTH, keys::NET_REVEAL_TOTAL)
+        .unwrap_or(0.0);
+    let envelope = registry.get_gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE);
+    FleetReport {
+        auth_rate,
+        expected_rate: 1.0
+            - spec
+                .flood
+                .powi(i32::try_from(spec.buffers).unwrap_or(i32::MAX)),
+        frames,
+        min_sender_auth_permille: envelope.and_then(dap_obs::Gauge::min),
+        max_sender_auth_permille: envelope.and_then(dap_obs::Gauge::max),
+        metrics,
+        registry,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_fleets_render_identically() {
+        let spec = FleetSpec {
+            senders: 24,
+            intervals: 6,
+            ..FleetSpec::default()
+        };
+        let a = run_fleet(&spec);
+        let b = run_fleet(&spec);
+        assert_eq!(a.registry.render(), b.registry.render());
+        assert_eq!(a.frames, b.frames);
+        assert!(a.frames > 0);
+    }
+
+    #[test]
+    fn clean_fleet_authenticates_every_sender() {
+        let spec = FleetSpec {
+            senders: 16,
+            intervals: 5,
+            flood: 0.0,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_TOTAL), 16 * 5);
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_AUTH), 16 * 5);
+        assert_eq!(report.metrics.get(keys::NET_SESSION_ADMITTED), 16);
+        assert_eq!(report.metrics.get(keys::NET_SESSION_EVICTED), 0);
+        assert_eq!(report.min_sender_auth_permille, Some(1000));
+    }
+
+    #[test]
+    fn flooded_fleet_tracks_one_minus_p_to_m_per_sender() {
+        let spec = FleetSpec {
+            senders: 48,
+            intervals: 8,
+            flood: 0.8,
+            buffers: 4,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        // 1 − 0.8⁴ ≈ 0.59; aggregate-over-senders tightens the variance
+        // versus a single sender's 8 intervals.
+        assert!(
+            (report.auth_rate - report.expected_rate).abs() < 0.08,
+            "rate {} expected {}",
+            report.auth_rate,
+            report.expected_rate
+        );
+        // No forged announce may ever authenticate as any sender.
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
+        assert_eq!(
+            report.metrics.get(keys::NET_REVEAL_AUTH)
+                + report.metrics.get(keys::NET_REVEAL_STRONG_REJECTED),
+            report.metrics.get(keys::NET_REVEAL_TOTAL)
+        );
+    }
+
+    #[test]
+    fn tight_budget_evicts_but_stays_bounded() {
+        let probe = dap_core::DapReceiver::new(
+            fleet_bootstrap(9, 64, 10, fleet_params(4), SenderId(1)).unwrap(),
+            b"probe",
+        );
+        let per_session = probe.memory_capacity_bits() + crate::session::SESSION_OVERHEAD_BITS;
+        let spec = FleetSpec {
+            seed: 9,
+            senders: 64,
+            intervals: 4,
+            shards: 2,
+            // Room for ~6 of ~32 sessions per shard.
+            memory_budget_bits: 6 * per_session,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        assert!(report.metrics.get(keys::NET_SESSION_EVICTED) > 0);
+        let occupancy = report
+            .registry
+            .get_gauge(keys::NET_SESSION_OCCUPANCY)
+            .expect("occupancy gauge");
+        assert!(occupancy.max().unwrap_or(0) <= 6);
+        let memory = report
+            .registry
+            .get_gauge(keys::NET_SESSION_MEMORY_BITS)
+            .expect("memory gauge");
+        assert!(memory.max().unwrap_or(0) <= spec.memory_budget_bits);
+    }
+
+    #[test]
+    fn unknown_sender_ids_are_refused_without_budget() {
+        let spec = FleetSpec {
+            senders: 4,
+            intervals: 3,
+            flood: 0.0,
+            ..FleetSpec::default()
+        };
+        // A run plus hand-injected frames claiming an unprovisioned id:
+        // run the campaign first, then check the counter stayed zero.
+        let report = run_fleet(&spec);
+        assert_eq!(report.metrics.get(keys::NET_SESSION_UNKNOWN), 0);
+        // Direct verifier check for the unknown path.
+        let mut shard = FleetShard::new(&spec, 0);
+        let mut registry = Registry::new();
+        let mut rng = SimRng::new(1);
+        let live = LiveCounters::default();
+        let verdict = shard.on_frame(
+            SenderId(999),
+            &DapMessage::Announce(dap_core::Announce {
+                index: 1,
+                mac: dap_crypto::Mac80::from_slice(&[7; 10]).unwrap(),
+            }),
+            SimTime(10),
+            &mut rng,
+            &mut registry,
+            &live,
+        );
+        assert_eq!(verdict.outcome, "unknown_sender");
+        assert_eq!(registry.counters().get(keys::NET_SESSION_UNKNOWN), 1);
+        assert_eq!(shard.table().occupancy(), 0);
+    }
+}

@@ -15,12 +15,20 @@
 //!   adversary, saturating the wire with forged announces at bandwidth
 //!   share `p`;
 //! * [`queue`] / [`pool`] — a sharded receiver: frames route to one of
-//!   `N` worker threads by a hash of their interval index, each worker
-//!   owns its reservoir buffers and drains a bounded ingress queue with
-//!   an explicit [`OverflowPolicy`];
+//!   `N` worker threads by a hash of their interval index (or, in the
+//!   fleet posture, their [`dap_core::SenderId`] wire tag —
+//!   [`pool::RoutePolicy`]), each worker owns its reservoir buffers and
+//!   drains a bounded ingress queue with an explicit [`OverflowPolicy`];
+//! * [`session`] — per-sender receiver state at crowd scale: each shard
+//!   owns a [`SessionTable`] mapping `SenderId` to chain anchor, skew
+//!   and reservoirs, bounded by LRU + memory-budget eviction so fixed
+//!   RAM serves an unbounded sender population (DESIGN §10);
 //! * [`loopback`] — the seeded single-driver campaign the ci.sh soak
 //!   gate runs: same seed ⇒ byte-identical metrics, and with
 //!   `trace_depth > 0` a byte-identical structured trace too;
+//! * [`fleet`] — the loopback campaign at fleet scale: `N` tagged
+//!   senders, per-sender spoofing flooders, session-table shards — the
+//!   `tests/fleet_soak.rs` and ci.sh fleet-gate scenario;
 //! * [`telemetry`] — the live exposition plane: [`SharedRegistry`]
 //!   collects per-shard [`dap_simnet::Registry`] snapshots without
 //!   touching the verify hot path, and [`TelemetryServer`] serves the
@@ -57,21 +65,27 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fleet;
 pub mod loopback;
 pub mod opts;
 pub mod pool;
 pub mod pump;
 pub mod queue;
+pub mod session;
 pub mod telemetry;
 pub mod transport;
 
 pub use clock::{ManualClock, NetClock, RealClock};
+pub use fleet::{run_fleet, FleetReport, FleetShard, FleetSpec};
 pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
 pub use pool::{
     BufferNote, DapShard, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig,
-    PoolHandle, PoolObs, PoolReport, ReceiverPool, TeslaPpShard,
+    PoolHandle, PoolObs, PoolReport, ReceiverPool, RoutePolicy, TeslaPpShard,
 };
 pub use pump::{Flooder, PumpStats, SenderPump};
 pub use queue::{IngressQueue, Pop, PushError};
+pub use session::{
+    Admission, SessionConfig, SessionEviction, SessionRef, SessionStats, SessionTable,
+};
 pub use telemetry::{SharedRegistry, TelemetryServer};
 pub use transport::{LoopbackTransport, Transport, UdpTransport};

@@ -23,7 +23,7 @@ use dap_core::{codec, DapMessage, DapParams, DapSender};
 use dap_obs::{TimeSource, TraceRecord};
 use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
 
-use crate::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool};
+use crate::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool, RoutePolicy};
 use crate::pump::Flooder;
 use crate::telemetry::SharedRegistry;
 use crate::transport::{LoopbackTransport, Transport};
@@ -144,6 +144,7 @@ pub fn run_loopback_with(
             shards: spec.shards,
             queue_depth: spec.queue_depth,
             overflow: OverflowPolicy::Block,
+            route: RoutePolicy::ByInterval,
         },
         pool_seed,
         |shard| DapShard::new(bootstrap, &[b'l', b'o', shard as u8]),

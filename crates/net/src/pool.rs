@@ -36,13 +36,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use dap_core::codec::FrameAssembler;
-use dap_core::{codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, RevealOutcome};
+use dap_core::{
+    codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, RevealOutcome, SenderId,
+};
 use dap_obs::{RingSink, TimeSource, TraceEmitter, TraceEvent, TraceRecord};
 use dap_simnet::{keys, Metrics, Registry, SimRng, SimTime};
 use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
 use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver};
 
 use crate::queue::{IngressQueue, Pop, PushError};
+use crate::session::SessionEviction;
 use crate::telemetry::SharedRegistry;
 
 /// What a full shard queue does to the next frame.
@@ -56,6 +59,20 @@ pub enum OverflowPolicy {
     Block,
 }
 
+/// What header field the reader hashes to pick a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Hash the interval index — the single-sender posture: an
+    /// interval's announces and its reveal share a shard.
+    #[default]
+    ByInterval,
+    /// Hash the [`SenderId`] wire tag — the fleet posture: *all* of a
+    /// sender's frames share a shard, so its whole session (anchor,
+    /// skew, reservoirs) is shard-owned and lock-free. Untagged frames
+    /// route as [`SenderId::UNTAGGED`].
+    BySender,
+}
+
 /// Pool shape.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
@@ -65,15 +82,19 @@ pub struct PoolConfig {
     pub queue_depth: usize,
     /// What happens on overflow.
     pub overflow: OverflowPolicy,
+    /// What the reader hashes to route a frame.
+    pub route: RoutePolicy,
 }
 
 impl Default for PoolConfig {
-    /// 4 shards × 1024-frame queues, shedding (wire posture).
+    /// 4 shards × 1024-frame queues, shedding, routed by interval (the
+    /// single-sender wire posture).
     fn default() -> Self {
         Self {
             shards: 4,
             queue_depth: 1024,
             overflow: OverflowPolicy::DropCount,
+            route: RoutePolicy::ByInterval,
         }
     }
 }
@@ -132,21 +153,34 @@ pub struct FrameVerdict {
     pub buffer: Option<BufferNote>,
     /// Whether the frame disclosed a chain key (reveals do).
     pub key_reveal: bool,
+    /// Present when admitting the frame's sender evicted another
+    /// session (fleet verifiers; traced as
+    /// [`TraceEvent::SessionEvicted`]).
+    pub evicted: Option<SessionEviction>,
 }
 
 /// Per-shard protocol state: turns decoded frames into outcomes and
 /// counters. One verifier instance lives on each worker thread.
 pub trait FrameVerifier: Send {
-    /// Processes one decoded frame stamped with its receive time,
-    /// returning the verdict the pool traces.
+    /// Processes one decoded frame stamped with its receive time and
+    /// wire-attributed sender ([`SenderId::UNTAGGED`] for legacy
+    /// frames), returning the verdict the pool traces.
     fn on_frame(
         &mut self,
+        sender: SenderId,
         frame: &DapMessage,
         at: SimTime,
         rng: &mut SimRng,
         registry: &mut Registry,
         live: &LiveCounters,
     ) -> FrameVerdict;
+
+    /// Called once when the shard's queue closes, before the worker
+    /// returns its registry — the hook fleet verifiers use to fold
+    /// per-sender/session state into the merged report. Default: no-op.
+    fn on_shutdown(&mut self, registry: &mut Registry) {
+        let _ = registry;
+    }
 }
 
 /// Counters the pool mirrors into atomics so callers can watch a live
@@ -224,6 +258,7 @@ impl DapShard {
 impl FrameVerifier for DapShard {
     fn on_frame(
         &mut self,
+        _sender: SenderId,
         frame: &DapMessage,
         at: SimTime,
         rng: &mut SimRng,
@@ -252,6 +287,7 @@ impl FrameVerifier for DapShard {
                     interval: a.index,
                     buffer,
                     key_reveal: false,
+                    evicted: None,
                 }
             }
             DapMessage::Reveal(r) => {
@@ -277,6 +313,7 @@ impl FrameVerifier for DapShard {
                     interval: r.index,
                     buffer: None,
                     key_reveal: true,
+                    evicted: None,
                 }
             }
         }
@@ -322,6 +359,7 @@ impl TeslaPpShard {
 impl FrameVerifier for TeslaPpShard {
     fn on_frame(
         &mut self,
+        _sender: SenderId,
         frame: &DapMessage,
         at: SimTime,
         _rng: &mut SimRng,
@@ -355,6 +393,7 @@ impl FrameVerifier for TeslaPpShard {
             interval,
             buffer: None,
             key_reveal,
+            evicted: None,
         }
     }
 }
@@ -372,15 +411,17 @@ struct IngressFrame {
 pub struct PoolHandle {
     queues: Arc<Vec<IngressQueue<IngressFrame>>>,
     overflow: OverflowPolicy,
+    route: RoutePolicy,
     live: Arc<LiveCounters>,
     reader_trace: Option<Arc<Mutex<TraceEmitter<RingSink>>>>,
 }
 
 impl PoolHandle {
-    /// Which shard frames for interval `index` land on.
+    /// Which shard the routing key `key` (interval index or sender id,
+    /// per [`RoutePolicy`]) lands on.
     #[must_use]
-    pub fn shard_of(&self, index: u64) -> usize {
-        (splitmix64(index) % self.queues.len() as u64) as usize
+    pub fn shard_of(&self, key: u64) -> usize {
+        (splitmix64(key) % self.queues.len() as u64) as usize
     }
 
     /// Routes one received datagram to its shard, stamped `at`.
@@ -389,8 +430,12 @@ impl PoolHandle {
     pub fn ingest(&self, bytes: &[u8], at: SimTime) -> bool {
         // Unroutable garbage still goes to a worker (deterministically,
         // by length) so its decode failure is counted like any other.
-        let index = codec::peek_index(bytes).unwrap_or(bytes.len() as u64);
-        let shard = self.shard_of(index);
+        let key = match self.route {
+            RoutePolicy::ByInterval => codec::peek_index(bytes),
+            RoutePolicy::BySender => codec::peek_sender(bytes).map(|s| s.0),
+        }
+        .unwrap_or(bytes.len() as u64);
+        let shard = self.shard_of(key);
         let queue = &self.queues[shard];
         let frame = IngressFrame {
             bytes: bytes.to_vec(),
@@ -514,6 +559,7 @@ impl ReceiverPool {
             handle: PoolHandle {
                 queues,
                 overflow: config.overflow,
+                route: config.route,
                 live,
                 reader_trace,
             },
@@ -642,16 +688,23 @@ fn run_shard<V: FrameVerifier>(
         let mut assembler = FrameAssembler::new();
         assembler.push(&frame.bytes);
         let mut decoded = Vec::new();
-        while let Some(message) = assembler.next_frame() {
-            decoded.push(message);
+        while let Some(tagged) = assembler.next_tagged_frame() {
+            decoded.push(tagged);
         }
         registry.record(
             keys::NET_DECODE_LATENCY_NS,
             decode_watch.elapsed_ns(&obs.time),
         );
-        for message in &decoded {
+        for tagged in &decoded {
             let verify_watch = obs.time.stopwatch();
-            let verdict = verifier.on_frame(message, frame.at, rng, &mut registry, live);
+            let verdict = verifier.on_frame(
+                tagged.sender,
+                &tagged.message,
+                frame.at,
+                rng,
+                &mut registry,
+                live,
+            );
             let elapsed_ns = verify_watch.elapsed_ns(&obs.time);
             registry.record(keys::NET_VERIFY_LATENCY_NS, elapsed_ns);
             trace.emit(
@@ -687,6 +740,16 @@ fn run_shard<V: FrameVerifier>(
                     },
                 );
             }
+            if let Some(eviction) = verdict.evicted {
+                trace.emit(
+                    at,
+                    TraceEvent::SessionEvicted {
+                        sender: eviction.sender,
+                        shard: shard as u32,
+                        occupancy: eviction.occupancy,
+                    },
+                );
+            }
         }
         let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
         if junk > 0 {
@@ -701,6 +764,7 @@ fn run_shard<V: FrameVerifier>(
             }
         }
     }
+    verifier.on_shutdown(&mut registry);
     if let Some(shared) = &obs.publish {
         shared.publish(shard, &registry);
     }
@@ -739,6 +803,7 @@ mod tests {
                 shards: 4,
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
+                route: RoutePolicy::ByInterval,
             },
             7,
             |shard| DapShard::new(bootstrap, &[shard as u8]),
@@ -802,6 +867,7 @@ mod tests {
                 shards: 1,
                 queue_depth: 1,
                 overflow: OverflowPolicy::DropCount,
+                route: RoutePolicy::ByInterval,
             },
             1,
             |_| DapShard::new(sender.bootstrap(), b"n"),
@@ -840,6 +906,7 @@ mod tests {
                 shards: 2,
                 queue_depth: 16,
                 overflow: OverflowPolicy::Block,
+                route: RoutePolicy::ByInterval,
             },
             3,
             |_| TeslaPpShard::new(sender.bootstrap(), b"n"),
@@ -891,6 +958,7 @@ mod tests {
                 shards: 2,
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
+                route: RoutePolicy::ByInterval,
             },
             11,
             |shard| DapShard::new(bootstrap, &[b't', shard as u8]),
@@ -958,6 +1026,7 @@ mod tests {
                 shards: 2,
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
+                route: RoutePolicy::ByInterval,
             },
             5,
             |shard| DapShard::new(bootstrap, &[b'p', shard as u8]),

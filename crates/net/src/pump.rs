@@ -12,7 +12,7 @@
 
 use std::io;
 
-use dap_core::{codec, DapMessage, DapSender};
+use dap_core::{codec, DapMessage, DapSender, SenderId};
 use dap_crypto::{ChainStore, Mac80};
 use dap_simnet::{FloodIntensity, SimRng};
 
@@ -37,6 +37,9 @@ pub struct SenderPump<T: Transport, C: ChainStore, K: NetClock> {
     clock: K,
     /// Announce copies per interval (`a` in the flood arithmetic).
     copies: u32,
+    /// Wire identity: `Some` emits `SenderId`-tagged frames (the fleet
+    /// posture), `None` the legacy untagged shapes.
+    tag: Option<SenderId>,
 }
 
 impl<T: Transport, C: ChainStore, K: NetClock> SenderPump<T, C, K> {
@@ -52,7 +55,24 @@ impl<T: Transport, C: ChainStore, K: NetClock> SenderPump<T, C, K> {
             transport,
             clock,
             copies,
+            tag: None,
         }
+    }
+
+    /// Tags every emitted frame with `id` (fleet mode: the receiver's
+    /// session table routes and verifies per sender).
+    #[must_use]
+    pub fn with_sender_id(mut self, id: SenderId) -> Self {
+        self.tag = Some(id);
+        self
+    }
+
+    fn encode(&self, message: &DapMessage) -> io::Result<Vec<u8>> {
+        match self.tag {
+            Some(id) => codec::encode_tagged(id, message),
+            None => codec::encode(message),
+        }
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
     /// Runs intervals `1..=intervals`: each interval sends its announce
@@ -80,8 +100,7 @@ impl<T: Transport, C: ChainStore, K: NetClock> SenderPump<T, C, K> {
                 .sleep_until(schedule.start_of(i) + interval_nudge(&schedule));
             match self.sender.announce(i, &message(i)) {
                 Ok(announce) => {
-                    let frame = codec::encode(&DapMessage::Announce(announce))
-                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    let frame = self.encode(&DapMessage::Announce(announce))?;
                     for _ in 0..self.copies {
                         self.transport.send(&frame)?;
                         stats.announces += 1;
@@ -106,8 +125,7 @@ impl<T: Transport, C: ChainStore, K: NetClock> SenderPump<T, C, K> {
         let Some(reveal) = self.sender.reveal(index) else {
             return Ok(0);
         };
-        let frame = codec::encode(&DapMessage::Reveal(reveal))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let frame = self.encode(&DapMessage::Reveal(reveal))?;
         self.transport.send(&frame)?;
         Ok(1)
     }
@@ -164,14 +182,41 @@ impl<T: Transport> Flooder<T> {
     ///
     /// Propagates transport send failures.
     pub fn send_forged(&mut self, index: u64) -> io::Result<()> {
+        let frame = self
+            .forged_frame(None, index)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.transport.send(&frame)
+    }
+
+    /// Emits one forged announce *spoofing* sender `victim` — the fleet
+    /// attack: the wire tag is unauthenticated, so the flooder claims
+    /// any identity it likes and pollutes that sender's reservoirs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport send failures.
+    pub fn send_forged_as(&mut self, victim: SenderId, index: u64) -> io::Result<()> {
+        let frame = self
+            .forged_frame(Some(victim), index)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.transport.send(&frame)
+    }
+
+    fn forged_frame(
+        &mut self,
+        victim: Option<SenderId>,
+        index: u64,
+    ) -> Result<Vec<u8>, codec::EncodeError> {
         let mut mac = [0u8; Mac80::LEN];
         self.rng.fill_bytes(&mut mac);
-        let frame = codec::encode(&DapMessage::Announce(dap_core::Announce {
+        let message = DapMessage::Announce(dap_core::Announce {
             index,
             mac: Mac80::from_slice(&mac).expect("fixed length"),
-        }))
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.transport.send(&frame)
+        });
+        match victim {
+            Some(id) => codec::encode_tagged(id, &message),
+            None => codec::encode(&message),
+        }
     }
 
     /// Floods `clock`'s current interval with `batch` forged announces,

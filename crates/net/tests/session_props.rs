@@ -1,0 +1,265 @@
+//! Property suite for the per-sender [`SessionTable`] (DESIGN §10):
+//! random shrunk workloads against a transparent reference model of the
+//! LRU + budget policy, plus protocol-level re-anchoring after eviction.
+//!
+//! Failures replay with `DAP_TESTKIT_SEED` — see `crates/testkit`.
+
+use std::collections::BTreeMap;
+
+use dap_core::{DapBootstrap, DapParams, DapReceiver, DapSender, SenderId};
+use dap_net::session::{Admission, SessionConfig, SessionTable, SESSION_OVERHEAD_BITS};
+use dap_simnet::{SimDuration, SimRng, SimTime};
+use dap_testkit::{check_with, Config, Gen};
+
+const DIRECTORY_SIZE: u64 = 64;
+const CHAIN_LEN: usize = 24;
+
+fn params(m: usize) -> DapParams {
+    DapParams::new(SimDuration(100), 1, 0, m)
+}
+
+/// A small provisioned roster: ids `1..=DIRECTORY_SIZE` are known, all
+/// sessions the same shape (`m = 4`), so every session costs the same.
+fn directory(sender: SenderId) -> Option<DapBootstrap> {
+    (1..=DIRECTORY_SIZE)
+        .contains(&sender.0)
+        .then(|| DapSender::new(&sender.0.to_be_bytes(), CHAIN_LEN, params(4)).bootstrap())
+}
+
+fn session_cost_bits() -> u64 {
+    let probe = DapReceiver::new(directory(SenderId(1)).expect("known id"), b"probe");
+    probe.memory_capacity_bits() + SESSION_OVERHEAD_BITS
+}
+
+/// A transparent reference model of the table's admission policy:
+/// uniform-cost LRU with eviction by smallest `(last_used, id)`.
+struct Model {
+    max_sessions: usize,
+    budget_sessions: usize,
+    clock: u64,
+    resident: BTreeMap<u64, u64>, // id -> last_used stamp
+    evicted_ever: std::collections::BTreeSet<u64>,
+}
+
+enum ModelOutcome {
+    Resident,
+    Admitted,
+    Readmitted,
+    Unknown,
+}
+
+impl Model {
+    fn lookup(&mut self, id: u64) -> (ModelOutcome, Vec<u64>) {
+        self.clock += 1;
+        if let Some(stamp) = self.resident.get_mut(&id) {
+            *stamp = self.clock;
+            return (ModelOutcome::Resident, Vec::new());
+        }
+        if !(1..=DIRECTORY_SIZE).contains(&id) {
+            return (ModelOutcome::Unknown, Vec::new());
+        }
+        let cap = self.max_sessions.min(self.budget_sessions);
+        let mut evictions = Vec::new();
+        while !self.resident.is_empty() && self.resident.len() + 1 > cap {
+            let victim = *self
+                .resident
+                .iter()
+                .min_by_key(|(vid, stamp)| (**stamp, **vid))
+                .map(|(vid, _)| vid)
+                .expect("non-empty");
+            self.resident.remove(&victim);
+            self.evicted_ever.insert(victim);
+            evictions.push(victim);
+        }
+        let outcome = if self.evicted_ever.contains(&id) {
+            ModelOutcome::Readmitted
+        } else {
+            ModelOutcome::Admitted
+        };
+        self.resident.insert(id, self.clock);
+        (outcome, evictions)
+    }
+}
+
+fn props_config() -> Config {
+    Config {
+        cases: 64,
+        ..Config::default()
+    }
+}
+
+/// One random workload step: mostly known ids, a sprinkle of unknown
+/// ones (which must never perturb residency).
+fn draw_id(g: &mut Gen) -> u64 {
+    if g.u64_in(0..8) == 0 {
+        g.u64_in(DIRECTORY_SIZE + 1..DIRECTORY_SIZE + 32)
+    } else {
+        g.u64_in(1..DIRECTORY_SIZE + 1)
+    }
+}
+
+/// The table agrees with the reference LRU model on every observable:
+/// admission kind, eviction victims (and their order), residency,
+/// occupancy. In particular the LRU property — a session used more
+/// recently than another is never evicted before it, so an
+/// active-interval session survives as long as anything colder exists.
+#[test]
+fn table_matches_reference_lru_model() {
+    let cost = session_cost_bits();
+    check_with(props_config(), "table_matches_reference_lru_model", |g| {
+        let max_sessions = g.usize_in(1..9);
+        let budget_sessions = g.usize_in(1..9);
+        let mut table = SessionTable::new(
+            SessionConfig {
+                max_sessions,
+                memory_budget_bits: budget_sessions as u64 * cost,
+            },
+            g.any_u64(),
+        );
+        let mut model = Model {
+            max_sessions,
+            budget_sessions,
+            clock: 0,
+            resident: BTreeMap::new(),
+            evicted_ever: std::collections::BTreeSet::new(),
+        };
+        let steps = g.usize_in(1..48);
+        for _ in 0..steps {
+            let id = draw_id(g);
+            let (expected, expected_evictions) = model.lookup(id);
+            match table.lookup(SenderId(id), directory) {
+                None => assert!(
+                    matches!(expected, ModelOutcome::Unknown),
+                    "table refused known id {id}"
+                ),
+                Some(session) => {
+                    match expected {
+                        ModelOutcome::Resident => {
+                            assert_eq!(session.admission, Admission::Resident)
+                        }
+                        ModelOutcome::Admitted => {
+                            assert_eq!(session.admission, Admission::Admitted)
+                        }
+                        ModelOutcome::Readmitted => {
+                            assert_eq!(session.admission, Admission::Readmitted)
+                        }
+                        ModelOutcome::Unknown => panic!("table admitted unknown id {id}"),
+                    }
+                    let victims: Vec<u64> = session.evicted.iter().map(|e| e.sender).collect();
+                    assert_eq!(victims, expected_evictions, "eviction choice diverged");
+                }
+            }
+            assert_eq!(table.occupancy(), model.resident.len());
+            for id in model.resident.keys() {
+                assert!(
+                    table.is_resident(SenderId(*id)),
+                    "model resident {id} missing"
+                );
+            }
+        }
+    });
+}
+
+/// Occupancy and accounted memory never exceed the configured bounds at
+/// any point in any workload, and unknown ids never consume budget.
+#[test]
+fn bounds_hold_at_every_step() {
+    let cost = session_cost_bits();
+    check_with(props_config(), "bounds_hold_at_every_step", |g| {
+        let max_sessions = g.usize_in(1..13);
+        let budget_sessions = g.u64_in(1..13);
+        let budget = budget_sessions * cost + g.u64_in(0..cost);
+        let mut table = SessionTable::new(
+            SessionConfig {
+                max_sessions,
+                memory_budget_bits: budget,
+            },
+            g.any_u64(),
+        );
+        let steps = g.usize_in(1..64);
+        let mut unknown_seen = 0u64;
+        for _ in 0..steps {
+            let id = draw_id(g);
+            if table.lookup(SenderId(id), directory).is_none() {
+                unknown_seen += 1;
+            }
+            assert!(table.occupancy() <= max_sessions, "occupancy over cap");
+            assert!(table.memory_bits() <= budget, "memory over budget");
+            assert_eq!(
+                table.memory_bits(),
+                table.occupancy() as u64 * cost,
+                "accounting drifted from uniform session cost"
+            );
+        }
+        assert_eq!(table.stats().unknown, unknown_seen);
+    });
+}
+
+/// Evict-then-readmit re-anchors cleanly: whatever churn evicted a
+/// sender, its next lookup is `Readmitted` with a fresh receiver that
+/// authenticates the sender's *next* interval end to end.
+#[test]
+fn readmission_reanchors_and_authenticates() {
+    check_with(
+        props_config(),
+        "readmission_reanchors_and_authenticates",
+        |g| {
+            let victim = g.u64_in(1..DIRECTORY_SIZE + 1);
+            let cap = g.usize_in(1..4);
+            let mut table = SessionTable::new(
+                SessionConfig {
+                    max_sessions: cap,
+                    memory_budget_bits: u64::MAX,
+                },
+                g.any_u64(),
+            );
+            let mut rng = SimRng::new(g.any_u64());
+            let mut sender = DapSender::new(&victim.to_be_bytes(), CHAIN_LEN, params(4));
+
+            // Interval 1: the victim authenticates normally.
+            let a1 = sender.announce(1, b"r1").expect("fresh chain");
+            table
+                .lookup(SenderId(victim), directory)
+                .expect("known")
+                .receiver
+                .on_announce(&a1, SimTime(10), &mut rng);
+            assert!(table
+                .lookup(SenderId(victim), directory)
+                .expect("resident")
+                .receiver
+                .on_reveal(&sender.reveal(1).expect("announced"), SimTime(110))
+                .is_authenticated());
+
+            // Random churn from other senders until the victim is gone.
+            let mut churn = 0;
+            while table.is_resident(SenderId(victim)) {
+                let other = g.u64_in(1..DIRECTORY_SIZE + 1);
+                if other != victim {
+                    table.lookup(SenderId(other), directory);
+                }
+                churn += 1;
+                assert!(churn < 512, "cap {cap} never evicted the victim");
+            }
+
+            // The victim skips ahead a few intervals while evicted, then
+            // its next frame re-admits and authenticates across the gap.
+            let next = 2 + g.u64_in(0..8);
+            let announce = sender
+                .announce(next, b"post-eviction")
+                .expect("chain sized for the run");
+            let at = SimTime((next - 1) * 100 + 10);
+            let session = table.lookup(SenderId(victim), directory).expect("known");
+            assert_eq!(session.admission, Admission::Readmitted);
+            session.receiver.on_announce(&announce, at, &mut rng);
+            assert!(table
+                .lookup(SenderId(victim), directory)
+                .expect("resident")
+                .receiver
+                .on_reveal(
+                    &sender.reveal(next).expect("announced"),
+                    SimTime(at.ticks() + 100)
+                )
+                .is_authenticated());
+        },
+    );
+}

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use dap_core::{codec, DapMessage, DapParams, DapSender};
 use dap_net::clock::{ManualClock, NetClock};
-use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, ReceiverPool};
+use dap_net::pool::{DapShard, OverflowPolicy, PoolConfig, ReceiverPool, RoutePolicy};
 use dap_net::transport::{Transport, UdpTransport};
 use dap_simnet::{SimDuration, SimTime};
 
@@ -48,6 +48,7 @@ fn dap_authenticates_across_real_udp_sockets() {
             shards: 3,
             queue_depth: 64,
             overflow: OverflowPolicy::Block,
+            route: RoutePolicy::ByInterval,
         },
         77,
         |shard| DapShard::new(bootstrap, &[b'u', shard as u8]),

@@ -71,6 +71,16 @@ pub enum TraceEvent {
         /// Fault label (`"wire.loss"`, `"wire.corrupt"`, …).
         kind: &'static str,
     },
+    /// A session table evicted a sender's per-session state to stay
+    /// inside its memory budget.
+    SessionEvicted {
+        /// The evicted sender's id.
+        sender: u64,
+        /// The shard that owns the table.
+        shard: u32,
+        /// Sessions still resident after the eviction.
+        occupancy: u64,
+    },
 }
 
 impl TraceEvent {
@@ -85,6 +95,7 @@ impl TraceEvent {
             Self::KeyReveal { .. } => "key_reveal",
             Self::ShardStall { .. } => "shard_stall",
             Self::FaultInjected { .. } => "fault_injected",
+            Self::SessionEvicted { .. } => "session_evicted",
         }
     }
 }
@@ -138,6 +149,14 @@ impl TraceRecord {
                 base.u64("shard", u64::from(*shard)).u64("depth", *depth)
             }
             TraceEvent::FaultInjected { kind } => base.str("kind", kind),
+            TraceEvent::SessionEvicted {
+                sender,
+                shard,
+                occupancy,
+            } => base
+                .u64("sender", *sender)
+                .u64("shard", u64::from(*shard))
+                .u64("occupancy", *occupancy),
         }
         .finish()
     }
@@ -421,6 +440,11 @@ mod tests {
                 depth: 64,
             },
             TraceEvent::FaultInjected { kind: "wire.loss" },
+            TraceEvent::SessionEvicted {
+                sender: 17,
+                shard: 1,
+                occupancy: 63,
+            },
         ];
         for event in events {
             let name = event.name();

@@ -434,6 +434,21 @@ pub mod keys {
     pub const NET_QUEUE_DEPTH: &str = "net.queue.depth";
     /// Wire pool: shard queue occupancy gauge (wall-clock runs only).
     pub const NET_QUEUE_OCCUPANCY: &str = "net.queue.occupancy";
+    /// Session table: senders admitted (first frame seen).
+    pub const NET_SESSION_ADMITTED: &str = "net.session.admitted";
+    /// Session table: sessions evicted by the LRU/budget policy.
+    pub const NET_SESSION_EVICTED: &str = "net.session.evicted";
+    /// Session table: previously evicted senders re-admitted.
+    pub const NET_SESSION_READMITTED: &str = "net.session.readmitted";
+    /// Session table: frames from senders absent from the directory.
+    pub const NET_SESSION_UNKNOWN: &str = "net.session.unknown";
+    /// Session table: resident-session occupancy gauge (per shard,
+    /// merged to a cross-shard min/max envelope).
+    pub const NET_SESSION_OCCUPANCY: &str = "net.session.occupancy";
+    /// Session table: resident-session memory gauge (bits).
+    pub const NET_SESSION_MEMORY_BITS: &str = "net.session.memory_bits";
+    /// Fleet: per-sender authenticated-reveal rate envelope (permille).
+    pub const NET_FLEET_AUTH_RATE_PERMILLE: &str = "net.fleet.auth_rate_permille";
     /// Wire medium: frames sent.
     pub const NET_WIRE_SENT: &str = "net.wire.sent";
     /// Wire medium: frames lost.
@@ -515,6 +530,13 @@ pub mod keys {
         NET_DECODE_LATENCY_NS,
         NET_QUEUE_DEPTH,
         NET_QUEUE_OCCUPANCY,
+        NET_SESSION_ADMITTED,
+        NET_SESSION_EVICTED,
+        NET_SESSION_READMITTED,
+        NET_SESSION_UNKNOWN,
+        NET_SESSION_OCCUPANCY,
+        NET_SESSION_MEMORY_BITS,
+        NET_FLEET_AUTH_RATE_PERMILLE,
         NET_WIRE_SENT,
         NET_WIRE_LOST,
         NET_WIRE_CORRUPTED,

@@ -7,8 +7,13 @@
 //! with `DAP_TESTKIT_SEED=<seed> cargo test --test codec_fuzz`).
 
 use crowdsense_dap::crypto::{Key, Mac80};
-use crowdsense_dap::dap::codec::{decode, encode, FrameAssembler};
+use crowdsense_dap::dap::codec::{
+    decode, decode_tagged, encode, encode_tagged, peek_sender, FrameAssembler, TaggedFrame,
+};
 use crowdsense_dap::dap::wire::{Announce, DapMessage, Reveal};
+use crowdsense_dap::dap::{DapBootstrap, DapParams, DapSender, SenderId};
+use crowdsense_dap::net::session::{SessionConfig, SessionTable};
+use crowdsense_dap::simnet::{SimDuration, SimRng, SimTime};
 use dap_testkit::{check_with, Config, Gen};
 
 fn fuzz_config() -> Config {
@@ -152,13 +157,14 @@ fn assembler_resynchronises_after_garbage() {
         let before = encode(&arbitrary_frame(g)).unwrap();
         let after_frame = arbitrary_frame(g);
         let after = encode(&after_frame).unwrap();
-        // Garbage that cannot alias a frame tag (0x01/0x02 could start a
-        // phantom frame that swallows the real one — a different, valid
-        // outcome this property does not model).
+        // Garbage that cannot alias a frame tag (0x01–0x04 could start a
+        // phantom frame — tagged shapes included — that swallows the
+        // real one: a different, valid outcome this property does not
+        // model).
         let garbage: Vec<u8> = g
             .bytes(1..32)
             .into_iter()
-            .map(|b| if b == 0x01 || b == 0x02 { 0xff } else { b })
+            .map(|b| if (0x01..=0x04).contains(&b) { 0xff } else { b })
             .collect();
         let mut stream = before.clone();
         stream.extend_from_slice(&garbage);
@@ -178,6 +184,153 @@ fn assembler_resynchronises_after_garbage() {
             "skipped-byte accounting is off"
         );
         assert_eq!(asm.pending_bytes(), 0);
+    });
+}
+
+/// A wire-range sender id (the tagged shapes carry a `u32` field).
+fn arbitrary_sender(g: &mut Gen) -> SenderId {
+    SenderId(g.u64_in(0..u64::from(u32::MAX) + 1))
+}
+
+/// Every encodable tagged frame round-trips bit-exactly, attribution
+/// included, and `peek_sender` reads the id without decoding.
+#[test]
+fn tagged_encode_decode_roundtrips() {
+    check_with(fuzz_config(), "tagged_codec_roundtrip", |g| {
+        let sender = arbitrary_sender(g);
+        let message = arbitrary_frame(g);
+        let encoded = encode_tagged(sender, &message).expect("in-range frame encodes");
+        assert_eq!(
+            decode_tagged(&encoded).expect("own encoding decodes"),
+            TaggedFrame { sender, message },
+        );
+        assert_eq!(peek_sender(&encoded), Some(sender));
+    });
+}
+
+/// The tagged decoder is as total as the legacy one: pure noise and
+/// truncations of valid tagged frames never panic, and a truncation
+/// never round-trips.
+#[test]
+fn tagged_decode_is_total_on_noise_and_truncations() {
+    check_with(fuzz_config(), "tagged_codec_total", |g| {
+        let _ = decode_tagged(&g.bytes(0..160));
+        let _ = peek_sender(&g.bytes(0..8));
+
+        let sender = arbitrary_sender(g);
+        let message = arbitrary_frame(g);
+        let encoded = encode_tagged(sender, &message).unwrap();
+        let cut = g.usize_in(0..encoded.len());
+        if let Ok(other) = decode_tagged(&encoded[..cut]) {
+            assert_ne!(other.message, message, "truncation cannot round-trip");
+        }
+    });
+}
+
+/// A chunk-split stream mixing tagged and legacy frames reassembles
+/// completely with per-frame attribution intact (legacy shapes report
+/// [`SenderId::UNTAGGED`]).
+#[test]
+fn assembler_preserves_sender_attribution() {
+    check_with(fuzz_config(), "assembler_tagged_attribution", |g| {
+        let frames: Vec<TaggedFrame> = (0..g.usize_in(1..8))
+            .map(|_| {
+                let sender = if g.any_bool() {
+                    arbitrary_sender(g)
+                } else {
+                    SenderId::UNTAGGED
+                };
+                TaggedFrame {
+                    sender,
+                    message: arbitrary_frame(g),
+                }
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for frame in &frames {
+            // UNTAGGED draws the legacy encoding: the wire carries both
+            // shapes side by side during a fleet rollout.
+            let bytes = if frame.sender == SenderId::UNTAGGED {
+                encode(&frame.message).unwrap()
+            } else {
+                encode_tagged(frame.sender, &frame.message).unwrap()
+            };
+            stream.extend_from_slice(&bytes);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut recovered = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let chunk = g.usize_in(1..stream.len() - offset + 1);
+            asm.push(&stream[offset..offset + chunk]);
+            offset += chunk;
+            while let Some(frame) = asm.next_tagged_frame() {
+                recovered.push(frame);
+            }
+        }
+        assert_eq!(recovered, frames, "attribution lost or reordered");
+        assert_eq!(asm.skipped_bytes(), 0);
+        assert_eq!(asm.pending_bytes(), 0);
+    });
+}
+
+/// The wire tag routes but never authenticates: genuine bytes from
+/// sender A, re-tagged (spliced) to claim sender B, must never verify
+/// under B's session — while the untampered copy still authenticates
+/// under A's. The sessions' chains differ, so A's revealed key can
+/// never anchor to B's commitment.
+#[test]
+fn cross_sender_splice_never_authenticates() {
+    check_with(fuzz_config(), "cross_sender_splice_rejected", |g| {
+        let params = DapParams::new(SimDuration(100), 1, 0, 4);
+        let seed = g.any_u64();
+        let directory = move |id: SenderId| -> Option<DapBootstrap> {
+            // Two provisioned senders with distinct chains.
+            (id.0 == 1 || id.0 == 2)
+                .then(|| DapSender::new(&(seed ^ id.0).to_be_bytes(), 8, params).bootstrap())
+        };
+        let mut alice = DapSender::new(&(seed ^ 1).to_be_bytes(), 8, params);
+        let mut table = SessionTable::new(SessionConfig::default(), g.any_u64());
+        let mut rng = SimRng::new(g.any_u64());
+
+        // Alice walks her chain to a random interval.
+        let interval = g.u64_in(1..5);
+        let mut announce = None;
+        for i in 1..=interval {
+            announce = Some(alice.announce(i, b"genuine reading").expect("chain fits"));
+        }
+        let announce = announce.expect("at least one interval");
+        let reveal = alice.reveal(interval).expect("announced");
+        let at = SimTime((interval - 1) * 100 + 10);
+
+        // The attacker copies Alice's genuine bytes and rewrites only
+        // the sender field — the splice. Both copies hit the receiver.
+        for (claim, frame) in [
+            (SenderId(1), DapMessage::Announce(announce)),
+            (SenderId(2), DapMessage::Announce(announce)),
+        ] {
+            let bytes = encode_tagged(claim, &frame).unwrap();
+            let tagged = decode_tagged(&bytes).unwrap();
+            let session = table.lookup(tagged.sender, directory).expect("provisioned");
+            if let DapMessage::Announce(a) = &tagged.message {
+                session.receiver.on_announce(a, at, &mut rng);
+            }
+        }
+        let reveal_at = SimTime(at.ticks() + 100);
+        let mut outcomes = Vec::new();
+        for claim in [SenderId(1), SenderId(2)] {
+            let bytes = encode_tagged(claim, &DapMessage::Reveal(reveal.clone())).unwrap();
+            let tagged = decode_tagged(&bytes).unwrap();
+            let session = table.lookup(tagged.sender, directory).expect("provisioned");
+            if let DapMessage::Reveal(r) = &tagged.message {
+                outcomes.push(session.receiver.on_reveal(r, reveal_at).is_authenticated());
+            }
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, false],
+            "genuine copy must authenticate as Alice and never as Bob"
+        );
     });
 }
 

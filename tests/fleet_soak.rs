@@ -1,0 +1,156 @@
+//! The fleet-soak gate: a crowd of tagged senders on one deterministic
+//! loopback wire, each spoofed by the flooder at bandwidth share `p`,
+//! verified through session-table shards under a fixed memory budget.
+//!
+//! Three pillars (all ci.sh-gated):
+//!
+//! 1. **Scale** — ≥ 1k concurrent senders authenticate through bounded
+//!    per-shard session tables, and the per-sender auth rate tracks the
+//!    paper's `1 − p^m` independently of fleet size.
+//! 2. **Determinism** — two same-seed campaigns render byte-identical
+//!    registry snapshots (counters, gauges, histograms — everything).
+//! 3. **Boundedness** — a budget far smaller than the fleet still holds:
+//!    occupancy and accounted memory never exceed it, evicted senders
+//!    readmit, and no forged announce ever authenticates.
+
+use crowdsense_dap::net::fleet::{run_fleet, FleetSpec};
+use crowdsense_dap::net::session::SESSION_OVERHEAD_BITS;
+use crowdsense_dap::simnet::keys;
+
+/// Provisioned cost of one fleet session (m = 4, d = 1): the budget
+/// arithmetic the table actually uses.
+fn session_cost_bits() -> u64 {
+    use crowdsense_dap::dap::{DapReceiver, SenderId};
+    let bootstrap = crowdsense_dap::net::fleet::fleet_bootstrap(
+        2016,
+        1,
+        6,
+        crowdsense_dap::net::fleet::fleet_params(4),
+        SenderId(1),
+    )
+    .expect("id 1 is provisioned");
+    DapReceiver::new(bootstrap, b"probe").memory_capacity_bits() + SESSION_OVERHEAD_BITS
+}
+
+/// The headline soak: 1024 senders, flood p = 0.8 spoofing every one of
+/// them, sessions budgeted (roomy enough that nothing evicts — the
+/// tight-budget variant below exercises eviction). Runs the identical
+/// spec twice and `assert_eq!`s the rendered registries byte for byte.
+#[test]
+fn thousand_sender_fleet_is_deterministic_and_tracks_the_paper() {
+    let cost = session_cost_bits();
+    let spec = FleetSpec {
+        seed: 20_160_627,
+        senders: 1024,
+        intervals: 4,
+        buffers: 4,
+        shards: 4,
+        flood: 0.8,
+        // 1024 senders over 4 by-sender shards ≈ 256 sessions each;
+        // 300 × cost is a *fixed* budget that happens to hold the fleet.
+        memory_budget_bits: 300 * cost,
+        ..FleetSpec::default()
+    };
+    let first = run_fleet(&spec);
+    let second = run_fleet(&spec);
+
+    // Pillar 2: byte-identical snapshots, same frame count.
+    assert_eq!(
+        first.registry.render(),
+        second.registry.render(),
+        "same-seed fleet runs must render identically"
+    );
+    assert_eq!(first.frames, second.frames);
+    assert!(first.frames > 0);
+
+    // Pillar 1: every sender admitted exactly once, nothing evicted,
+    // and the aggregate auth rate tracks 1 − p^m = 1 − 0.8⁴ ≈ 0.59.
+    let m = &first.metrics;
+    assert_eq!(m.get(keys::NET_SESSION_ADMITTED), 1024);
+    assert_eq!(m.get(keys::NET_SESSION_EVICTED), 0);
+    assert_eq!(m.get(keys::NET_SESSION_UNKNOWN), 0);
+    assert_eq!(m.get(keys::NET_REVEAL_TOTAL), 1024 * 4);
+    assert!(
+        (first.auth_rate - first.expected_rate).abs() < 0.05,
+        "fleet auth rate {:.4} drifted from expected {:.4}",
+        first.auth_rate,
+        first.expected_rate
+    );
+    // No spoofed forgery may ever pass the weak (chain-key) check, for
+    // any sender: the wire tag routes, the chain authenticates.
+    assert_eq!(m.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
+    assert_eq!(
+        m.get(keys::NET_REVEAL_AUTH) + m.get(keys::NET_REVEAL_STRONG_REJECTED),
+        m.get(keys::NET_REVEAL_TOTAL),
+        "reveal outcomes must balance on a clean wire"
+    );
+    // Per-sender envelope: with 4 reveals each, an unlucky sender can
+    // land at 0‰ (P ≈ 0.4⁴ ≈ 2%), but the top of the envelope must sit
+    // at or above the aggregate — the rate is genuinely per-sender, not
+    // carried by a lucky few.
+    let lo = first
+        .min_sender_auth_permille
+        .expect("every sender revealed");
+    let hi = first.max_sender_auth_permille.expect("envelope");
+    assert!(lo <= hi && hi <= 1000);
+    assert!(
+        hi >= 590,
+        "even the luckiest sender ({hi}‰) fell below the expected aggregate"
+    );
+
+    // Session-table memory stayed within the fixed budget on every shard.
+    let memory = first
+        .registry
+        .get_gauge(keys::NET_SESSION_MEMORY_BITS)
+        .expect("memory gauge");
+    assert!(memory.max().unwrap_or(0) <= spec.memory_budget_bits);
+    let occupancy = first
+        .registry
+        .get_gauge(keys::NET_SESSION_OCCUPANCY)
+        .expect("occupancy gauge");
+    assert!(occupancy.max().unwrap_or(0) <= 300);
+}
+
+/// Pillar 3: a budget of 64 sessions per shard against a 1024-sender
+/// crowd (≈ 256 per shard) — heavy LRU churn, yet occupancy and memory
+/// never exceed the budget, evicted senders come back, and the forged
+/// flood still never authenticates.
+#[test]
+fn tight_budget_crowd_stays_bounded_and_readmits() {
+    let cost = session_cost_bits();
+    let spec = FleetSpec {
+        seed: 20_160_628,
+        senders: 1024,
+        intervals: 3,
+        buffers: 4,
+        shards: 4,
+        flood: 0.8,
+        memory_budget_bits: 64 * cost,
+        ..FleetSpec::default()
+    };
+    let report = run_fleet(&spec);
+    let m = &report.metrics;
+    assert_eq!(m.get(keys::NET_SESSION_ADMITTED), 1024);
+    assert!(
+        m.get(keys::NET_SESSION_EVICTED) > 0,
+        "a 64-session budget must evict under a 256-session load"
+    );
+    assert!(
+        m.get(keys::NET_SESSION_READMITTED) > 0,
+        "evicted senders' later frames must readmit them"
+    );
+    let occupancy = report
+        .registry
+        .get_gauge(keys::NET_SESSION_OCCUPANCY)
+        .expect("occupancy gauge");
+    assert!(occupancy.max().unwrap_or(u64::MAX) <= 64);
+    let memory = report
+        .registry
+        .get_gauge(keys::NET_SESSION_MEMORY_BITS)
+        .expect("memory gauge");
+    assert!(memory.max().unwrap_or(u64::MAX) <= spec.memory_budget_bits);
+    // Eviction costs availability (lost pending intervals), never
+    // integrity: the weak check still rejects every forgery.
+    assert_eq!(m.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
+    assert_eq!(m.get(keys::NET_SESSION_UNKNOWN), 0);
+}
