@@ -66,6 +66,36 @@ $soak --fleet --seed 2016 --senders 1024 --intervals 4 --buffers 4 \
     --shards 4 --flood 0.8 --assert-soak > target/fleet_soak_b.txt
 cmp target/fleet_soak_a.txt target/fleet_soak_b.txt
 
+echo "== overload gate (burst adversary, pinned floor, shed byte-identity) =="
+# The prioritized posture under the worst targeted adversary: pins 1-8,
+# a finite per-shard drain budget, burst-at-reanchor at p = 0.9. Two
+# same-seed campaigns must print byte-identical reports and emit
+# byte-identical traces (shed decisions included) below the wall-clock
+# header, and the pinned senders must authenticate every reveal
+# (>= 0.99 x the clean baseline asserted below). See DESIGN.md §11.
+$soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
+    --shards 4 --flood 0.9 --copies 4 --adversary burst-reanchor \
+    --pin-first 8 --drain-budget 96 --assert-soak \
+    --assert-pinned-floor 990 --trace-out target/overload_a.jsonl \
+    > target/overload_a.txt
+$soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
+    --shards 4 --flood 0.9 --copies 4 --adversary burst-reanchor \
+    --pin-first 8 --drain-budget 96 --assert-soak \
+    --assert-pinned-floor 990 --trace-out target/overload_b.jsonl \
+    > target/overload_b.txt
+cmp target/overload_a.txt target/overload_b.txt
+tail -n +2 target/overload_a.jsonl > target/overload_a.body
+tail -n +2 target/overload_b.jsonl > target/overload_b.body
+cmp target/overload_a.body target/overload_b.body
+test -s target/overload_a.body
+# The burst must actually overflow the budget: shed decisions traced.
+grep -q '"ev":"shed_decision"' target/overload_a.body
+# Clean baseline for the 0.99x floor: no adversary, same posture — the
+# pinned rate is 1000 permille, so the attacked floor above is >= 0.99x.
+$soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
+    --shards 4 --flood 0 --copies 1 --pin-first 8 --drain-budget 96 \
+    --assert-pinned-floor 1000 > /dev/null
+
 echo "== sweep parallelism gate (workers engaged, bit-identical) =="
 # The perf smoke above wrote target/BENCH_sweep.json. The provisioning
 # floor guarantees at least two engaged workers on any box; the speedup
@@ -90,5 +120,9 @@ test -n "$p99" && test "$p99" -gt 0
 # The fleet ingress lane (tagged frames through session tables) must be
 # present and report a real rate.
 grep -q '"name":"fleet_ingest"' target/BENCH_net.json
+# The adversary survival matrix (class x posture) must be present with
+# its survival fields (see EXPERIMENTS.md).
+grep -q '"name":"overload_burst-reanchor_prioritized"' target/BENCH_net.json
+grep -q '"pinned_permille"' target/BENCH_net.json
 
 echo "ci.sh: all green"

@@ -14,8 +14,19 @@
 //! dapd --fleet [--senders N] [--seed N] [--intervals N] [--buffers M]
 //!      [--shards S] [--queue-depth Q] [--flood P] [--copies G]
 //!      [--max-sessions K] [--session-budget-bits B] [--tolerance T]
+//!      [--pin IDS] [--pin-first N] [--adversary CLASS]
+//!      [--drain-budget B] [--assert-pinned-floor PERMILLE]
 //!      [--assert-soak] [--trace-out PATH] [--trace-depth D]
 //!      [--telemetry ADDR]
+//!
+//! # Overload posture: --pin 1,2,7 (or --pin-first N for ids 1..=N)
+//! # marks operator-pinned senders — never evicted while an unpinned
+//! # session exists, drained first under pressure. --drain-budget B
+//! # caps per-shard verifies per interval (the priority drain sheds the
+//! # rest, attributed under net.shed.*). --adversary picks the attack:
+//! # bernoulli | burst-reanchor | collusion | replay-edge | adaptive
+//! # (DESIGN §11). --assert-pinned-floor P exits nonzero if any pinned
+//! # sender's auth rate lands below P permille.
 //!
 //! # Real UDP, three roles (run in separate terminals):
 //! dapd --role receiver --bind 127.0.0.1:7440 [--seed N] [--intervals N]
@@ -197,7 +208,27 @@ fn run_loopback_mode(opts: &Opts) {
     }
 }
 
+/// The pin roster: `--pin 1,2,7` (explicit ids) merged with
+/// `--pin-first N` (ids `1..=N`), deduplicated and sorted.
+fn parse_pins(opts: &Opts) -> Vec<u64> {
+    let mut pins: std::collections::BTreeSet<u64> = opts
+        .get("pin")
+        .map(|list| {
+            list.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.trim().parse().expect("--pin takes comma-separated ids"))
+                .collect()
+        })
+        .unwrap_or_default();
+    pins.extend(1..=opts.get_or("pin-first", 0u64));
+    pins.into_iter().collect()
+}
+
 fn run_fleet_mode(opts: &Opts) {
+    let adversary = opts
+        .get("adversary")
+        .map_or(Ok(dap_net::AdversaryClass::Bernoulli), str::parse)
+        .expect("--adversary");
     let spec = FleetSpec {
         seed: opts.get_or("seed", 2016),
         senders: opts.get_or("senders", 64),
@@ -210,9 +241,13 @@ fn run_fleet_mode(opts: &Opts) {
         max_sessions: opts.get_or("max-sessions", usize::MAX),
         memory_budget_bits: opts.get_or("session-budget-bits", 16 * 1024 * 1024),
         trace_depth: trace_depth(opts),
+        pins: parse_pins(opts),
+        adversary,
+        drain_budget: opts.get_or("drain-budget", usize::MAX),
     };
     println!(
-        "dapd --fleet seed={} senders={} intervals={} m={} shards={} p={} copies={} budget={}b",
+        "dapd --fleet seed={} senders={} intervals={} m={} shards={} p={} copies={} budget={}b \
+         adversary={} pins={} drain_budget={}",
         spec.seed,
         spec.senders,
         spec.intervals,
@@ -220,7 +255,14 @@ fn run_fleet_mode(opts: &Opts) {
         spec.shards,
         spec.flood,
         spec.copies,
-        spec.memory_budget_bits
+        spec.memory_budget_bits,
+        spec.adversary.label(),
+        spec.pins.len(),
+        if spec.drain_budget == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            spec.drain_budget.to_string()
+        }
     );
     let shared = opts
         .get("telemetry")
@@ -243,12 +285,39 @@ fn run_fleet_mode(opts: &Opts) {
     ) {
         println!("sender envelope: {lo}..{hi} permille");
     }
+    if let (Some(lo), Some(hi)) = (
+        report.min_pinned_auth_permille,
+        report.max_pinned_auth_permille,
+    ) {
+        println!("pinned envelope: {lo}..{hi} permille");
+    }
+    if let (Some(lo), Some(hi)) = (
+        report.min_unpinned_auth_permille,
+        report.max_unpinned_auth_permille,
+    ) {
+        println!("unpinned envelope: {lo}..{hi} permille");
+    }
+    println!(
+        "shed: {} of {} frames ({:.4}), evictions {}",
+        report.shed_frames, report.frames, report.shed_fraction, report.evictions
+    );
     if let Some(path) = opts.get("trace-out") {
         write_trace(path, &report.trace);
     }
     if opts.flag("assert-soak") {
         assert_fleet_soak(&spec, &report, opts.get_or("tolerance", 0.08));
         println!("fleet soak: ok");
+    }
+    if let Some(floor) = opts.get("assert-pinned-floor") {
+        let floor: u64 = floor.parse().expect("--assert-pinned-floor is permille");
+        let lo = report
+            .min_pinned_auth_permille
+            .expect("--assert-pinned-floor needs pinned senders (--pin / --pin-first)");
+        assert!(
+            lo >= floor,
+            "pinned auth floor {lo} permille below the asserted {floor}"
+        );
+        println!("pinned floor: ok ({lo} >= {floor} permille)");
     }
     if let Some(server) = server {
         server.stop();
@@ -279,17 +348,24 @@ fn assert_fleet_soak(spec: &FleetSpec, report: &dap_net::fleet::FleetReport, tol
         0,
         "forged or cross-sender key accepted by the weak check"
     );
-    assert_eq!(
-        m.get(keys::NET_REVEAL_AUTH) + m.get(keys::NET_REVEAL_STRONG_REJECTED),
-        m.get(keys::NET_REVEAL_TOTAL),
-        "reveal outcomes do not balance"
-    );
     if let Some(memory) = report.registry.get_gauge(keys::NET_SESSION_MEMORY_BITS) {
         assert!(
             memory.max().unwrap_or(0) <= spec.memory_budget_bits,
             "session memory exceeded the per-shard budget"
         );
     }
+    // The remaining invariants describe the classic Bernoulli posture
+    // with an unbounded drain: a replay adversary makes NoCandidate
+    // legitimate, and a finite budget sheds whole reveal windows — both
+    // break the exact balance and the 1 − p^m tracking by design.
+    if spec.adversary != dap_net::AdversaryClass::Bernoulli || spec.drain_budget != usize::MAX {
+        return;
+    }
+    assert_eq!(
+        m.get(keys::NET_REVEAL_AUTH) + m.get(keys::NET_REVEAL_STRONG_REJECTED),
+        m.get(keys::NET_REVEAL_TOTAL),
+        "reveal outcomes do not balance"
+    );
     if spec.flood == 0.0 && m.get(keys::NET_SESSION_EVICTED) == 0 {
         assert_eq!(
             m.get(keys::NET_REVEAL_AUTH),
@@ -438,6 +514,7 @@ fn run_receiver(opts: &Opts) {
             queue_depth,
             overflow: OverflowPolicy::DropCount,
             route: RoutePolicy::ByInterval,
+            ..PoolConfig::default()
         },
         seed,
         |shard| DapShard::new(bootstrap, &[b'u', b'd', b'p', shard as u8]),

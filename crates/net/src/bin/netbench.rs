@@ -16,6 +16,7 @@ use std::time::Instant;
 use dap_bench::json::{array, JsonObject};
 use dap_bench::timer::measure;
 use dap_core::{codec, DapMessage, DapParams, DapSender, SenderId};
+use dap_net::adversary::AdversaryClass;
 use dap_net::fleet::{run_fleet, FleetSpec};
 use dap_net::loopback::{run_loopback, LoopbackSpec};
 use dap_net::pool::{DapShard, FrameVerifier, LiveCounters, TeslaPpShard};
@@ -31,8 +32,17 @@ fn budget_ms() -> u64 {
         .unwrap_or(100)
 }
 
+/// Survival numbers for one overload-matrix cell: what the fleet
+/// report says happened to pinned vs unpinned senders under attack.
+struct Survival {
+    pinned_permille: u64,
+    unpinned_permille: u64,
+    shed_permille: u64,
+    evictions: u64,
+}
+
 struct Lane {
-    name: &'static str,
+    name: String,
     /// Mean nanoseconds spent per frame.
     ns_per_frame: u64,
     /// The same number as a rate.
@@ -42,33 +52,38 @@ struct Lane {
     /// Per-frame latency quantiles `(p50, p95, p99)`; absent for lanes
     /// without per-frame samples.
     quantiles: Option<(u64, u64, u64)>,
+    /// Overload-matrix cells carry their survival numbers into the
+    /// JSON; absent for pure throughput/latency lanes.
+    survival: Option<Survival>,
 }
 
 impl Lane {
-    fn from_ns(name: &'static str, ns: u64) -> Self {
+    fn from_ns(name: impl Into<String>, ns: u64) -> Self {
         Self {
-            name,
+            name: name.into(),
             ns_per_frame: ns,
             frames_per_sec: 1e9 / ns.max(1) as f64,
             frames: 1,
             quantiles: None,
+            survival: None,
         }
     }
 
-    fn from_batch(name: &'static str, frames: u64, elapsed_ns: u128) -> Self {
+    fn from_batch(name: impl Into<String>, frames: u64, elapsed_ns: u128) -> Self {
         let ns = (elapsed_ns / u128::from(frames.max(1))).max(1) as u64;
         Self {
-            name,
+            name: name.into(),
             ns_per_frame: ns,
             frames_per_sec: 1e9 / ns as f64,
             frames,
             quantiles: None,
+            survival: None,
         }
     }
 
     /// A batch lane with streamed per-frame samples: mean from the
     /// batch total, tail from the histogram.
-    fn from_hist(name: &'static str, frames: u64, elapsed_ns: u128, hist: &Histogram) -> Self {
+    fn from_hist(name: impl Into<String>, frames: u64, elapsed_ns: u128, hist: &Histogram) -> Self {
         let mut lane = Self::from_batch(name, frames, elapsed_ns);
         lane.quantiles = match (hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99)) {
             (Some(p50), Some(p95), Some(p99)) => Some((p50, p95, p99)),
@@ -283,6 +298,67 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
     )
 }
 
+/// The adversary-class × defender-posture survival matrix (DESIGN §11,
+/// EXPERIMENTS.md recipe): every adversary class at p = 0.9 against
+/// two postures over the same pinned fleet (ids 1–4): `fifo` drains
+/// unbounded in arrival order (the pre-overload defender — nothing
+/// sheds, everyone pays), `prioritized` caps each shard's per-window
+/// verify budget so pinned/high-score frames verify first and the
+/// surplus is shed with attribution. Each cell is one seeded fleet
+/// campaign; the lane carries ingest throughput plus the survival
+/// numbers (worst pinned / unpinned auth permille, shed fraction,
+/// eviction churn) into the JSON.
+fn bench_overload_matrix() -> Vec<Lane> {
+    let senders = (budget_ms() / 2).clamp(16, 64);
+    let postures: [(&str, usize); 2] = [("fifo", usize::MAX), ("prioritized", 64)];
+    let mut lanes = Vec::new();
+    println!("overload survival matrix (p = 0.9, {senders} senders, pins 1-4):");
+    println!(
+        "  {:<16} {:<12} {:>9} {:>11} {:>7} {:>10}",
+        "class", "posture", "pinned", "unpinned", "shed", "evictions"
+    );
+    for class in AdversaryClass::ALL {
+        for (posture, drain_budget) in postures {
+            let spec = FleetSpec {
+                seed: 20_160_900,
+                senders,
+                intervals: 6,
+                flood: 0.9,
+                pins: vec![1, 2, 3, 4],
+                adversary: class,
+                drain_budget,
+                ..FleetSpec::default()
+            };
+            let t0 = Instant::now();
+            let report = run_fleet(&spec);
+            let mut lane = Lane::from_batch(
+                format!("overload_{}_{posture}", class.label()),
+                report.frames,
+                t0.elapsed().as_nanos(),
+            );
+            let survival = Survival {
+                pinned_permille: report.min_pinned_auth_permille.unwrap_or(0),
+                unpinned_permille: report.min_unpinned_auth_permille.unwrap_or(0),
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                shed_permille: (report.shed_fraction * 1000.0).round() as u64,
+                evictions: report.evictions,
+            };
+            println!(
+                "  {:<16} {:<12} {:>8}‰ {:>10}‰ {:>6}‰ {:>10}",
+                class.label(),
+                posture,
+                survival.pinned_permille,
+                survival.unpinned_permille,
+                survival.shed_permille,
+                survival.evictions
+            );
+            lane.survival = Some(survival);
+            lanes.push(lane);
+        }
+    }
+    lanes
+}
+
 /// Raw codec cost for context: encode + reassemble + decode one reveal.
 fn bench_codec() -> Lane {
     let params = bench_params();
@@ -309,7 +385,7 @@ fn main() {
     let (dap_flood, dap_announce, dap_reveal) = bench_dap_verify();
     let (tpp_announce, tpp_reveal) = bench_teslapp_verify();
     let codec_lane = bench_codec();
-    let lanes = [
+    let mut lanes = vec![
         ingest,
         fleet,
         dap_flood,
@@ -319,6 +395,7 @@ fn main() {
         tpp_reveal,
         codec_lane,
     ];
+    lanes.extend(bench_overload_matrix());
 
     for lane in &lanes {
         let tail = lane.quantiles.map_or(String::new(), |(p50, p95, p99)| {
@@ -332,7 +409,7 @@ fn main() {
 
     let json = array(&lanes, |lane| {
         let mut object = JsonObject::new()
-            .str("name", lane.name)
+            .str("name", &lane.name)
             .u64("ns_per_frame", lane.ns_per_frame)
             .f64("frames_per_sec", lane.frames_per_sec)
             .u64("frames", lane.frames);
@@ -341,6 +418,13 @@ fn main() {
                 .u64("p50_ns", p50)
                 .u64("p95_ns", p95)
                 .u64("p99_ns", p99);
+        }
+        if let Some(survival) = &lane.survival {
+            object = object
+                .u64("pinned_permille", survival.pinned_permille)
+                .u64("unpinned_permille", survival.unpinned_permille)
+                .u64("shed_permille", survival.shed_permille)
+                .u64("evictions", survival.evictions);
         }
         object
     });

@@ -19,25 +19,26 @@
 //! render byte-identical registries (the fleet-soak ci gate `cmp`s
 //! exactly this).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use dap_core::{codec, DapBootstrap, DapMessage, DapParams, DapSender, SenderId};
 use dap_obs::{TimeSource, TraceRecord};
 use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
 
+use crate::adversary::{AdversaryClass, AdversaryEmit, AdversaryPlan, PostureView};
 use crate::pool::{
     BufferNote, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig, PoolObs,
     ReceiverPool, RoutePolicy,
 };
 use crate::pump::Flooder;
-use crate::session::{Admission, SessionConfig, SessionTable};
+use crate::session::{Admission, PriorityClass, SessionConfig, SessionTable};
 use crate::telemetry::SharedRegistry;
 use crate::transport::{LoopbackTransport, Transport};
 
 /// Everything a fleet campaign needs; all fields seeded/explicit so a
 /// spec fully determines the run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetSpec {
     /// Master seed (per-sender chains, flooder MACs, shard sampling).
     pub seed: u64,
@@ -61,6 +62,26 @@ pub struct FleetSpec {
     pub memory_budget_bits: u64,
     /// Per-source trace ring capacity; 0 disables tracing.
     pub trace_depth: usize,
+    /// Operator-pinned sender ids: never evicted while an unpinned
+    /// session exists, drained first under queue pressure, and off
+    /// limits to the targeted adversary classes (a pin is an id the
+    /// operator vouches for out of band — attacking it buys the
+    /// adversary nothing it can observe).
+    pub pins: Vec<u64>,
+    /// Which adversary strategy floods the wire (DESIGN §11).
+    pub adversary: AdversaryClass,
+    /// Per-shard, per-interval verify budget for the priority drain;
+    /// `usize::MAX` verifies everything (the PR 4–6 FIFO posture).
+    pub drain_budget: usize,
+}
+
+impl FleetSpec {
+    /// The pin set in the shared form the pool, session tables and
+    /// adversary plan consume.
+    #[must_use]
+    pub fn pin_set(&self) -> Arc<BTreeSet<u64>> {
+        Arc::new(self.pins.iter().copied().collect())
+    }
 }
 
 impl Default for FleetSpec {
@@ -83,6 +104,9 @@ impl Default for FleetSpec {
             max_sessions: usize::MAX,
             memory_budget_bits: 16 * 1024 * 1024,
             trace_depth: 0,
+            pins: Vec::new(),
+            adversary: AdversaryClass::Bernoulli,
+            drain_budget: usize::MAX,
         }
     }
 }
@@ -108,6 +132,21 @@ pub struct FleetReport {
     pub min_sender_auth_permille: Option<u64>,
     /// Largest per-sender auth rate observed (permille).
     pub max_sender_auth_permille: Option<u64>,
+    /// Smallest per-sender auth rate among operator-pinned senders.
+    pub min_pinned_auth_permille: Option<u64>,
+    /// Largest per-sender auth rate among operator-pinned senders.
+    pub max_pinned_auth_permille: Option<u64>,
+    /// Smallest per-sender auth rate among unpinned senders.
+    pub min_unpinned_auth_permille: Option<u64>,
+    /// Largest per-sender auth rate among unpinned senders.
+    pub max_unpinned_auth_permille: Option<u64>,
+    /// Frames the priority drain shed past the budget (`net.shed.total`).
+    pub shed_frames: u64,
+    /// Shed frames over pushed frames — the overload pressure the drain
+    /// actually relieved.
+    pub shed_fraction: f64,
+    /// Session evictions across the run (`net.session.evicted`).
+    pub evictions: u64,
 }
 
 /// The protocol parameters every fleet sender runs (100-tick intervals,
@@ -155,8 +194,12 @@ pub struct FleetShard {
     senders: u64,
     chain_len: usize,
     params: DapParams,
-    /// Per-sender `(authenticated, reveals)` — kept verifier-side so an
-    /// *evicted* sender's history still reaches the report.
+    /// Per-sender `(authenticated, attempts)` — kept verifier-side so an
+    /// *evicted* sender's history still reaches the report. An attempt
+    /// is a reveal that reached a verdict (`Authenticated` or
+    /// `StrongRejected`); duplicate replays (`NoCandidate`) burn budget
+    /// but are not auth attempts, so a replay adversary cannot dilute a
+    /// sender's measured rate with the sender's own traffic.
     reveal_outcomes: BTreeMap<u64, (u64, u64)>,
 }
 
@@ -167,12 +210,13 @@ impl FleetShard {
     pub fn new(spec: &FleetSpec, shard: usize) -> Self {
         let chain_len = usize::try_from(spec.intervals).expect("interval count fits usize") + 2;
         Self {
-            table: SessionTable::new(
+            table: SessionTable::with_pins(
                 SessionConfig {
                     max_sessions: spec.max_sessions,
                     memory_budget_bits: spec.memory_budget_bits,
                 },
                 spec.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                spec.pin_set(),
             ),
             fleet_seed: spec.seed,
             senders: spec.senders,
@@ -253,25 +297,39 @@ impl FrameVerifier for FleetShard {
             DapMessage::Reveal(r) => {
                 use dap_core::RevealOutcome;
                 registry.incr(keys::NET_REVEAL_TOTAL);
-                let tally = self.reveal_outcomes.entry(sender.0).or_insert((0, 0));
-                tally.1 += 1;
-                let (key, outcome) = match receiver.on_reveal(r, at) {
+                let (key, outcome, attempt, success) = match receiver.on_reveal(r, at) {
                     RevealOutcome::Authenticated { .. } => {
                         live.count_authenticated();
-                        tally.0 += 1;
-                        (keys::NET_REVEAL_AUTH, "auth")
+                        (keys::NET_REVEAL_AUTH, "auth", true, true)
                     }
-                    RevealOutcome::WeakRejected { .. } => {
-                        (keys::NET_REVEAL_WEAK_REJECTED, "weak_rejected")
-                    }
-                    RevealOutcome::StrongRejected { .. } => {
-                        (keys::NET_REVEAL_STRONG_REJECTED, "strong_rejected")
-                    }
+                    RevealOutcome::WeakRejected { .. } => (
+                        keys::NET_REVEAL_WEAK_REJECTED,
+                        "weak_rejected",
+                        false,
+                        false,
+                    ),
+                    RevealOutcome::StrongRejected { .. } => (
+                        keys::NET_REVEAL_STRONG_REJECTED,
+                        "strong_rejected",
+                        true,
+                        false,
+                    ),
                     RevealOutcome::NoCandidate { .. } => {
-                        (keys::NET_REVEAL_NO_CANDIDATE, "no_candidate")
+                        (keys::NET_REVEAL_NO_CANDIDATE, "no_candidate", false, false)
                     }
                 };
                 registry.incr(key);
+                if attempt {
+                    let tally = self.reveal_outcomes.entry(sender.0).or_insert((0, 0));
+                    tally.1 += 1;
+                    if success {
+                        tally.0 += 1;
+                    }
+                    // The EWMA feeds the drain/eviction priority: every
+                    // verdict on a genuine reveal nudges the sender's
+                    // score toward its recent auth rate.
+                    self.table.record_auth(sender, success);
+                }
                 FrameVerdict {
                     outcome,
                     interval,
@@ -292,14 +350,27 @@ impl FrameVerifier for FleetShard {
             .set(self.table.memory_bits());
         // One set per sender: the gauge's min/max envelope becomes the
         // shard's per-sender auth-rate spread, and the cross-shard merge
-        // (exact min/max) turns it into the fleet-wide envelope.
-        for (auth, total) in self.reveal_outcomes.values() {
+        // (exact min/max) turns it into the fleet-wide envelope. The
+        // pinned/unpinned split of the same envelope is what the
+        // survival matrix and the ci pinned-floor gate read.
+        for (sender, (auth, total)) in &self.reveal_outcomes {
             if *total > 0 {
+                let permille = auth * 1000 / total;
                 registry
                     .gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE)
-                    .set(auth * 1000 / total);
+                    .set(permille);
+                let split = if self.table.is_pinned(SenderId(*sender)) {
+                    keys::NET_FLEET_PINNED_AUTH_PERMILLE
+                } else {
+                    keys::NET_FLEET_UNPINNED_AUTH_PERMILLE
+                };
+                registry.gauge(split).set(permille);
             }
         }
+    }
+
+    fn classify(&self, sender: SenderId) -> PriorityClass {
+        self.table.priority_class(sender)
     }
 }
 
@@ -351,12 +422,15 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         let wire_source = u32::try_from(spec.shards).expect("shard count fits u32") + 1;
         wire.enable_trace(wire_source, spec.trace_depth);
     }
+    let pins = spec.pin_set();
     let pool = ReceiverPool::spawn_with_obs(
         PoolConfig {
             shards: spec.shards,
             queue_depth: spec.queue_depth,
             overflow: OverflowPolicy::Block,
             route: RoutePolicy::BySender,
+            drain_budget: spec.drain_budget,
+            pins: Arc::clone(&pins),
         },
         pool_seed,
         |shard| FleetShard::new(spec, shard),
@@ -369,7 +443,13 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
     );
     let handle = pool.handle();
     let mut flooder = Flooder::new(wire.clone(), flooder_seed, spec.flood);
-    let forged_per_sender = flooder.forged_copies(u64::from(spec.copies));
+    let mut adversary = AdversaryPlan::new(
+        spec.adversary,
+        spec.flood,
+        u64::from(spec.copies),
+        spec.senders,
+        &pins,
+    );
 
     let mut tx = wire.clone();
     let mut rx = wire.clone();
@@ -382,6 +462,15 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
 
     for i in 1..=spec.intervals {
         let at = SimTime(schedule.start_of(i).ticks() + 10);
+        // The previous interval fully drained (tick + quiesce below), so
+        // the posture the adaptive class observes is a deterministic
+        // function of the traffic so far — not of worker scheduling.
+        adversary.observe(&PostureView {
+            buffers: spec.buffers,
+            drain_budget: spec.drain_budget,
+            shed_frames: handle.live().shed(),
+            ingress_frames: handle.live().frames(),
+        });
         for (slot, sender) in fleet.iter_mut().enumerate() {
             let id = SenderId(slot as u64 + 1);
             // The reveal for i − d leads the interval (Algorithm 1).
@@ -389,6 +478,7 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
                 if let Some(reveal) = sender.reveal(i - d) {
                     let frame = codec::encode_tagged(id, &DapMessage::Reveal(reveal))
                         .expect("encodable reveal");
+                    adversary.tap(i, &frame);
                     tx.send(&frame).expect("loopback send");
                 }
             }
@@ -399,7 +489,9 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
                 .expect("chain sized for the run");
             let genuine = codec::encode_tagged(id, &DapMessage::Announce(announce))
                 .expect("encodable announce");
-            let total = u64::from(spec.copies) + forged_per_sender;
+            adversary.tap(i, &genuine);
+            let forged = adversary.spoof_copies(id, i);
+            let total = u64::from(spec.copies) + forged;
             let mut genuine_left = u64::from(spec.copies);
             let mut slots_left = total;
             for _ in 0..total {
@@ -412,7 +504,22 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
                 slots_left -= 1;
             }
         }
+        // Standalone emissions land after the interval's genuine
+        // traffic: FIFO-within-class means a burst can only fill the
+        // shed tail behind frames that already arrived.
+        for emit in adversary.standalone(i) {
+            match emit {
+                AdversaryEmit::Forge { victim, interval } => {
+                    flooder
+                        .send_forged_as(victim, interval)
+                        .expect("loopback send");
+                }
+                AdversaryEmit::Replay(bytes) => tx.send(&bytes).expect("loopback send"),
+            }
+        }
         drain(&mut rx, at);
+        handle.tick();
+        handle.quiesce();
     }
     // Tail: flush the last reveals.
     for i in spec.intervals.saturating_sub(d) + 1..=spec.intervals {
@@ -426,9 +533,12 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
             }
         }
         drain(&mut rx, at);
+        handle.tick();
+        handle.quiesce();
     }
 
     let frames = handle.live().frames();
+    let shed_frames = handle.live().shed();
     let report = pool.shutdown_with_report();
     let mut registry = report.registry;
     registry.merge_metrics(&wire.wire_metrics());
@@ -440,6 +550,8 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         .ratio(keys::NET_REVEAL_AUTH, keys::NET_REVEAL_TOTAL)
         .unwrap_or(0.0);
     let envelope = registry.get_gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE);
+    let pinned = registry.get_gauge(keys::NET_FLEET_PINNED_AUTH_PERMILLE);
+    let unpinned = registry.get_gauge(keys::NET_FLEET_UNPINNED_AUTH_PERMILLE);
     FleetReport {
         auth_rate,
         expected_rate: 1.0
@@ -449,6 +561,17 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         frames,
         min_sender_auth_permille: envelope.and_then(dap_obs::Gauge::min),
         max_sender_auth_permille: envelope.and_then(dap_obs::Gauge::max),
+        min_pinned_auth_permille: pinned.and_then(dap_obs::Gauge::min),
+        max_pinned_auth_permille: pinned.and_then(dap_obs::Gauge::max),
+        min_unpinned_auth_permille: unpinned.and_then(dap_obs::Gauge::min),
+        max_unpinned_auth_permille: unpinned.and_then(dap_obs::Gauge::max),
+        shed_frames,
+        shed_fraction: if frames > 0 {
+            shed_frames as f64 / frames as f64
+        } else {
+            0.0
+        },
+        evictions: metrics.get(keys::NET_SESSION_EVICTED),
         metrics,
         registry,
         trace,
@@ -544,6 +667,85 @@ mod tests {
             .get_gauge(keys::NET_SESSION_MEMORY_BITS)
             .expect("memory gauge");
         assert!(memory.max().unwrap_or(0) <= spec.memory_budget_bits);
+    }
+
+    #[test]
+    fn burst_adversary_sheds_low_priority_but_pinned_floor_holds() {
+        let spec = FleetSpec {
+            senders: 32,
+            intervals: 8,
+            flood: 0.9,
+            pins: (1..=4).collect(),
+            adversary: AdversaryClass::BurstReanchor,
+            drain_budget: 96,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        // The burst saturates the re-anchor windows far past the budget…
+        assert!(report.shed_frames > 0, "burst must exceed the budget");
+        assert!(report.shed_fraction > 0.0);
+        // …but pinned senders ride the priority drain untouched: no
+        // forged traffic targets them and their frames verify first.
+        assert_eq!(report.min_pinned_auth_permille, Some(1000));
+        assert_eq!(report.metrics.get(keys::NET_SHED_PINNED), 0);
+        // Shed attribution balances exactly.
+        assert_eq!(
+            report.metrics.get(keys::NET_SHED_TOTAL),
+            report.metrics.get(keys::NET_SHED_PINNED)
+                + report.metrics.get(keys::NET_SHED_HIGH)
+                + report.metrics.get(keys::NET_SHED_LOW)
+        );
+        // Forged announces still never authenticate as anyone.
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
+    }
+
+    #[test]
+    fn replay_edge_burns_budget_without_diluting_auth_rates() {
+        let spec = FleetSpec {
+            senders: 16,
+            intervals: 6,
+            flood: 0.75,
+            adversary: AdversaryClass::ReplayEdge,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        // Replays arrived (duplicate reveals and stale announces)…
+        assert!(
+            report.metrics.get(keys::NET_REVEAL_NO_CANDIDATE)
+                + report.metrics.get(keys::NET_ANNOUNCE_UNSAFE)
+                > 0,
+            "replayed frames must hit the safe-packet/duplicate paths"
+        );
+        // …but every sender's measured rate counts only genuine
+        // attempts, so the fleet still reads fully authenticated.
+        assert_eq!(report.min_sender_auth_permille, Some(1000));
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
+    }
+
+    #[test]
+    fn same_seed_campaigns_render_identically_under_every_adversary() {
+        for class in AdversaryClass::ALL {
+            let spec = FleetSpec {
+                senders: 12,
+                intervals: 6,
+                flood: 0.7,
+                pins: vec![1, 2],
+                adversary: class,
+                drain_budget: 48,
+                trace_depth: 4096,
+                ..FleetSpec::default()
+            };
+            let a = run_fleet(&spec);
+            let b = run_fleet(&spec);
+            assert_eq!(
+                a.registry.render(),
+                b.registry.render(),
+                "{} campaign must be deterministic",
+                class.label()
+            );
+            assert_eq!(a.trace.len(), b.trace.len());
+            assert_eq!(a.shed_frames, b.shed_frames);
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`fleet`] — the loopback campaign at fleet scale: `N` tagged
 //!   senders, per-sender spoofing flooders, session-table shards — the
 //!   `tests/fleet_soak.rs` and ci.sh fleet-gate scenario;
+//! * [`adversary`] — the adaptive adversary suite (DESIGN §11): four
+//!   deterministic attack plans beyond the Bernoulli flooder
+//!   (burst-at-reanchor, collusion, replay-at-the-edge, adaptive),
+//!   drivable through the fleet campaign and `dapd --adversary`;
 //! * [`telemetry`] — the live exposition plane: [`SharedRegistry`]
 //!   collects per-shard [`dap_simnet::Registry`] snapshots without
 //!   touching the verify hot path, and [`TelemetryServer`] serves the
@@ -64,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod clock;
 pub mod fleet;
 pub mod loopback;
@@ -75,6 +80,7 @@ pub mod session;
 pub mod telemetry;
 pub mod transport;
 
+pub use adversary::{AdversaryClass, AdversaryEmit, AdversaryPlan, PostureView};
 pub use clock::{ManualClock, NetClock, RealClock};
 pub use fleet::{run_fleet, FleetReport, FleetShard, FleetSpec};
 pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
@@ -85,7 +91,8 @@ pub use pool::{
 pub use pump::{Flooder, PumpStats, SenderPump};
 pub use queue::{IngressQueue, Pop, PushError};
 pub use session::{
-    Admission, SessionConfig, SessionEviction, SessionRef, SessionStats, SessionTable,
+    Admission, PriorityClass, SessionConfig, SessionEviction, SessionRef, SessionStats,
+    SessionTable,
 };
 pub use telemetry::{SharedRegistry, TelemetryServer};
 pub use transport::{LoopbackTransport, Transport, UdpTransport};

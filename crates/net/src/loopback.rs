@@ -145,6 +145,7 @@ pub fn run_loopback_with(
             queue_depth: spec.queue_depth,
             overflow: OverflowPolicy::Block,
             route: RoutePolicy::ByInterval,
+            ..PoolConfig::default()
         },
         pool_seed,
         |shard| DapShard::new(bootstrap, &[b'l', b'o', shard as u8]),

@@ -31,6 +31,7 @@
 //! picture; the legacy [`ReceiverPool::shutdown`] still returns plain
 //! counters.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -45,7 +46,7 @@ use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
 use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver};
 
 use crate::queue::{IngressQueue, Pop, PushError};
-use crate::session::SessionEviction;
+use crate::session::{PriorityClass, SessionEviction};
 use crate::telemetry::SharedRegistry;
 
 /// What a full shard queue does to the next frame.
@@ -74,7 +75,7 @@ pub enum RoutePolicy {
 }
 
 /// Pool shape.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker threads (= shards).
     pub shards: usize,
@@ -84,17 +85,32 @@ pub struct PoolConfig {
     pub overflow: OverflowPolicy,
     /// What the reader hashes to route a frame.
     pub route: RoutePolicy,
+    /// Per-shard, per-window verify budget for the priority drain.
+    /// `usize::MAX` (the default) disables windowing entirely: frames
+    /// verify the moment they are popped, exactly the pre-priority
+    /// behavior. A finite budget makes each worker buffer frames until
+    /// the driver's next [`PoolHandle::tick`], then verify the window in
+    /// priority order and shed the excess (counted under `net.shed.*`,
+    /// traced as [`TraceEvent::ShedDecision`]).
+    pub drain_budget: usize,
+    /// Operator pin set, used by the *reader* to attribute ingress drops
+    /// per priority class (pinned vs. unpinned claimed sender). The
+    /// verifier-side drain classification is the verifier's own
+    /// ([`FrameVerifier::classify`]).
+    pub pins: Arc<BTreeSet<u64>>,
 }
 
 impl Default for PoolConfig {
     /// 4 shards × 1024-frame queues, shedding, routed by interval (the
-    /// single-sender wire posture).
+    /// single-sender wire posture), unwindowed drain, no pins.
     fn default() -> Self {
         Self {
             shards: 4,
             queue_depth: 1024,
             overflow: OverflowPolicy::DropCount,
             route: RoutePolicy::ByInterval,
+            drain_budget: usize::MAX,
+            pins: Arc::new(BTreeSet::new()),
         }
     }
 }
@@ -181,6 +197,15 @@ pub trait FrameVerifier: Send {
     fn on_shutdown(&mut self, registry: &mut Registry) {
         let _ = registry;
     }
+
+    /// The priority class of a *claimed* sender, consulted by the
+    /// windowed drain to order verification and pick shed victims. The
+    /// default ranks everyone [`PriorityClass::High`], so verifiers that
+    /// never heard of priorities drain strictly by arrival order.
+    fn classify(&self, sender: SenderId) -> PriorityClass {
+        let _ = sender;
+        PriorityClass::High
+    }
 }
 
 /// Counters the pool mirrors into atomics so callers can watch a live
@@ -192,6 +217,13 @@ pub struct LiveCounters {
     authenticated: AtomicU64,
     dropped_full: AtomicU64,
     dropped_closed: AtomicU64,
+    dropped_full_pinned: AtomicU64,
+    dropped_closed_pinned: AtomicU64,
+    ticks: AtomicU64,
+    processed: AtomicU64,
+    shed_pinned: AtomicU64,
+    shed_high: AtomicU64,
+    shed_low: AtomicU64,
 }
 
 impl LiveCounters {
@@ -205,6 +237,55 @@ impl LiveCounters {
     #[must_use]
     pub fn authenticated(&self) -> u64 {
         self.authenticated.load(Ordering::SeqCst)
+    }
+
+    /// Window ticks accepted into shard queues so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Queue items (frames + ticks) the workers have fully handled.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::SeqCst)
+    }
+
+    /// Frames shed by the priority drain at window flushes (all
+    /// classes).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_pinned() + self.shed_high() + self.shed_low()
+    }
+
+    /// Shed frames whose claimed sender classified `Pinned`.
+    #[must_use]
+    pub fn shed_pinned(&self) -> u64 {
+        self.shed_pinned.load(Ordering::SeqCst)
+    }
+
+    /// Shed frames whose claimed sender classified `High`.
+    #[must_use]
+    pub fn shed_high(&self) -> u64 {
+        self.shed_high.load(Ordering::SeqCst)
+    }
+
+    /// Shed frames whose claimed sender classified `Low`.
+    #[must_use]
+    pub fn shed_low(&self) -> u64 {
+        self.shed_low.load(Ordering::SeqCst)
+    }
+
+    /// Queue-full drops whose claimed sender is operator-pinned.
+    #[must_use]
+    pub fn dropped_full_pinned(&self) -> u64 {
+        self.dropped_full_pinned.load(Ordering::SeqCst)
+    }
+
+    /// Closed-pool drops whose claimed sender is operator-pinned.
+    #[must_use]
+    pub fn dropped_closed_pinned(&self) -> u64 {
+        self.dropped_closed_pinned.load(Ordering::SeqCst)
     }
 
     /// Frames shed by full shard queues (all drop reasons).
@@ -404,15 +485,26 @@ struct IngressFrame {
     at: SimTime,
 }
 
+/// One shard-queue item: a datagram, or a window-boundary control tick.
+/// Ticks are what make a finite [`PoolConfig::drain_budget`]
+/// deterministic — the *driver* decides where windows end (at interval
+/// boundaries), so flush contents are a pure function of the pushed
+/// sequence, never of how fast a worker happened to drain.
+enum Ingress {
+    Frame(IngressFrame),
+    Tick,
+}
+
 /// The ingest side of a pool: cheap to clone, safe to hand to a socket
 /// reader thread while the owner keeps the [`ReceiverPool`] for
 /// shutdown.
 #[derive(Clone)]
 pub struct PoolHandle {
-    queues: Arc<Vec<IngressQueue<IngressFrame>>>,
+    queues: Arc<Vec<IngressQueue<Ingress>>>,
     overflow: OverflowPolicy,
     route: RoutePolicy,
     live: Arc<LiveCounters>,
+    pins: Arc<BTreeSet<u64>>,
     reader_trace: Option<Arc<Mutex<TraceEmitter<RingSink>>>>,
 }
 
@@ -437,10 +529,10 @@ impl PoolHandle {
         .unwrap_or(bytes.len() as u64);
         let shard = self.shard_of(key);
         let queue = &self.queues[shard];
-        let frame = IngressFrame {
+        let frame = Ingress::Frame(IngressFrame {
             bytes: bytes.to_vec(),
             at,
-        };
+        });
         let outcome = match self.overflow {
             OverflowPolicy::DropCount => queue.try_push(frame),
             OverflowPolicy::Block => queue.push_blocking(frame),
@@ -452,6 +544,9 @@ impl PoolHandle {
             }
             Err(PushError::Full(_)) => {
                 self.live.dropped_full.fetch_add(1, Ordering::SeqCst);
+                if self.claims_pinned_sender(bytes) {
+                    self.live.dropped_full_pinned.fetch_add(1, Ordering::SeqCst);
+                }
                 if let Some(trace) = &self.reader_trace {
                     trace.lock().expect("reader trace poisoned").emit(
                         at.ticks(),
@@ -465,8 +560,54 @@ impl PoolHandle {
             }
             Err(PushError::Closed(_)) => {
                 self.live.dropped_closed.fetch_add(1, Ordering::SeqCst);
+                if self.claims_pinned_sender(bytes) {
+                    self.live
+                        .dropped_closed_pinned
+                        .fetch_add(1, Ordering::SeqCst);
+                }
                 false
             }
+        }
+    }
+
+    /// Whether the frame's claimed (unauthenticated) sender tag is in
+    /// the operator pin set — the reader-side drop attribution. Garbage
+    /// without a readable tag attributes unpinned.
+    fn claims_pinned_sender(&self, bytes: &[u8]) -> bool {
+        codec::peek_sender(bytes).is_some_and(|s| self.pins.contains(&s.0))
+    }
+
+    /// Pushes a window-boundary tick to every shard queue: each worker
+    /// running a finite drain budget flushes its buffered window — in
+    /// priority order, shedding past the budget — when it pops the tick.
+    /// Under `Block` the push backpressures like any frame; under
+    /// `DropCount` a full queue loses the tick (its windows simply merge).
+    pub fn tick(&self) {
+        for queue in self.queues.iter() {
+            let outcome = match self.overflow {
+                OverflowPolicy::DropCount => queue.try_push(Ingress::Tick),
+                OverflowPolicy::Block => queue.push_blocking(Ingress::Tick),
+            };
+            if outcome.is_ok() {
+                self.live.ticks.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Spins until the workers have handled every item pushed so far
+    /// (frames and ticks). After this returns, shed and auth counters
+    /// are a deterministic function of the pushed sequence — this is
+    /// what lets an adaptive adversary (or a controller) *observe*
+    /// defender posture between intervals without racing the workers.
+    /// Single-driver campaigns only: with concurrent producers the
+    /// target moves and the wait is unbounded.
+    pub fn quiesce(&self) {
+        loop {
+            let target = self.live.frames() + self.live.ticks();
+            if self.live.processed() >= target {
+                break;
+            }
+            std::thread::yield_now();
         }
     }
 
@@ -525,7 +666,7 @@ impl ReceiverPool {
         F: FnMut(usize) -> V,
     {
         assert!(config.shards >= 1, "need at least one shard");
-        let queues: Arc<Vec<IngressQueue<IngressFrame>>> = Arc::new(
+        let queues: Arc<Vec<IngressQueue<Ingress>>> = Arc::new(
             (0..config.shards)
                 .map(|_| IngressQueue::new(config.queue_depth))
                 .collect(),
@@ -547,10 +688,19 @@ impl ReceiverPool {
                 let mut rng = parent.fork(shard as u64);
                 let mut verifier = make(shard);
                 let obs = obs.clone();
+                let budget = config.drain_budget;
                 std::thread::Builder::new()
                     .name(format!("dap-net-shard-{shard}"))
                     .spawn(move || {
-                        run_shard(shard, &queues[shard], &mut verifier, &mut rng, &live, &obs)
+                        run_shard(
+                            shard,
+                            &queues[shard],
+                            budget,
+                            &mut verifier,
+                            &mut rng,
+                            &live,
+                            &obs,
+                        )
                     })
                     .expect("spawn shard worker")
             })
@@ -561,6 +711,7 @@ impl ReceiverPool {
                 overflow: config.overflow,
                 route: config.route,
                 live,
+                pins: config.pins,
                 reader_trace,
             },
             workers,
@@ -622,14 +773,34 @@ impl ReceiverPool {
         if full + closed > 0 {
             registry.add(keys::NET_INGRESS_DROPPED, full + closed);
         }
+        // Per-class attribution of the same drops (pinned + unpinned
+        // always sums back to the per-reason totals above).
+        let full_pinned = self.handle.live.dropped_full_pinned();
+        let closed_pinned = self.handle.live.dropped_closed_pinned();
+        if full_pinned > 0 {
+            registry.add(keys::NET_DROP_QUEUE_FULL_PINNED, full_pinned);
+        }
+        if full - full_pinned > 0 {
+            registry.add(keys::NET_DROP_QUEUE_FULL_UNPINNED, full - full_pinned);
+        }
+        if closed_pinned > 0 {
+            registry.add(keys::NET_DROP_CLOSED_PINNED, closed_pinned);
+        }
+        if closed - closed_pinned > 0 {
+            registry.add(keys::NET_DROP_CLOSED_UNPINNED, closed - closed_pinned);
+        }
         PoolReport { registry, trace }
     }
 }
 
-/// One shard's drain loop: decode, verify, count, trace, publish.
+/// One shard's drain loop: decode, verify, count, trace, publish. With
+/// a finite `drain_budget` the worker buffers frames and flushes the
+/// window — in priority order, shedding past the budget — at every
+/// [`PoolHandle::tick`] (and once more when the queue closes).
 fn run_shard<V: FrameVerifier>(
     shard: usize,
-    queue: &IngressQueue<IngressFrame>,
+    queue: &IngressQueue<Ingress>,
+    drain_budget: usize,
     verifier: &mut V,
     rng: &mut SimRng,
     live: &LiveCounters,
@@ -639,13 +810,15 @@ fn run_shard<V: FrameVerifier>(
     let mut trace = TraceEmitter::new(shard as u32, RingSink::new(obs.trace_depth));
     let mut datagrams = 0u64;
     let mut published_at = 0u64;
+    let windowed = drain_budget != usize::MAX;
+    let mut window: Vec<IngressFrame> = Vec::new();
     loop {
         // With live publishing the pop carries a timeout so a quiet wire
         // still gets fresh scrapes; without it, block outright — no
         // spurious wakeups in the deterministic runs.
-        let frame = if obs.publish.is_some() {
+        let item = if obs.publish.is_some() {
             match queue.pop_timeout(std::time::Duration::from_millis(200)) {
-                Pop::Item(frame) => frame,
+                Pop::Item(item) => item,
                 Pop::Idle => {
                     if let Some(shared) = &obs.publish {
                         if published_at != datagrams {
@@ -659,116 +832,250 @@ fn run_shard<V: FrameVerifier>(
             }
         } else {
             match queue.pop() {
-                Some(frame) => frame,
+                Some(item) => item,
                 None => break,
             }
         };
-        let at = frame.at.ticks();
-        registry.incr(keys::NET_INGRESS_FRAMES);
-        registry.add(keys::NET_INGRESS_BYTES, frame.bytes.len() as u64);
-        if obs.time.is_wall() {
-            // Occupancy depends on scheduler timing, so it is recorded
-            // only on the wire — a deterministic run must not let thread
-            // interleavings into its fingerprint.
-            let depth = queue.len() as u64;
-            registry.record(keys::NET_QUEUE_OCCUPANCY, depth);
-            registry.gauge(keys::NET_QUEUE_DEPTH).set(depth);
-        }
-        trace.emit(
-            at,
-            TraceEvent::FrameRx {
-                bytes: frame.bytes.len() as u64,
-            },
-        );
-        // One assembler per datagram: frames may be packed back to back
-        // inside one datagram, but never split across two — so leftover
-        // bytes are damage, not a continuation, and must not poison the
-        // next datagram.
-        let decode_watch = obs.time.stopwatch();
-        let mut assembler = FrameAssembler::new();
-        assembler.push(&frame.bytes);
-        let mut decoded = Vec::new();
-        while let Some(tagged) = assembler.next_tagged_frame() {
-            decoded.push(tagged);
-        }
-        registry.record(
-            keys::NET_DECODE_LATENCY_NS,
-            decode_watch.elapsed_ns(&obs.time),
-        );
-        for tagged in &decoded {
-            let verify_watch = obs.time.stopwatch();
-            let verdict = verifier.on_frame(
-                tagged.sender,
-                &tagged.message,
-                frame.at,
-                rng,
-                &mut registry,
-                live,
-            );
-            let elapsed_ns = verify_watch.elapsed_ns(&obs.time);
-            registry.record(keys::NET_VERIFY_LATENCY_NS, elapsed_ns);
-            trace.emit(
-                at,
-                TraceEvent::VerifyStart {
-                    interval: verdict.interval,
-                },
-            );
-            trace.emit(
-                at,
-                TraceEvent::VerifyEnd {
-                    interval: verdict.interval,
-                    outcome: verdict.outcome,
-                    elapsed_ns,
-                },
-            );
-            if let Some(note) = verdict.buffer {
-                trace.emit(
-                    at,
-                    TraceEvent::BufferDecision {
-                        interval: verdict.interval,
-                        kept: note.kept,
-                        k: note.offered,
-                        m: note.capacity,
-                    },
-                );
+        match item {
+            Ingress::Frame(frame) => {
+                if windowed {
+                    window.push(frame);
+                } else {
+                    process_datagram(
+                        shard,
+                        &frame,
+                        queue,
+                        verifier,
+                        rng,
+                        live,
+                        obs,
+                        &mut registry,
+                        &mut trace,
+                    );
+                    datagrams += 1;
+                }
             }
-            if verdict.key_reveal {
-                trace.emit(
-                    at,
-                    TraceEvent::KeyReveal {
-                        interval: verdict.interval,
-                    },
-                );
-            }
-            if let Some(eviction) = verdict.evicted {
-                trace.emit(
-                    at,
-                    TraceEvent::SessionEvicted {
-                        sender: eviction.sender,
-                        shard: shard as u32,
-                        occupancy: eviction.occupancy,
-                    },
+            Ingress::Tick => {
+                datagrams += flush_window(
+                    shard,
+                    &mut window,
+                    drain_budget,
+                    queue,
+                    verifier,
+                    rng,
+                    live,
+                    obs,
+                    &mut registry,
+                    &mut trace,
                 );
             }
         }
-        let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
-        if junk > 0 {
-            registry.incr(keys::NET_DECODE_ERRORS);
-            registry.add(keys::NET_DECODE_RESYNC_BYTES, junk);
-        }
-        datagrams += 1;
+        live.processed.fetch_add(1, Ordering::SeqCst);
         if let Some(shared) = &obs.publish {
-            if obs.publish_every > 0 && datagrams.is_multiple_of(obs.publish_every) {
+            if obs.publish_every > 0
+                && datagrams > published_at
+                && datagrams.is_multiple_of(obs.publish_every)
+            {
                 shared.publish(shard, &registry);
                 published_at = datagrams;
             }
         }
     }
+    // Close is the final window boundary: whatever the driver pushed
+    // after its last tick still drains under the same policy.
+    flush_window(
+        shard,
+        &mut window,
+        drain_budget,
+        queue,
+        verifier,
+        rng,
+        live,
+        obs,
+        &mut registry,
+        &mut trace,
+    );
     verifier.on_shutdown(&mut registry);
     if let Some(shared) = &obs.publish {
         shared.publish(shard, &registry);
     }
     (registry, trace.into_sink().into_records())
+}
+
+/// Flushes one buffered window: classifies every frame by its claimed
+/// sender, verifies the first `drain_budget` in `(class, arrival)`
+/// order, sheds the rest with per-class attribution. Stable order means
+/// FIFO *within* a class — a late forger cannot displace an earlier
+/// genuine frame of the same class, it can only fill the tail that gets
+/// shed. Returns the number of datagrams verified.
+#[allow(clippy::too_many_arguments)]
+fn flush_window<V: FrameVerifier>(
+    shard: usize,
+    window: &mut Vec<IngressFrame>,
+    drain_budget: usize,
+    queue: &IngressQueue<Ingress>,
+    verifier: &mut V,
+    rng: &mut SimRng,
+    live: &LiveCounters,
+    obs: &PoolObs,
+    registry: &mut Registry,
+    trace: &mut TraceEmitter<RingSink>,
+) -> u64 {
+    if window.is_empty() {
+        return 0;
+    }
+    let mut order: Vec<(PriorityClass, usize)> = window
+        .iter()
+        .enumerate()
+        .map(|(idx, frame)| {
+            let sender = codec::peek_sender(&frame.bytes).unwrap_or(SenderId::UNTAGGED);
+            (verifier.classify(sender), idx)
+        })
+        .collect();
+    order.sort_unstable_by_key(|&(class, idx)| (class, idx));
+    let mut verified = 0u64;
+    for (pos, &(class, idx)) in order.iter().enumerate() {
+        let frame = &window[idx];
+        if pos < drain_budget {
+            process_datagram(
+                shard, frame, queue, verifier, rng, live, obs, registry, trace,
+            );
+            verified += 1;
+            continue;
+        }
+        // Shed: the frame still counts as ingress (it crossed the
+        // reader), but never reaches decode or the verifier.
+        registry.incr(keys::NET_INGRESS_FRAMES);
+        registry.add(keys::NET_INGRESS_BYTES, frame.bytes.len() as u64);
+        registry.incr(keys::NET_SHED_TOTAL);
+        let (class_key, live_counter) = match class {
+            PriorityClass::Pinned => (keys::NET_SHED_PINNED, &live.shed_pinned),
+            PriorityClass::High => (keys::NET_SHED_HIGH, &live.shed_high),
+            PriorityClass::Low => (keys::NET_SHED_LOW, &live.shed_low),
+        };
+        registry.incr(class_key);
+        live_counter.fetch_add(1, Ordering::SeqCst);
+        let sender = codec::peek_sender(&frame.bytes).unwrap_or(SenderId::UNTAGGED);
+        trace.emit(
+            frame.at.ticks(),
+            TraceEvent::ShedDecision {
+                sender: sender.0,
+                class: class.label(),
+                interval: codec::peek_index(&frame.bytes).unwrap_or(0),
+            },
+        );
+    }
+    window.clear();
+    verified
+}
+
+/// Decode-and-verify for one datagram (the PR 4/5 hot path, unchanged:
+/// counters, latency histograms, per-frame trace events).
+#[allow(clippy::too_many_arguments)]
+fn process_datagram<V: FrameVerifier>(
+    shard: usize,
+    frame: &IngressFrame,
+    queue: &IngressQueue<Ingress>,
+    verifier: &mut V,
+    rng: &mut SimRng,
+    live: &LiveCounters,
+    obs: &PoolObs,
+    registry: &mut Registry,
+    trace: &mut TraceEmitter<RingSink>,
+) {
+    let at = frame.at.ticks();
+    registry.incr(keys::NET_INGRESS_FRAMES);
+    registry.add(keys::NET_INGRESS_BYTES, frame.bytes.len() as u64);
+    if obs.time.is_wall() {
+        // Occupancy depends on scheduler timing, so it is recorded
+        // only on the wire — a deterministic run must not let thread
+        // interleavings into its fingerprint.
+        let depth = queue.len() as u64;
+        registry.record(keys::NET_QUEUE_OCCUPANCY, depth);
+        registry.gauge(keys::NET_QUEUE_DEPTH).set(depth);
+    }
+    trace.emit(
+        at,
+        TraceEvent::FrameRx {
+            bytes: frame.bytes.len() as u64,
+        },
+    );
+    // One assembler per datagram: frames may be packed back to back
+    // inside one datagram, but never split across two — so leftover
+    // bytes are damage, not a continuation, and must not poison the
+    // next datagram.
+    let decode_watch = obs.time.stopwatch();
+    let mut assembler = FrameAssembler::new();
+    assembler.push(&frame.bytes);
+    let mut decoded = Vec::new();
+    while let Some(tagged) = assembler.next_tagged_frame() {
+        decoded.push(tagged);
+    }
+    registry.record(
+        keys::NET_DECODE_LATENCY_NS,
+        decode_watch.elapsed_ns(&obs.time),
+    );
+    for tagged in &decoded {
+        let verify_watch = obs.time.stopwatch();
+        let verdict = verifier.on_frame(
+            tagged.sender,
+            &tagged.message,
+            frame.at,
+            rng,
+            registry,
+            live,
+        );
+        let elapsed_ns = verify_watch.elapsed_ns(&obs.time);
+        registry.record(keys::NET_VERIFY_LATENCY_NS, elapsed_ns);
+        trace.emit(
+            at,
+            TraceEvent::VerifyStart {
+                interval: verdict.interval,
+            },
+        );
+        trace.emit(
+            at,
+            TraceEvent::VerifyEnd {
+                interval: verdict.interval,
+                outcome: verdict.outcome,
+                elapsed_ns,
+            },
+        );
+        if let Some(note) = verdict.buffer {
+            trace.emit(
+                at,
+                TraceEvent::BufferDecision {
+                    interval: verdict.interval,
+                    kept: note.kept,
+                    k: note.offered,
+                    m: note.capacity,
+                },
+            );
+        }
+        if verdict.key_reveal {
+            trace.emit(
+                at,
+                TraceEvent::KeyReveal {
+                    interval: verdict.interval,
+                },
+            );
+        }
+        if let Some(eviction) = verdict.evicted {
+            trace.emit(
+                at,
+                TraceEvent::SessionEvicted {
+                    sender: eviction.sender,
+                    shard: shard as u32,
+                    occupancy: eviction.occupancy,
+                },
+            );
+        }
+    }
+    let junk = assembler.skipped_bytes() + assembler.pending_bytes() as u64;
+    if junk > 0 {
+        registry.incr(keys::NET_DECODE_ERRORS);
+        registry.add(keys::NET_DECODE_RESYNC_BYTES, junk);
+    }
 }
 
 /// SplitMix64's finalizer — mixes consecutive interval indices across
@@ -804,6 +1111,7 @@ mod tests {
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
                 route: RoutePolicy::ByInterval,
+                ..PoolConfig::default()
             },
             7,
             |shard| DapShard::new(bootstrap, &[shard as u8]),
@@ -868,6 +1176,7 @@ mod tests {
                 queue_depth: 1,
                 overflow: OverflowPolicy::DropCount,
                 route: RoutePolicy::ByInterval,
+                ..PoolConfig::default()
             },
             1,
             |_| DapShard::new(sender.bootstrap(), b"n"),
@@ -907,6 +1216,7 @@ mod tests {
                 queue_depth: 16,
                 overflow: OverflowPolicy::Block,
                 route: RoutePolicy::ByInterval,
+                ..PoolConfig::default()
             },
             3,
             |_| TeslaPpShard::new(sender.bootstrap(), b"n"),
@@ -959,6 +1269,7 @@ mod tests {
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
                 route: RoutePolicy::ByInterval,
+                ..PoolConfig::default()
             },
             11,
             |shard| DapShard::new(bootstrap, &[b't', shard as u8]),
@@ -1027,6 +1338,7 @@ mod tests {
                 queue_depth: 64,
                 overflow: OverflowPolicy::Block,
                 route: RoutePolicy::ByInterval,
+                ..PoolConfig::default()
             },
             5,
             |shard| DapShard::new(bootstrap, &[b'p', shard as u8]),

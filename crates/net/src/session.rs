@@ -24,6 +24,7 @@
 //! paper's fixed-memory analysis assumes.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use dap_core::{DapBootstrap, DapReceiver, SenderId};
 
@@ -32,6 +33,40 @@ use dap_core::{DapBootstrap, DapReceiver, SenderId};
 /// not a `size_of` reading, so budget math never shifts under layout
 /// changes.
 pub const SESSION_OVERHEAD_BITS: u64 = 1024;
+
+/// Initial priority score for a freshly admitted session, in permille.
+pub const SCORE_INIT_PERMILLE: u32 = 500;
+
+/// Resident sessions scoring at or above this are [`PriorityClass::High`].
+pub const SCORE_HIGH_PERMILLE: u32 = 500;
+
+/// Priority class of a sender, as seen by the pool's drain and eviction
+/// policies. The ordering is the drain order: `Pinned` frames are
+/// verified first under queue pressure, `Low` frames are shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// Operator-pinned sender (`dapd --pin`): never evicted while any
+    /// unpinned session exists, drained ahead of everything else.
+    Pinned,
+    /// Resident session whose recent auth success keeps its EWMA score
+    /// at or above [`SCORE_HIGH_PERMILLE`].
+    High,
+    /// Everything else: unproven newcomers, senders whose reveals keep
+    /// failing, and non-resident ids. Reputation is earned, not granted.
+    Low,
+}
+
+impl PriorityClass {
+    /// Stable lowercase label used in metrics keys and trace events.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Pinned => "pinned",
+            PriorityClass::High => "high",
+            PriorityClass::Low => "low",
+        }
+    }
+}
 
 /// Residency bounds for a [`SessionTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +141,9 @@ struct SessionEntry {
     receiver: DapReceiver,
     cost_bits: u64,
     last_used: u64,
+    /// EWMA of recent reveal outcomes in permille (α = 1/8): converges
+    /// to 1000 under steady success, decays toward 0 under failure.
+    score_permille: u32,
 }
 
 /// A shard-owned map from [`SenderId`] to per-sender receiver state,
@@ -122,6 +160,7 @@ pub struct SessionTable {
     memory_bits: u64,
     evicted_ever: BTreeSet<u64>,
     stats: SessionStats,
+    pins: Arc<BTreeSet<u64>>,
 }
 
 impl SessionTable {
@@ -131,6 +170,14 @@ impl SessionTable {
     /// leans on.
     #[must_use]
     pub fn new(config: SessionConfig, local_seed: u64) -> Self {
+        Self::with_pins(config, local_seed, Arc::new(BTreeSet::new()))
+    }
+
+    /// An empty table with an operator pin set: pinned senders are
+    /// evicted only when every resident session is pinned, regardless of
+    /// recency or score.
+    #[must_use]
+    pub fn with_pins(config: SessionConfig, local_seed: u64, pins: Arc<BTreeSet<u64>>) -> Self {
         Self {
             config,
             local_seed,
@@ -139,6 +186,7 @@ impl SessionTable {
             memory_bits: 0,
             evicted_ever: BTreeSet::new(),
             stats: SessionStats::default(),
+            pins,
         }
     }
 
@@ -176,6 +224,45 @@ impl SessionTable {
     #[must_use]
     pub fn peek(&self, sender: SenderId) -> Option<&DapReceiver> {
         self.sessions.get(&sender.0).map(|e| &e.receiver)
+    }
+
+    /// Whether `sender` is in the operator pin set.
+    #[must_use]
+    pub fn is_pinned(&self, sender: SenderId) -> bool {
+        self.pins.contains(&sender.0)
+    }
+
+    /// The sender's current EWMA score in permille, if resident.
+    #[must_use]
+    pub fn score_permille(&self, sender: SenderId) -> Option<u32> {
+        self.sessions.get(&sender.0).map(|e| e.score_permille)
+    }
+
+    /// The sender's priority class as the drain and eviction policies
+    /// see it right now. Non-resident unpinned ids classify `Low`:
+    /// reputation is earned by authenticating, never presumed — so a
+    /// spoofed id the table has never admitted cannot jump the queue.
+    #[must_use]
+    pub fn priority_class(&self, sender: SenderId) -> PriorityClass {
+        if self.pins.contains(&sender.0) {
+            return PriorityClass::Pinned;
+        }
+        match self.sessions.get(&sender.0) {
+            Some(entry) if entry.score_permille >= SCORE_HIGH_PERMILLE => PriorityClass::High,
+            _ => PriorityClass::Low,
+        }
+    }
+
+    /// Folds one reveal outcome into the sender's EWMA score
+    /// (`score ← score − score/8 + success·125`, integer permille — the
+    /// fixed point of steady success is exactly 1000, of steady failure
+    /// exactly 0). No LRU touch: scoring a reveal must not change which
+    /// session is coldest. No-op for non-resident senders.
+    pub fn record_auth(&mut self, sender: SenderId, success: bool) {
+        if let Some(entry) = self.sessions.get_mut(&sender.0) {
+            let decayed = entry.score_permille - entry.score_permille / 8;
+            entry.score_permille = decayed + if success { 125 } else { 0 };
+        }
     }
 
     /// Resolves `sender` to its session, admitting (or re-admitting) it
@@ -220,10 +307,22 @@ impl SessionTable {
             && (self.sessions.len() + 1 > self.config.max_sessions
                 || self.memory_bits + cost_bits > self.config.memory_budget_bits)
         {
+            // Victim order: unpinned before pinned, then lowest score,
+            // then coldest, then smallest id. A pinned session is thus
+            // evicted only when *every* resident session is pinned, and
+            // among equals the policy degrades to the PR 6 LRU exactly
+            // (scores start equal and move only via `record_auth`).
             let victim = self
                 .sessions
                 .iter()
-                .min_by_key(|(id, entry)| (entry.last_used, **id))
+                .min_by_key(|(id, entry)| {
+                    (
+                        u8::from(self.pins.contains(id)),
+                        entry.score_permille,
+                        entry.last_used,
+                        **id,
+                    )
+                })
                 .map(|(id, _)| *id)
                 .expect("non-empty table has an LRU victim");
             let dropped = self.sessions.remove(&victim).expect("victim resident");
@@ -247,6 +346,7 @@ impl SessionTable {
             receiver,
             cost_bits,
             last_used: stamp,
+            score_permille: SCORE_INIT_PERMILLE,
         });
         Some(SessionRef {
             receiver: &mut entry.receiver,
@@ -369,6 +469,68 @@ mod tests {
             .on_reveal(&sender.reveal(3).unwrap(), SimTime(310))
             .is_authenticated());
         assert_eq!(table.stats().readmitted, 1);
+    }
+
+    fn pin_set(ids: &[u64]) -> Arc<BTreeSet<u64>> {
+        Arc::new(ids.iter().copied().collect())
+    }
+
+    #[test]
+    fn pinned_sessions_survive_while_unpinned_exist() {
+        let mut table = SessionTable::with_pins(config(2), 7, pin_set(&[1]));
+        table.lookup(SenderId(1), directory).unwrap();
+        table.lookup(SenderId(2), directory).unwrap();
+        // 1 is the coldest, but pinned: 2 must be the victim.
+        let third = table.lookup(SenderId(3), directory).unwrap();
+        assert_eq!(third.evicted.len(), 1);
+        assert_eq!(third.evicted[0].sender, 2);
+        assert!(table.is_resident(SenderId(1)));
+        assert_eq!(table.priority_class(SenderId(1)), PriorityClass::Pinned);
+    }
+
+    #[test]
+    fn all_pinned_table_still_admits_by_evicting_a_pin() {
+        let mut table = SessionTable::with_pins(config(2), 7, pin_set(&[1, 2, 3]));
+        table.lookup(SenderId(1), directory).unwrap();
+        table.lookup(SenderId(2), directory).unwrap();
+        let third = table.lookup(SenderId(3), directory).unwrap();
+        assert_eq!(third.evicted[0].sender, 1, "coldest pin goes first");
+    }
+
+    #[test]
+    fn low_score_sessions_are_evicted_before_colder_high_scores() {
+        let mut table = SessionTable::new(config(2), 7);
+        table.lookup(SenderId(1), directory).unwrap();
+        table.lookup(SenderId(2), directory).unwrap();
+        // 2 is warmer but keeps failing; 1 is colder but authenticates.
+        table.record_auth(SenderId(1), true);
+        table.record_auth(SenderId(2), false);
+        let third = table.lookup(SenderId(3), directory).unwrap();
+        assert_eq!(third.evicted[0].sender, 2, "score outranks recency");
+    }
+
+    #[test]
+    fn ewma_score_converges_and_classifies() {
+        let mut table = SessionTable::new(config(4), 7);
+        table.lookup(SenderId(1), directory).unwrap();
+        assert_eq!(table.score_permille(SenderId(1)), Some(SCORE_INIT_PERMILLE));
+        assert_eq!(table.priority_class(SenderId(1)), PriorityClass::High);
+        for _ in 0..64 {
+            table.record_auth(SenderId(1), true);
+        }
+        assert_eq!(table.score_permille(SenderId(1)), Some(1000));
+        for _ in 0..64 {
+            table.record_auth(SenderId(1), false);
+        }
+        // Integer decay floors at 7 (7/8 == 0) — far below the High
+        // threshold either way.
+        assert_eq!(table.score_permille(SenderId(1)), Some(7));
+        assert_eq!(table.priority_class(SenderId(1)), PriorityClass::Low);
+        // Non-resident ids never classify above Low.
+        assert_eq!(table.priority_class(SenderId(99)), PriorityClass::Low);
+        // record_auth on a non-resident id is a no-op.
+        table.record_auth(SenderId(99), true);
+        assert!(!table.is_resident(SenderId(99)));
     }
 
     #[test]

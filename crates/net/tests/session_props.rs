@@ -6,8 +6,13 @@
 
 use std::collections::BTreeMap;
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
 use dap_core::{DapBootstrap, DapParams, DapReceiver, DapSender, SenderId};
-use dap_net::session::{Admission, SessionConfig, SessionTable, SESSION_OVERHEAD_BITS};
+use dap_net::session::{
+    Admission, SessionConfig, SessionTable, SCORE_INIT_PERMILLE, SESSION_OVERHEAD_BITS,
+};
 use dap_simnet::{SimDuration, SimRng, SimTime};
 use dap_testkit::{check_with, Config, Gen};
 
@@ -193,6 +198,119 @@ fn bounds_hold_at_every_step() {
         }
         assert_eq!(table.stats().unknown, unknown_seen);
     });
+}
+
+/// A reference model of the *priority* eviction policy (pins + EWMA
+/// score): victim = smallest `(pinned, score, last_used, id)`, score
+/// updated with the table's exact integer arithmetic.
+struct PriorityModel {
+    cap: usize,
+    pins: BTreeSet<u64>,
+    clock: u64,
+    resident: BTreeMap<u64, (u64, u32)>, // id -> (last_used, score)
+}
+
+impl PriorityModel {
+    fn lookup(&mut self, id: u64) -> Vec<u64> {
+        self.clock += 1;
+        if let Some((stamp, _)) = self.resident.get_mut(&id) {
+            *stamp = self.clock;
+            return Vec::new();
+        }
+        if !(1..=DIRECTORY_SIZE).contains(&id) {
+            return Vec::new();
+        }
+        let mut evictions = Vec::new();
+        while !self.resident.is_empty() && self.resident.len() + 1 > self.cap {
+            let victim = *self
+                .resident
+                .iter()
+                .min_by_key(|(vid, (stamp, score))| {
+                    (u8::from(self.pins.contains(*vid)), *score, *stamp, **vid)
+                })
+                .map(|(vid, _)| vid)
+                .expect("non-empty");
+            // The headline invariant: a pinned session is never the
+            // victim while any unpinned session exists.
+            if self.pins.contains(&victim) {
+                assert!(
+                    self.resident.keys().all(|r| self.pins.contains(r)),
+                    "pinned {victim} evicted while unpinned sessions exist"
+                );
+            }
+            self.resident.remove(&victim);
+            evictions.push(victim);
+        }
+        self.resident.insert(id, (self.clock, SCORE_INIT_PERMILLE));
+        evictions
+    }
+
+    fn record_auth(&mut self, id: u64, success: bool) {
+        if let Some((_, score)) = self.resident.get_mut(&id) {
+            let decayed = *score - *score / 8;
+            *score = decayed + if success { 125 } else { 0 };
+        }
+    }
+}
+
+/// The table agrees with the priority reference model step for step:
+/// same eviction victims in the same order, same EWMA scores, and —
+/// checked inside the model on every eviction — a pinned session is
+/// never evicted while any unpinned session exists.
+#[test]
+fn pinned_and_scored_eviction_matches_reference_model() {
+    check_with(
+        props_config(),
+        "pinned_and_scored_eviction_matches_reference_model",
+        |g| {
+            let cap = g.usize_in(1..9);
+            let pin_count = g.usize_in(0..5);
+            let pins: BTreeSet<u64> = (0..pin_count)
+                .map(|_| g.u64_in(1..DIRECTORY_SIZE + 1))
+                .collect();
+            let mut table = SessionTable::with_pins(
+                SessionConfig {
+                    max_sessions: cap,
+                    memory_budget_bits: u64::MAX,
+                },
+                g.any_u64(),
+                Arc::new(pins.clone()),
+            );
+            let mut model = PriorityModel {
+                cap,
+                pins: pins.clone(),
+                clock: 0,
+                resident: BTreeMap::new(),
+            };
+            let steps = g.usize_in(1..64);
+            for _ in 0..steps {
+                if g.u64_in(0..3) == 0 {
+                    // Auth verdict on a random id (no-op when absent).
+                    let id = draw_id(g);
+                    let success = g.u64_in(0..2) == 0;
+                    model.record_auth(id, success);
+                    table.record_auth(SenderId(id), success);
+                } else {
+                    let id = draw_id(g);
+                    let expected_evictions = model.lookup(id);
+                    let victims: Vec<u64> = table
+                        .lookup(SenderId(id), directory)
+                        .map(|s| s.evicted.iter().map(|e| e.sender).collect())
+                        .unwrap_or_default();
+                    assert_eq!(victims, expected_evictions, "victim choice diverged");
+                }
+                assert_eq!(table.occupancy(), model.resident.len());
+                for (id, (_, score)) in &model.resident {
+                    assert_eq!(
+                        table.score_permille(SenderId(*id)),
+                        Some(*score),
+                        "score diverged for {id}"
+                    );
+                    assert!(table.is_resident(SenderId(*id)));
+                }
+            }
+        },
+    );
 }
 
 /// Evict-then-readmit re-anchors cleanly: whatever churn evicted a

@@ -49,6 +49,7 @@ fn dap_authenticates_across_real_udp_sockets() {
             queue_depth: 64,
             overflow: OverflowPolicy::Block,
             route: RoutePolicy::ByInterval,
+            ..PoolConfig::default()
         },
         77,
         |shard| DapShard::new(bootstrap, &[b'u', shard as u8]),

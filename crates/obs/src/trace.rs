@@ -81,6 +81,19 @@ pub enum TraceEvent {
         /// Sessions still resident after the eviction.
         occupancy: u64,
     },
+    /// The priority drain shed a frame at a window flush: the shard's
+    /// per-window verify budget was exhausted by higher-priority (or
+    /// earlier) frames. Attribution is by the frame's *claimed* sender —
+    /// wire tags are unauthenticated, so a shed forged frame charges the
+    /// class of the sender it impersonated.
+    ShedDecision {
+        /// The claimed sender id of the shed frame.
+        sender: u64,
+        /// The claimed sender's priority class label at flush time.
+        class: &'static str,
+        /// The interval the shed frame claimed.
+        interval: u64,
+    },
 }
 
 impl TraceEvent {
@@ -96,6 +109,7 @@ impl TraceEvent {
             Self::ShardStall { .. } => "shard_stall",
             Self::FaultInjected { .. } => "fault_injected",
             Self::SessionEvicted { .. } => "session_evicted",
+            Self::ShedDecision { .. } => "shed_decision",
         }
     }
 }
@@ -157,6 +171,14 @@ impl TraceRecord {
                 .u64("sender", *sender)
                 .u64("shard", u64::from(*shard))
                 .u64("occupancy", *occupancy),
+            TraceEvent::ShedDecision {
+                sender,
+                class,
+                interval,
+            } => base
+                .u64("sender", *sender)
+                .str("class", class)
+                .u64("interval", *interval),
         }
         .finish()
     }
@@ -444,6 +466,11 @@ mod tests {
                 sender: 17,
                 shard: 1,
                 occupancy: 63,
+            },
+            TraceEvent::ShedDecision {
+                sender: 17,
+                class: "low",
+                interval: 2,
             },
         ];
         for event in events {

@@ -419,8 +419,24 @@ pub mod keys {
     pub const NET_INGRESS_DROPPED: &str = "net.ingress.dropped";
     /// Wire pool drop reason: shard queue full (DropCount posture).
     pub const NET_DROP_QUEUE_FULL: &str = "net.drop.queue_full";
+    /// Queue-full drops whose claimed sender is operator-pinned.
+    pub const NET_DROP_QUEUE_FULL_PINNED: &str = "net.drop.queue_full.pinned";
+    /// Queue-full drops whose claimed sender is not pinned.
+    pub const NET_DROP_QUEUE_FULL_UNPINNED: &str = "net.drop.queue_full.unpinned";
     /// Wire pool drop reason: pool already shutting down.
     pub const NET_DROP_CLOSED: &str = "net.drop.closed";
+    /// Closed-pool drops whose claimed sender is operator-pinned.
+    pub const NET_DROP_CLOSED_PINNED: &str = "net.drop.closed.pinned";
+    /// Closed-pool drops whose claimed sender is not pinned.
+    pub const NET_DROP_CLOSED_UNPINNED: &str = "net.drop.closed.unpinned";
+    /// Priority drain: frames shed at a window flush (all classes).
+    pub const NET_SHED_TOTAL: &str = "net.shed.total";
+    /// Priority drain: shed frames claiming a pinned sender.
+    pub const NET_SHED_PINNED: &str = "net.shed.pinned";
+    /// Priority drain: shed frames claiming a high-priority sender.
+    pub const NET_SHED_HIGH: &str = "net.shed.high";
+    /// Priority drain: shed frames claiming a low-priority sender.
+    pub const NET_SHED_LOW: &str = "net.shed.low";
     /// Wire pool: datagrams with undecodable bytes.
     pub const NET_DECODE_ERRORS: &str = "net.decode.errors";
     /// Wire pool: bytes skipped while resynchronising.
@@ -449,6 +465,10 @@ pub mod keys {
     pub const NET_SESSION_MEMORY_BITS: &str = "net.session.memory_bits";
     /// Fleet: per-sender authenticated-reveal rate envelope (permille).
     pub const NET_FLEET_AUTH_RATE_PERMILLE: &str = "net.fleet.auth_rate_permille";
+    /// Fleet: auth-rate envelope restricted to pinned senders.
+    pub const NET_FLEET_PINNED_AUTH_PERMILLE: &str = "net.fleet.pinned_auth_permille";
+    /// Fleet: auth-rate envelope restricted to unpinned senders.
+    pub const NET_FLEET_UNPINNED_AUTH_PERMILLE: &str = "net.fleet.unpinned_auth_permille";
     /// Wire medium: frames sent.
     pub const NET_WIRE_SENT: &str = "net.wire.sent";
     /// Wire medium: frames lost.
@@ -523,7 +543,15 @@ pub mod keys {
         NET_INGRESS_BYTES,
         NET_INGRESS_DROPPED,
         NET_DROP_QUEUE_FULL,
+        NET_DROP_QUEUE_FULL_PINNED,
+        NET_DROP_QUEUE_FULL_UNPINNED,
         NET_DROP_CLOSED,
+        NET_DROP_CLOSED_PINNED,
+        NET_DROP_CLOSED_UNPINNED,
+        NET_SHED_TOTAL,
+        NET_SHED_PINNED,
+        NET_SHED_HIGH,
+        NET_SHED_LOW,
         NET_DECODE_ERRORS,
         NET_DECODE_RESYNC_BYTES,
         NET_VERIFY_LATENCY_NS,
@@ -537,6 +565,8 @@ pub mod keys {
         NET_SESSION_OCCUPANCY,
         NET_SESSION_MEMORY_BITS,
         NET_FLEET_AUTH_RATE_PERMILLE,
+        NET_FLEET_PINNED_AUTH_PERMILLE,
+        NET_FLEET_UNPINNED_AUTH_PERMILLE,
         NET_WIRE_SENT,
         NET_WIRE_LOST,
         NET_WIRE_CORRUPTED,

@@ -15,11 +15,19 @@
 //!
 //! Failures print the offending seed; rerun a single case by fixing
 //! `SEEDS` to that value.
+//!
+//! A second section drives the DESIGN §11 adversary suite: every
+//! adversary class against the prioritized fleet posture (pins + finite
+//! drain budget), asserting soundness, the pinned-sender survival floor,
+//! exact shed attribution and same-seed determinism.
 
 use crowdsense_dap::crypto::{Key, Mac80};
 use crowdsense_dap::dap::codec::{decode, encode};
 use crowdsense_dap::dap::sim::{DapReceiverNode, DapSenderNode};
 use crowdsense_dap::dap::{DapMessage, DapParams, DapSender};
+use crowdsense_dap::net::adversary::AdversaryClass;
+use crowdsense_dap::net::fleet::{run_fleet, FleetReport, FleetSpec};
+use crowdsense_dap::simnet::keys;
 use crowdsense_dap::simnet::{
     ChannelModel, DriftSchedule, FaultPlan, FaultWindow, Network, NodeId, SimDuration, SimRng,
     SimTime,
@@ -529,6 +537,86 @@ fn run_two_level(seed: u64, linkage: Linkage, edrp: bool, label: &str) -> Finger
         "seed {seed}: plan injected nothing"
     );
     Fingerprint { auth, metrics }
+}
+
+// ----------------------------------------------------- adversary suite --
+
+/// Seeded fleet campaigns against the prioritized defender posture.
+const ADVERSARY_SEEDS: u64 = 4;
+
+/// One fleet campaign: `class` at p = 0.9 against 24 senders (ids 1–4
+/// operator-pinned) behind a 64-frame per-shard drain budget.
+fn run_adversary_campaign(class: AdversaryClass, seed: u64) -> FleetReport {
+    run_fleet(&FleetSpec {
+        seed: 20_160_000 + seed,
+        senders: 24,
+        intervals: 8,
+        flood: 0.9,
+        pins: vec![1, 2, 3, 4],
+        adversary: class,
+        drain_budget: 64,
+        ..FleetSpec::default()
+    })
+}
+
+/// Every adversary class × seed, twice each. Invariants:
+///
+/// 1. **Soundness** — no forged, spoofed or replayed frame ever passes
+///    the weak (chain-key) check, whatever the attack shape.
+/// 2. **Pinned survival** — under every targeted class, pinned senders
+///    keep ≥ 99 % of their clean auth rate: they are never spoofed
+///    (forging a pin buys nothing observable), never shed (priority
+///    drain) and never evicted. Bernoulli is the contrast row — it
+///    spoofs pins indiscriminately, so the floor assertion is the
+///    survival-matrix row, not this gate.
+/// 3. **Attribution** — every shed frame lands in exactly one priority
+///    class counter.
+/// 4. **Determinism** — same seed, same registry bytes.
+#[test]
+fn adversary_suite_holds_the_pinned_floor() {
+    for class in AdversaryClass::ALL {
+        for seed in 0..ADVERSARY_SEEDS {
+            let report = run_adversary_campaign(class, seed);
+            let replay = run_adversary_campaign(class, seed);
+            assert_eq!(
+                report.registry.render(),
+                replay.registry.render(),
+                "{} seed {seed}: same-seed replay diverged",
+                class.label()
+            );
+            let m = &report.metrics;
+            assert_eq!(
+                m.get(keys::NET_REVEAL_WEAK_REJECTED),
+                0,
+                "{} seed {seed}: forged key accepted",
+                class.label()
+            );
+            assert_eq!(
+                m.get(keys::NET_SHED_TOTAL),
+                m.get(keys::NET_SHED_PINNED)
+                    + m.get(keys::NET_SHED_HIGH)
+                    + m.get(keys::NET_SHED_LOW),
+                "{} seed {seed}: shed attribution does not balance",
+                class.label()
+            );
+            if class != AdversaryClass::Bernoulli {
+                let floor = report
+                    .min_pinned_auth_permille
+                    .expect("pinned senders revealed");
+                assert!(
+                    floor >= 990,
+                    "{} seed {seed}: pinned floor {floor} permille below 990",
+                    class.label()
+                );
+                assert_eq!(
+                    m.get(keys::NET_SHED_PINNED),
+                    0,
+                    "{} seed {seed}: a pinned frame was shed",
+                    class.label()
+                );
+            }
+        }
+    }
 }
 
 // --------------------------------------------------------------- tests --

@@ -4,9 +4,10 @@
 //!
 //! Three pillars (all ci.sh-gated):
 //!
-//! 1. **Scale** — ≥ 1k concurrent senders authenticate through bounded
-//!    per-shard session tables, and the per-sender auth rate tracks the
-//!    paper's `1 − p^m` independently of fleet size.
+//! 1. **Scale** — ≥ 4k concurrent senders pumped over the loopback wire
+//!    authenticate through bounded per-shard session tables, and the
+//!    per-sender auth rate tracks the paper's `1 − p^m` independently of
+//!    fleet size.
 //! 2. **Determinism** — two same-seed campaigns render byte-identical
 //!    registry snapshots (counters, gauges, histograms — everything).
 //! 3. **Boundedness** — a budget far smaller than the fleet still holds:
@@ -32,23 +33,25 @@ fn session_cost_bits() -> u64 {
     DapReceiver::new(bootstrap, b"probe").memory_capacity_bits() + SESSION_OVERHEAD_BITS
 }
 
-/// The headline soak: 1024 senders, flood p = 0.8 spoofing every one of
-/// them, sessions budgeted (roomy enough that nothing evicts — the
-/// tight-budget variant below exercises eviction). Runs the identical
-/// spec twice and `assert_eq!`s the rendered registries byte for byte.
+/// The headline soak: 4096 senders pumped over the loopback wire, flood
+/// p = 0.8 spoofing every one of them, sessions budgeted (roomy enough
+/// that nothing evicts — the tight-budget variant below exercises
+/// eviction). Runs the identical spec twice and `assert_eq!`s the
+/// rendered registries byte for byte.
 #[test]
-fn thousand_sender_fleet_is_deterministic_and_tracks_the_paper() {
+fn four_thousand_sender_fleet_is_deterministic_and_tracks_the_paper() {
     let cost = session_cost_bits();
     let spec = FleetSpec {
         seed: 20_160_627,
-        senders: 1024,
+        senders: 4096,
         intervals: 4,
         buffers: 4,
         shards: 4,
         flood: 0.8,
-        // 1024 senders over 4 by-sender shards ≈ 256 sessions each;
-        // 300 × cost is a *fixed* budget that happens to hold the fleet.
-        memory_budget_bits: 300 * cost,
+        // 4096 senders over 4 by-sender shards ≈ 1024 sessions each;
+        // 1200 × cost is a *fixed* budget that happens to hold the fleet
+        // with headroom for shard imbalance in the sender-id hash.
+        memory_budget_bits: 1200 * cost,
         ..FleetSpec::default()
     };
     let first = run_fleet(&spec);
@@ -66,10 +69,10 @@ fn thousand_sender_fleet_is_deterministic_and_tracks_the_paper() {
     // Pillar 1: every sender admitted exactly once, nothing evicted,
     // and the aggregate auth rate tracks 1 − p^m = 1 − 0.8⁴ ≈ 0.59.
     let m = &first.metrics;
-    assert_eq!(m.get(keys::NET_SESSION_ADMITTED), 1024);
+    assert_eq!(m.get(keys::NET_SESSION_ADMITTED), 4096);
     assert_eq!(m.get(keys::NET_SESSION_EVICTED), 0);
     assert_eq!(m.get(keys::NET_SESSION_UNKNOWN), 0);
-    assert_eq!(m.get(keys::NET_REVEAL_TOTAL), 1024 * 4);
+    assert_eq!(m.get(keys::NET_REVEAL_TOTAL), 4096 * 4);
     assert!(
         (first.auth_rate - first.expected_rate).abs() < 0.05,
         "fleet auth rate {:.4} drifted from expected {:.4}",
@@ -108,7 +111,7 @@ fn thousand_sender_fleet_is_deterministic_and_tracks_the_paper() {
         .registry
         .get_gauge(keys::NET_SESSION_OCCUPANCY)
         .expect("occupancy gauge");
-    assert!(occupancy.max().unwrap_or(0) <= 300);
+    assert!(occupancy.max().unwrap_or(0) <= 1200);
 }
 
 /// Pillar 3: a budget of 64 sessions per shard against a 1024-sender
