@@ -18,7 +18,10 @@ echo "== formatting =="
 cargo fmt --check
 
 echo "== perf smoke (midstate/pebble/sweep trajectory) =="
-DAP_BENCH_MS=5 cargo run --release --offline -p dap-bench --bin perf -- target
+# 25 ms per measurement (not 5): the crypto regression gate below
+# compares speedup ratios from this run against the committed baseline,
+# and the one-shot calibration in the timer is too noisy at 5 ms.
+DAP_BENCH_MS=25 cargo run --release --offline -p dap-bench --bin perf -- target
 
 echo "== sweep determinism (parallel vs sequential, default grid) =="
 cargo run --release --offline -p dap-bench --bin sweep -- 400 --check > /dev/null
@@ -124,5 +127,47 @@ grep -q '"name":"fleet_ingest"' target/BENCH_net.json
 # its survival fields (see EXPERIMENTS.md).
 grep -q '"name":"overload_burst-reanchor_prioritized"' target/BENCH_net.json
 grep -q '"pinned_permille"' target/BENCH_net.json
+
+echo "== batch gate (lane-parallel reveal-verify >= 2x scalar) =="
+# The batched lanes amortize the per-interval chain walk and push the
+# HMAC re-key + MAC through the multi-lane SHA-256 kernels; the whole
+# point is >= 2x the sequential lane on the same 2048-reveal workload
+# (see DESIGN.md §12). Each lane's name is matched with its trailing
+# comma so dap_reveal_verify does not also match its _batched sibling.
+for pair in "dap_reveal_verify dap_reveal_verify_batched" \
+            "teslapp_reveal_verify teslapp_reveal_verify_batched"; do
+    set -- $pair
+    scalar=$(grep "\"name\":\"$1\"," target/BENCH_net.json \
+        | grep -o '"frames_per_sec":[0-9.]*' | cut -d: -f2)
+    batched=$(grep "\"name\":\"$2\"," target/BENCH_net.json \
+        | grep -o '"frames_per_sec":[0-9.]*' | cut -d: -f2)
+    test -n "$scalar" && test -n "$batched"
+    echo "$batched $scalar" | awk '{ exit !($1 >= 2.0 * $2) }' || {
+        echo "$2 at $batched frames/s is < 2x $1 at $scalar frames/s" >&2
+        exit 1
+    }
+done
+
+echo "== crypto bench regression gate (vs committed BENCH_crypto.json) =="
+# The perf smoke above wrote target/BENCH_crypto.json. Every lane in
+# the committed baseline must keep >= 0.8x its committed speedup ratio
+# in the fresh run — a >20% regression on any pre-existing crypto lane
+# fails CI. Ratios (not raw ns) make this robust to slow boxes; lanes
+# the host cannot produce (e.g. compress_x8 without AVX2) are skipped.
+while IFS= read -r line; do
+    case "$line" in *'"name"'*) ;; *) continue ;; esac
+    name=$(echo "$line" | grep -o '"name":"[^"]*"' | cut -d'"' -f4)
+    committed=$(echo "$line" | grep -o '"speedup":[0-9.]*' | cut -d: -f2)
+    fresh=$(grep "\"name\":\"$name\"," target/BENCH_crypto.json \
+        | grep -o '"speedup":[0-9.]*' | cut -d: -f2)
+    if [ -z "$fresh" ]; then
+        echo "  lane $name not produced on this host -- skipped"
+        continue
+    fi
+    echo "$fresh $committed" | awk '{ exit !($1 >= 0.8 * $2) }' || {
+        echo "crypto lane $name regressed: speedup $fresh < 0.8 x committed $committed" >&2
+        exit 1
+    }
+done < BENCH_crypto.json
 
 echo "ci.sh: all green"

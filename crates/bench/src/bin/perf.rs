@@ -15,9 +15,10 @@ use std::time::Instant;
 use dap_bench::json::{array, JsonObject};
 use dap_bench::sweep::{run_sweep_sequential, run_sweep_with_stats, to_csv, SweepConfig};
 use dap_bench::timer::measure;
+use dap_crypto::lanes::{self, LaneWidth};
 use dap_crypto::mac::{micro_mac_prepared, prepare_receiver_key, Mac80};
 use dap_crypto::oneway::one_way_iter;
-use dap_crypto::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
+use dap_crypto::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN, INITIAL_STATE};
 use dap_crypto::{Domain, Key};
 
 /// HMAC-SHA-256 the way the workspace computed it before midstate
@@ -103,6 +104,40 @@ fn bench_crypto() -> Vec<CryptoRecord> {
             (tag[0], tag[1], tag[2])
         }),
     });
+
+    // Multi-lane compression: ns per *block* for each SIMD width this
+    // host supports, against the scalar compressor on an identical
+    // workload (`compress_many_with(Scalar, ..)` runs the exact
+    // fallback loop the batch APIs use when no lanes exist). Hosts
+    // without sse2/avx2 simply omit the lane they can't run.
+    for &width in lanes::supported() {
+        let name = match width {
+            LaneWidth::Scalar => continue,
+            LaneWidth::W4 => "compress_x4",
+            LaneWidth::W8 => "compress_x8",
+        };
+        let n = width.lanes();
+        let blocks = vec![[0x5au8; BLOCK_LEN]; n];
+
+        // Sanity: the wide kernel must agree with the scalar one.
+        let mut wide = vec![INITIAL_STATE; n];
+        let mut scalar = vec![INITIAL_STATE; n];
+        lanes::compress_many_with(width, &mut wide, &blocks);
+        lanes::compress_many_with(LaneWidth::Scalar, &mut scalar, &blocks);
+        assert_eq!(wide, scalar, "{name} must match the scalar compression");
+
+        let mut timed = vec![INITIAL_STATE; n];
+        let mut reference = vec![INITIAL_STATE; n];
+        records.push(CryptoRecord {
+            name,
+            ns: measure(|| lanes::compress_many_with(width, &mut timed, &blocks))
+                .div_ceil(n as u64),
+            baseline_ns: measure(|| {
+                lanes::compress_many_with(LaneWidth::Scalar, &mut reference, &blocks)
+            })
+            .div_ceil(n as u64),
+        });
+    }
 
     records
 }

@@ -22,7 +22,15 @@ fn budget() -> Duration {
 /// closure's result is passed through [`black_box`] so the optimiser
 /// cannot delete the work. Calibration and budget match [`smoke`]; use
 /// this when the number feeds a report instead of stdout.
-pub fn measure<T>(mut f: impl FnMut() -> T) -> u64 {
+pub fn measure<T>(f: impl FnMut() -> T) -> u64 {
+    measure_counted(f).0
+}
+
+/// [`measure`], but also returning how many timed iterations actually
+/// ran — report lanes record that count (e.g. netbench's `frames`
+/// field) so a frames-weighted rollup weighs the lane by real work
+/// instead of a phantom count of 1.
+pub fn measure_counted<T>(mut f: impl FnMut() -> T) -> (u64, u64) {
     // Warm-up + calibration.
     let t0 = Instant::now();
     black_box(f());
@@ -34,7 +42,10 @@ pub fn measure<T>(mut f: impl FnMut() -> T) -> u64 {
         black_box(f());
     }
     let elapsed = start.elapsed();
-    (elapsed.as_nanos() / u128::from(iters)).max(1) as u64
+    (
+        (elapsed.as_nanos() / u128::from(iters)).max(1) as u64,
+        u64::from(iters),
+    )
 }
 
 /// Times `f`, printing `name`, the iteration count and the mean time per

@@ -40,6 +40,6 @@ pub mod wire;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, DefensePolicy};
 pub use multi::{DapMultiReceiver, SenderId};
-pub use receiver::{AnnounceOutcome, DapReceiver, DapStats, RevealOutcome};
+pub use receiver::{AnnounceOutcome, DapReceiver, DapStats, RevealOutcome, RevealPrecompute};
 pub use sender::{DapBootstrap, DapSender};
 pub use wire::{Announce, DapMessage, DapParams, Reveal};

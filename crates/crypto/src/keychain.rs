@@ -363,6 +363,51 @@ impl ChainAnchor {
         self.index = claimed_index;
         Ok(trace)
     }
+
+    /// [`accept_recovering`](Self::accept_recovering) with the first
+    /// one-way image of `candidate` already computed — typically by a
+    /// lane-parallel batch ([`crate::lanes`]) amortising the hash across
+    /// a whole drain window.
+    ///
+    /// When `claimed_index` is exactly one step ahead (the steady-state
+    /// disclosure path), `first_image` answers the walk with zero fresh
+    /// compressions; every other shape defers to
+    /// [`accept_recovering`](Self::accept_recovering), so results are
+    /// bit-identical to the unassisted call.
+    ///
+    /// `first_image` **must** equal `one_way(domain, candidate)`; a
+    /// wrong image would corrupt the anchor. Debug builds assert it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`verify`](Self::verify); the anchor is unchanged on error.
+    pub fn accept_recovering_with_image(
+        &mut self,
+        candidate: &Key,
+        claimed_index: u64,
+        first_image: &Key,
+    ) -> Result<Vec<Key>, ChainVerifyError> {
+        debug_assert_eq!(
+            *first_image,
+            one_way(self.domain, candidate),
+            "first_image must be the candidate's one-way image"
+        );
+        if claimed_index == self.index + 1 {
+            if self.max_steps < 1 {
+                return Err(ChainVerifyError::TooFarAhead {
+                    steps: 1,
+                    max_steps: self.max_steps,
+                });
+            }
+            if !crate::ct_eq(first_image.as_bytes(), self.key.as_bytes()) {
+                return Err(ChainVerifyError::Mismatch);
+            }
+            self.key = *candidate;
+            self.index = claimed_index;
+            return Ok(vec![*candidate]);
+        }
+        self.accept_recovering(candidate, claimed_index)
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +475,46 @@ mod tests {
         let bounded = anchor.clone().with_max_steps(2);
         assert!(matches!(
             bounded.clone().accept_recovering(chain.key(8).unwrap(), 8),
+            Err(ChainVerifyError::TooFarAhead { .. })
+        ));
+    }
+
+    #[test]
+    fn accept_with_image_matches_unassisted_accept() {
+        let chain = KeyChain::generate(b"s", 16, Domain::F);
+        // Steady state: image answers the one-step walk.
+        let mut assisted = chain.anchor();
+        let mut plain = chain.anchor();
+        for i in 1..=4u64 {
+            let key = chain.key(i as usize).unwrap();
+            let image = one_way(Domain::F, key);
+            assert_eq!(
+                assisted.accept_recovering_with_image(key, i, &image),
+                plain.accept_recovering(key, i),
+                "interval {i}"
+            );
+            assert_eq!(assisted, plain);
+        }
+        // Gap: defers to the full walk, same segment.
+        let key = chain.key(9).unwrap();
+        let image = one_way(Domain::F, key);
+        assert_eq!(
+            assisted.accept_recovering_with_image(key, 9, &image),
+            plain.accept_recovering(key, 9)
+        );
+        // Forged one-step candidate: rejected, anchor unchanged.
+        let forged = Key::derive(b"forged", b"x");
+        let forged_image = one_way(Domain::F, &forged);
+        assert_eq!(
+            assisted.accept_recovering_with_image(&forged, 10, &forged_image),
+            Err(ChainVerifyError::Mismatch)
+        );
+        assert_eq!(assisted, plain);
+        // A zero step budget rejects even the assisted fast path.
+        let mut bounded = chain.anchor().with_max_steps(0);
+        let k1 = chain.key(1).unwrap();
+        assert!(matches!(
+            bounded.accept_recovering_with_image(k1, 1, &one_way(Domain::F, k1)),
             Err(ChainVerifyError::TooFarAhead { .. })
         ));
     }

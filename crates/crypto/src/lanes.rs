@@ -1,0 +1,577 @@
+//! Multi-lane (multi-buffer) SHA-256 compression over *independent*
+//! messages.
+//!
+//! A single SHA-256 compression is a long serial dependency chain — no
+//! instruction-level trick makes one message hash faster. But the
+//! verification hot path of this workspace never hashes one message: a
+//! pool shard draining its ingress window re-keys and re-MACs a whole
+//! batch of frames whose hashes are mutually independent. This module
+//! runs `W` such compressions in lockstep, one 32-bit SIMD lane per
+//! message: 4 lanes on SSE2 (`__m128i`), 8 lanes on AVX2 (`__m256i`).
+//!
+//! Everything is std-only and runtime-detected via
+//! `std::arch::is_x86_feature_detected!`; the scalar
+//! [`Sha256::compress_from`] is the always-correct fallback, so results
+//! are bit-identical across hosts and lane widths (pinned by the
+//! `tests/simd_lanes.rs` property suite and the NIST/RFC vectors below).
+//!
+//! The batch entry points are [`digest_many`] (full hashes) and
+//! [`digest_many_from_midstates`] (per-lane cached midstates — the HMAC
+//! shape: every lane resumes from its own ipad/opad state with the same
+//! number of prior bytes). [`crate::hmac::PreparedMacKey::mac_many`],
+//! [`crate::mac::mac80_many`] and friends are built on top.
+#![allow(unsafe_code)] // SIMD intrinsics; every unsafe call sits behind a feature check.
+
+use std::sync::OnceLock;
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN, INITIAL_STATE};
+
+/// How many independent messages one compression call advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LaneWidth {
+    /// One lane: the scalar [`Sha256::compress_from`] reference.
+    Scalar,
+    /// Four lanes in an SSE2 `__m128i` register per state word.
+    W4,
+    /// Eight lanes in an AVX2 `__m256i` register per state word.
+    W8,
+}
+
+impl LaneWidth {
+    /// Number of messages compressed per kernel call.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::Scalar => 1,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneWidth::Scalar => f.write_str("scalar"),
+            LaneWidth::W4 => f.write_str("x4"),
+            LaneWidth::W8 => f.write_str("x8"),
+        }
+    }
+}
+
+/// The widest kernel this host supports, detected once per process.
+#[must_use]
+pub fn detected() -> LaneWidth {
+    static CACHE: OnceLock<LaneWidth> = OnceLock::new();
+    *CACHE.get_or_init(|| *supported().last().expect("scalar is always supported"))
+}
+
+/// Every lane width usable on this host, narrowest first. Always starts
+/// with [`LaneWidth::Scalar`]; equality tests iterate this to pin each
+/// kernel against the scalar reference.
+#[must_use]
+pub fn supported() -> &'static [LaneWidth] {
+    static CACHE: OnceLock<Vec<LaneWidth>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut widths = vec![LaneWidth::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse2") {
+                widths.push(LaneWidth::W4);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                widths.push(LaneWidth::W8);
+            }
+        }
+        widths
+    })
+}
+
+/// Block-parallel compression: `states[i] ← compress(states[i],
+/// blocks[i])` for every lane, using the widest kernel the host
+/// supports. Lane count is arbitrary; full-width chunks go through the
+/// SIMD kernels and the ragged tail through the scalar reference, so the
+/// result never depends on the batch size.
+///
+/// # Panics
+///
+/// Panics if `states` and `blocks` differ in length.
+pub fn compress_many(states: &mut [[u32; 8]], blocks: &[[u8; BLOCK_LEN]]) {
+    compress_many_with(detected(), states, blocks);
+}
+
+/// [`compress_many`] pinned to a specific kernel width (full-width
+/// chunks at `width`, then any narrower supported kernels, then scalar).
+/// Exposed so tests and benches can exercise each kernel explicitly.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `width` is not in [`supported`].
+pub fn compress_many_with(width: LaneWidth, states: &mut [[u32; 8]], blocks: &[[u8; BLOCK_LEN]]) {
+    assert_eq!(states.len(), blocks.len(), "one block per lane state");
+    assert!(
+        supported().contains(&width),
+        "lane width {width} is not supported on this host"
+    );
+    let n = states.len();
+    let mut i = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        if width >= LaneWidth::W8 {
+            while i + 8 <= n {
+                // SAFETY: W8 is in `supported()` only when AVX2 was
+                // runtime-detected on this CPU.
+                unsafe { x86::compress8(&mut states[i..i + 8], &blocks[i..i + 8]) };
+                i += 8;
+            }
+        }
+        if width >= LaneWidth::W4 {
+            while i + 4 <= n {
+                // SAFETY: W4 (or wider) is in `supported()` only when
+                // SSE2 was runtime-detected on this CPU.
+                unsafe { x86::compress4(&mut states[i..i + 4], &blocks[i..i + 4]) };
+                i += 4;
+            }
+        }
+    }
+    while i < n {
+        states[i] = Sha256::compress_from(&states[i], &blocks[i]);
+        i += 1;
+    }
+}
+
+/// Batch one-shot SHA-256: `out[i] = sha256(messages[i])`, lane-parallel.
+///
+/// Messages may have arbitrary (and different) lengths: lanes run in
+/// lockstep over their padded block sequences and drop out as they
+/// finish, so a ragged batch still fills the SIMD lanes for the blocks
+/// it shares.
+#[must_use]
+pub fn digest_many(messages: &[&[u8]]) -> Vec<[u8; DIGEST_LEN]> {
+    let states = vec![INITIAL_STATE; messages.len()];
+    digest_many_from_midstates(&states, 0, messages)
+}
+
+/// Batch [`crate::sha256::digest_from_midstate`]: lane `i` resumes from
+/// `states[i]` (its own cached midstate) with `prior_bytes` already
+/// absorbed, and hashes `tails[i]` to completion. This is the HMAC
+/// shape — every prepared key contributes its ipad (or opad) state and
+/// all lanes share `prior_bytes = 64`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `prior_bytes` is not a multiple of
+/// [`BLOCK_LEN`] (midstates exist only at block boundaries).
+#[must_use]
+pub fn digest_many_from_midstates(
+    states: &[[u32; 8]],
+    prior_bytes: u64,
+    tails: &[&[u8]],
+) -> Vec<[u8; DIGEST_LEN]> {
+    assert_eq!(states.len(), tails.len(), "one tail per lane midstate");
+    assert!(
+        prior_bytes.is_multiple_of(BLOCK_LEN as u64),
+        "midstates exist only at block boundaries"
+    );
+    let n = states.len();
+    let mut st = states.to_vec();
+    let block_counts: Vec<usize> = tails
+        .iter()
+        .map(|t| (t.len() + 9).div_ceil(BLOCK_LEN))
+        .collect();
+    let max_blocks = block_counts.iter().copied().max().unwrap_or(0);
+
+    let mut idx: Vec<usize> = Vec::with_capacity(n);
+    let mut lane_states: Vec<[u32; 8]> = Vec::with_capacity(n);
+    let mut lane_blocks: Vec<[u8; BLOCK_LEN]> = Vec::with_capacity(n);
+    for k in 0..max_blocks {
+        idx.clear();
+        lane_states.clear();
+        lane_blocks.clear();
+        for i in 0..n {
+            if block_counts[i] > k {
+                idx.push(i);
+                lane_states.push(st[i]);
+                lane_blocks.push(padded_block(tails[i], prior_bytes, k, block_counts[i]));
+            }
+        }
+        compress_many(&mut lane_states, &lane_blocks);
+        for (slot, i) in idx.iter().enumerate() {
+            st[*i] = lane_states[slot];
+        }
+    }
+
+    st.iter()
+        .map(|state| {
+            let mut out = [0u8; DIGEST_LEN];
+            for (chunk, word) in out.chunks_exact_mut(4).zip(state.iter()) {
+                chunk.copy_from_slice(&word.to_be_bytes());
+            }
+            out
+        })
+        .collect()
+}
+
+/// The `k`-th 64-byte block of `tail`'s FIPS 180-4 padding: tail bytes,
+/// then `0x80`, then zeros, with the 64-bit big-endian bit length (of
+/// prefix + tail) closing the final block.
+fn padded_block(tail: &[u8], prior_bytes: u64, k: usize, total_blocks: usize) -> [u8; BLOCK_LEN] {
+    let len = tail.len();
+    let start = k * BLOCK_LEN;
+    let mut block = [0u8; BLOCK_LEN];
+    if start + BLOCK_LEN <= len {
+        block.copy_from_slice(&tail[start..start + BLOCK_LEN]);
+        return block;
+    }
+    if start < len {
+        block[..len - start].copy_from_slice(&tail[start..]);
+    }
+    if len >= start && len - start < BLOCK_LEN {
+        block[len - start] = 0x80;
+    }
+    if k == total_blocks - 1 {
+        let bit_len = prior_bytes.wrapping_add(len as u64).wrapping_mul(8);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    block
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! SSE2 / AVX2 multi-buffer kernels. Layout is struct-of-arrays:
+    //! vector register `j` holds state word `j` of every lane, so the 64
+    //! rounds are the textbook scalar schedule with each `u32` op
+    //! replaced by its packed-`epi32` counterpart.
+    //!
+    //! Every function here is `unsafe fn` + `#[target_feature]`: callers
+    //! (only [`super::compress_many_with`]) must runtime-check the
+    //! feature first.
+
+    use core::arch::x86_64::*;
+
+    use crate::sha256::{BLOCK_LEN, K};
+
+    /// Big-endian message word `t` of `block`, as the `i32` the packed
+    /// setters want.
+    #[inline]
+    fn word(block: &[u8; BLOCK_LEN], t: usize) -> i32 {
+        u32::from_be_bytes([
+            block[4 * t],
+            block[4 * t + 1],
+            block[4 * t + 2],
+            block[4 * t + 3],
+        ]) as i32
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn rotr4<const R: i32, const L: i32>(v: __m128i) -> __m128i {
+        _mm_or_si128(_mm_srli_epi32::<R>(v), _mm_slli_epi32::<L>(v))
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn xor3_4(a: __m128i, b: __m128i, c: __m128i) -> __m128i {
+        _mm_xor_si128(_mm_xor_si128(a, b), c)
+    }
+
+    /// Four-lane SHA-256 compression (SSE2).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn compress4(states: &mut [[u32; 8]], blocks: &[[u8; BLOCK_LEN]]) {
+        debug_assert_eq!(states.len(), 4);
+        debug_assert_eq!(blocks.len(), 4);
+
+        let mut w = [_mm_setzero_si128(); 64];
+        for (t, wt) in w.iter_mut().enumerate().take(16) {
+            *wt = _mm_set_epi32(
+                word(&blocks[3], t),
+                word(&blocks[2], t),
+                word(&blocks[1], t),
+                word(&blocks[0], t),
+            );
+        }
+        for t in 16..64 {
+            let x = w[t - 15];
+            let s0 = xor3_4(
+                rotr4::<7, 25>(x),
+                rotr4::<18, 14>(x),
+                _mm_srli_epi32::<3>(x),
+            );
+            let y = w[t - 2];
+            let s1 = xor3_4(
+                rotr4::<17, 15>(y),
+                rotr4::<19, 13>(y),
+                _mm_srli_epi32::<10>(y),
+            );
+            w[t] = _mm_add_epi32(_mm_add_epi32(w[t - 16], s0), _mm_add_epi32(w[t - 7], s1));
+        }
+
+        let mut v = [_mm_setzero_si128(); 8];
+        for j in 0..8 {
+            v[j] = _mm_set_epi32(
+                states[3][j] as i32,
+                states[2][j] as i32,
+                states[1][j] as i32,
+                states[0][j] as i32,
+            );
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = v;
+        for (t, wt) in w.iter().enumerate() {
+            let big_s1 = xor3_4(rotr4::<6, 26>(e), rotr4::<11, 21>(e), rotr4::<25, 7>(e));
+            // ch(e,f,g) = (e & f) ^ (!e & g) = g ^ (e & (f ^ g)).
+            let ch = _mm_xor_si128(g, _mm_and_si128(e, _mm_xor_si128(f, g)));
+            let t1 = _mm_add_epi32(
+                _mm_add_epi32(h, big_s1),
+                _mm_add_epi32(ch, _mm_add_epi32(_mm_set1_epi32(K[t] as i32), *wt)),
+            );
+            let big_s0 = xor3_4(rotr4::<2, 30>(a), rotr4::<13, 19>(a), rotr4::<22, 10>(a));
+            // maj(a,b,c) = (a & b) | (c & (a | b)).
+            let maj = _mm_or_si128(_mm_and_si128(a, b), _mm_and_si128(c, _mm_or_si128(a, b)));
+            let t2 = _mm_add_epi32(big_s0, maj);
+            h = g;
+            g = f;
+            f = e;
+            e = _mm_add_epi32(d, t1);
+            d = c;
+            c = b;
+            b = a;
+            a = _mm_add_epi32(t1, t2);
+        }
+
+        let sums = [a, b, c, d, e, f, g, h];
+        for j in 0..8 {
+            let mut out = [0u32; 4];
+            _mm_storeu_si128(
+                out.as_mut_ptr().cast::<__m128i>(),
+                _mm_add_epi32(v[j], sums[j]),
+            );
+            for (lane, state) in states.iter_mut().enumerate() {
+                state[j] = out[lane];
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotr8<const R: i32, const L: i32>(v: __m256i) -> __m256i {
+        _mm256_or_si256(_mm256_srli_epi32::<R>(v), _mm256_slli_epi32::<L>(v))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor3_8(a: __m256i, b: __m256i, c: __m256i) -> __m256i {
+        _mm256_xor_si256(_mm256_xor_si256(a, b), c)
+    }
+
+    /// Eight-lane SHA-256 compression (AVX2).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compress8(states: &mut [[u32; 8]], blocks: &[[u8; BLOCK_LEN]]) {
+        debug_assert_eq!(states.len(), 8);
+        debug_assert_eq!(blocks.len(), 8);
+
+        let mut w = [_mm256_setzero_si256(); 64];
+        for (t, wt) in w.iter_mut().enumerate().take(16) {
+            *wt = _mm256_set_epi32(
+                word(&blocks[7], t),
+                word(&blocks[6], t),
+                word(&blocks[5], t),
+                word(&blocks[4], t),
+                word(&blocks[3], t),
+                word(&blocks[2], t),
+                word(&blocks[1], t),
+                word(&blocks[0], t),
+            );
+        }
+        for t in 16..64 {
+            let x = w[t - 15];
+            let s0 = xor3_8(
+                rotr8::<7, 25>(x),
+                rotr8::<18, 14>(x),
+                _mm256_srli_epi32::<3>(x),
+            );
+            let y = w[t - 2];
+            let s1 = xor3_8(
+                rotr8::<17, 15>(y),
+                rotr8::<19, 13>(y),
+                _mm256_srli_epi32::<10>(y),
+            );
+            w[t] = _mm256_add_epi32(
+                _mm256_add_epi32(w[t - 16], s0),
+                _mm256_add_epi32(w[t - 7], s1),
+            );
+        }
+
+        let mut v = [_mm256_setzero_si256(); 8];
+        for j in 0..8 {
+            v[j] = _mm256_set_epi32(
+                states[7][j] as i32,
+                states[6][j] as i32,
+                states[5][j] as i32,
+                states[4][j] as i32,
+                states[3][j] as i32,
+                states[2][j] as i32,
+                states[1][j] as i32,
+                states[0][j] as i32,
+            );
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = v;
+        for (t, wt) in w.iter().enumerate() {
+            let big_s1 = xor3_8(rotr8::<6, 26>(e), rotr8::<11, 21>(e), rotr8::<25, 7>(e));
+            let ch = _mm256_xor_si256(g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+            let t1 = _mm256_add_epi32(
+                _mm256_add_epi32(h, big_s1),
+                _mm256_add_epi32(ch, _mm256_add_epi32(_mm256_set1_epi32(K[t] as i32), *wt)),
+            );
+            let big_s0 = xor3_8(rotr8::<2, 30>(a), rotr8::<13, 19>(a), rotr8::<22, 10>(a));
+            let maj = _mm256_or_si256(
+                _mm256_and_si256(a, b),
+                _mm256_and_si256(c, _mm256_or_si256(a, b)),
+            );
+            let t2 = _mm256_add_epi32(big_s0, maj);
+            h = g;
+            g = f;
+            f = e;
+            e = _mm256_add_epi32(d, t1);
+            d = c;
+            c = b;
+            b = a;
+            a = _mm256_add_epi32(t1, t2);
+        }
+
+        let sums = [a, b, c, d, e, f, g, h];
+        for j in 0..8 {
+            let mut out = [0u32; 8];
+            _mm256_storeu_si256(
+                out.as_mut_ptr().cast::<__m256i>(),
+                _mm256_add_epi32(v[j], sums[j]),
+            );
+            for (lane, state) in states.iter_mut().enumerate() {
+                state[j] = out[lane];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{digest, digest_from_midstate};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_detected_is_last() {
+        let widths = supported();
+        assert_eq!(widths[0], LaneWidth::Scalar);
+        assert_eq!(detected(), *widths.last().unwrap());
+        assert!(widths.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+    }
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(LaneWidth::Scalar.lanes(), 1);
+        assert_eq!(LaneWidth::W4.lanes(), 4);
+        assert_eq!(LaneWidth::W8.lanes(), 8);
+        assert_eq!(LaneWidth::W4.to_string(), "x4");
+    }
+
+    #[test]
+    fn every_width_matches_the_scalar_compression() {
+        // 17 lanes exercises 8-chunk + 4-chunk + scalar-tail dispatch.
+        let n = 17;
+        let states: Vec<[u32; 8]> = (0..n)
+            .map(|i| {
+                let mut s = INITIAL_STATE;
+                s[0] ^= i as u32;
+                s
+            })
+            .collect();
+        let blocks: Vec<[u8; BLOCK_LEN]> = (0..n)
+            .map(|i| {
+                let mut b = [0u8; BLOCK_LEN];
+                for (j, byte) in b.iter_mut().enumerate() {
+                    *byte = (i * 131 + j) as u8;
+                }
+                b
+            })
+            .collect();
+        let reference: Vec<[u32; 8]> = states
+            .iter()
+            .zip(blocks.iter())
+            .map(|(s, b)| Sha256::compress_from(s, b))
+            .collect();
+        for width in supported() {
+            let mut got = states.clone();
+            compress_many_with(*width, &mut got, &blocks);
+            assert_eq!(got, reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn digest_many_matches_scalar_on_ragged_batches() {
+        let messages: Vec<Vec<u8>> = (0..13usize)
+            .map(|i| (0..i * 23).map(|j| (j % 251) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+        let got = digest_many(&refs);
+        for (i, msg) in messages.iter().enumerate() {
+            assert_eq!(got[i], digest(msg), "lane {i}");
+        }
+        assert!(digest_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn digest_many_fips_vectors() {
+        let out = digest_many(&[
+            b"abc".as_slice(),
+            b"".as_slice(),
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".as_slice(),
+        ]);
+        assert_eq!(
+            hex(&out[0]),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&out[1]),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&out[2]),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn midstate_batches_match_the_scalar_midstate_path() {
+        let prefix = [0x36u8; BLOCK_LEN];
+        let mid = Sha256::compress_from(&INITIAL_STATE, &prefix);
+        let tails: Vec<Vec<u8>> = (0..9usize)
+            .map(|i| (0..i * 31).map(|j| (i * 7 + j) as u8).collect())
+            .collect();
+        let tail_refs: Vec<&[u8]> = tails.iter().map(Vec::as_slice).collect();
+        let states = vec![mid; tails.len()];
+        let got = digest_many_from_midstates(&states, BLOCK_LEN as u64, &tail_refs);
+        for (i, tail) in tails.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                digest_from_midstate(&mid, BLOCK_LEN as u64, tail),
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one block per lane")]
+    fn compress_many_rejects_mismatched_lengths() {
+        let mut states = [INITIAL_STATE; 2];
+        compress_many(&mut states, &[[0u8; BLOCK_LEN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block boundaries")]
+    fn midstate_batch_rejects_unaligned_prior_bytes() {
+        let _ = digest_many_from_midstates(&[INITIAL_STATE], 10, &[b"x".as_slice()]);
+    }
+}

@@ -25,7 +25,7 @@ const H0: [u32; 8] = [
     0x5be0_cd19,
 ];
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a_2f98,
     0x7137_4491,
     0xb5c0_fbcf,

@@ -14,15 +14,15 @@
 use std::time::Instant;
 
 use dap_bench::json::{array, JsonObject};
-use dap_bench::timer::measure;
-use dap_core::{codec, DapMessage, DapParams, DapSender, SenderId};
+use dap_bench::timer::measure_counted;
+use dap_core::{codec, DapMessage, DapParams, DapReceiver, DapSender, Reveal, SenderId};
 use dap_net::adversary::AdversaryClass;
 use dap_net::fleet::{run_fleet, FleetSpec};
 use dap_net::loopback::{run_loopback, LoopbackSpec};
 use dap_net::pool::{DapShard, FrameVerifier, LiveCounters, TeslaPpShard};
 use dap_obs::Histogram;
 use dap_simnet::{keys, Registry, SimDuration, SimRng, SimTime};
-use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpSender};
+use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver, TeslaPpSender};
 use dap_tesla::TeslaParams;
 
 fn budget_ms() -> u64 {
@@ -58,12 +58,15 @@ struct Lane {
 }
 
 impl Lane {
-    fn from_ns(name: impl Into<String>, ns: u64) -> Self {
+    /// A `measure_counted`-style lane: mean ns per frame plus the
+    /// number of timed iterations that produced it, so frames-weighted
+    /// rollups of the JSON weigh the lane by real work.
+    fn from_iters(name: impl Into<String>, (ns, iters): (u64, u64)) -> Self {
         Self {
             name: name.into(),
             ns_per_frame: ns,
             frames_per_sec: 1e9 / ns.max(1) as f64,
-            frames: 1,
+            frames: iters,
             quantiles: None,
             survival: None,
         }
@@ -159,7 +162,7 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
             .announce(1, b"hot-path reading")
             .expect("fresh chain"),
     );
-    let flood_ns = measure(|| {
+    let flood_sample = measure_counted(|| {
         shard.on_frame(
             SenderId::UNTAGGED,
             &flood_frame,
@@ -205,7 +208,7 @@ fn bench_dap_verify() -> (Lane, Lane, Lane) {
         "bench reveals must authenticate for the timing to mean anything"
     );
     (
-        Lane::from_ns("dap_flood_announce", flood_ns),
+        Lane::from_iters("dap_flood_announce", flood_sample),
         Lane::from_hist(
             "dap_announce_verify",
             REVEALS,
@@ -298,6 +301,122 @@ fn bench_teslapp_verify() -> (Lane, Lane) {
     )
 }
 
+/// Batched DAP reveal verify: the amortized + lane-parallel pipeline
+/// the windowed pool drain runs. 64 sender/receiver pairs per window —
+/// the fleet shape, where one drain window carries one reveal from each
+/// of many sessions — so every flush hands the multi-lane compressor a
+/// full batch. Timed per window: one `precompute_reveals` over all 64
+/// reveals, then the sequential consume loop. The scalar reference is
+/// the `dap_reveal_verify` lane; ci.sh gates this one at ≥ 2× its
+/// frames/sec.
+fn bench_dap_reveal_batched() -> Lane {
+    const PAIRS: usize = 64;
+    const INTERVALS: u64 = 32;
+    let chain = usize::try_from(INTERVALS).expect("fits") + 4;
+    let mut senders: Vec<DapSender> = (0..PAIRS)
+        .map(|p| {
+            DapSender::new(
+                format!("netbench/dap-batch/{p}").as_bytes(),
+                chain,
+                bench_params(),
+            )
+        })
+        .collect();
+    let mut receivers: Vec<DapReceiver> = senders
+        .iter()
+        .map(|s| DapReceiver::new(s.bootstrap(), b"netbench"))
+        .collect();
+    let mut rng = SimRng::new(7);
+    let mut elapsed: u128 = 0;
+    let mut authenticated = 0u64;
+    for i in 1..=INTERVALS {
+        // Announces land untimed — this lane measures reveal verify.
+        for (sender, receiver) in senders.iter_mut().zip(receivers.iter_mut()) {
+            let announce = sender.announce(i, b"batched reading").expect("chain");
+            receiver.on_announce(&announce, during(i), &mut rng);
+        }
+        let reveals: Vec<Reveal> = senders
+            .iter_mut()
+            .map(|s| s.reveal(i).expect("announced"))
+            .collect();
+        let t0 = Instant::now();
+        let items: Vec<(&DapReceiver, &Reveal)> = receivers.iter().zip(reveals.iter()).collect();
+        let pres = DapReceiver::precompute_reveals(&items);
+        for ((receiver, reveal), pre) in receivers.iter_mut().zip(reveals.iter()).zip(pres.iter()) {
+            if receiver
+                .on_reveal_precomputed(reveal, during(i + 1), pre)
+                .is_authenticated()
+            {
+                authenticated += 1;
+            }
+        }
+        elapsed += t0.elapsed().as_nanos();
+    }
+    assert_eq!(
+        authenticated,
+        PAIRS as u64 * INTERVALS,
+        "bench reveals must authenticate for the timing to mean anything"
+    );
+    Lane::from_batch(
+        "dap_reveal_verify_batched",
+        PAIRS as u64 * INTERVALS,
+        elapsed,
+    )
+}
+
+/// Batched TESLA++ reveal verify over the same fleet shape, against the
+/// `teslapp_reveal_verify` scalar lane.
+fn bench_teslapp_reveal_batched() -> Lane {
+    const PAIRS: usize = 64;
+    const INTERVALS: u64 = 32;
+    let chain = usize::try_from(INTERVALS).expect("fits") + 4;
+    let params = TeslaParams::new(SimDuration(100), 1, 0);
+    let mut senders: Vec<TeslaPpSender> = (0..PAIRS)
+        .map(|p| TeslaPpSender::new(format!("netbench/tpp-batch/{p}").as_bytes(), chain, params))
+        .collect();
+    let mut receivers: Vec<TeslaPpReceiver> = senders
+        .iter()
+        .map(|s| TeslaPpReceiver::new(s.bootstrap(), b"netbench"))
+        .collect();
+    let mut elapsed: u128 = 0;
+    let mut authenticated = 0u64;
+    for i in 1..=INTERVALS {
+        for (sender, receiver) in senders.iter_mut().zip(receivers.iter_mut()) {
+            let announce = sender.announce(i, b"batched reading").expect("chain");
+            receiver.on_message(&announce, during(i));
+        }
+        let reveals: Vec<TeslaPpMessage> = senders
+            .iter_mut()
+            .map(|s| s.reveal(i).expect("announced"))
+            .collect();
+        let t0 = Instant::now();
+        let items: Vec<(&TeslaPpReceiver, &TeslaPpMessage)> =
+            receivers.iter().zip(reveals.iter()).collect();
+        let pres = TeslaPpReceiver::precompute_reveals(&items);
+        for ((receiver, message), pre) in receivers.iter_mut().zip(reveals.iter()).zip(pres.iter())
+        {
+            let outcome = match pre {
+                Some(p) => receiver.on_message_precomputed(message, during(i + 1), p),
+                None => receiver.on_message(message, during(i + 1)),
+            };
+            if matches!(outcome, TeslaPpOutcome::Authenticated { .. }) {
+                authenticated += 1;
+            }
+        }
+        elapsed += t0.elapsed().as_nanos();
+    }
+    assert_eq!(
+        authenticated,
+        PAIRS as u64 * INTERVALS,
+        "bench reveals must authenticate for the timing to mean anything"
+    );
+    Lane::from_batch(
+        "teslapp_reveal_verify_batched",
+        PAIRS as u64 * INTERVALS,
+        elapsed,
+    )
+}
+
 /// The adversary-class × defender-posture survival matrix (DESIGN §11,
 /// EXPERIMENTS.md recipe): every adversary class at p = 0.9 against
 /// two postures over the same pinned fleet (ids 1–4): `fifo` drains
@@ -366,12 +485,12 @@ fn bench_codec() -> Lane {
     sender.announce(1, b"codec reading").expect("fresh chain");
     let frame = codec::encode(&DapMessage::Reveal(sender.reveal(1).expect("announced")))
         .expect("encodable");
-    let ns = measure(|| {
+    let sample = measure_counted(|| {
         let mut asm = codec::FrameAssembler::new();
         asm.push(&frame);
         asm.next_frame().expect("whole frame")
     });
-    Lane::from_ns("codec_roundtrip", ns)
+    Lane::from_iters("codec_roundtrip", sample)
 }
 
 fn main() {
@@ -383,7 +502,9 @@ fn main() {
     let ingest = bench_ingest();
     let fleet = bench_fleet_ingest();
     let (dap_flood, dap_announce, dap_reveal) = bench_dap_verify();
+    let dap_reveal_batched = bench_dap_reveal_batched();
     let (tpp_announce, tpp_reveal) = bench_teslapp_verify();
+    let tpp_reveal_batched = bench_teslapp_reveal_batched();
     let codec_lane = bench_codec();
     let mut lanes = vec![
         ingest,
@@ -391,8 +512,10 @@ fn main() {
         dap_flood,
         dap_announce,
         dap_reveal,
+        dap_reveal_batched,
         tpp_announce,
         tpp_reveal,
+        tpp_reveal_batched,
         codec_lane,
     ];
     lanes.extend(bench_overload_matrix());

@@ -19,10 +19,13 @@
 //! render byte-identical registries (the fleet-soak ci gate `cmp`s
 //! exactly this).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use dap_core::{codec, DapBootstrap, DapMessage, DapParams, DapSender, SenderId};
+use dap_core::{
+    codec, DapBootstrap, DapMessage, DapParams, DapReceiver, DapSender, Reveal, RevealPrecompute,
+    SenderId,
+};
 use dap_obs::{TimeSource, TraceRecord};
 use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
 
@@ -128,10 +131,14 @@ pub struct FleetReport {
     /// Frames the driver pushed into the pool.
     pub frames: u64,
     /// Smallest per-sender auth rate observed (permille), across
-    /// senders with at least one reveal.
+    /// senders with at least one reveal. Exact (the histogram keeps
+    /// true min/max alongside its buckets).
     pub min_sender_auth_permille: Option<u64>,
     /// Largest per-sender auth rate observed (permille).
     pub max_sender_auth_permille: Option<u64>,
+    /// Median per-sender auth rate (permille), from the streamed
+    /// per-sender histogram (bucketed: ≤ 1/16 relative error).
+    pub median_sender_auth_permille: Option<u64>,
     /// Smallest per-sender auth rate among operator-pinned senders.
     pub min_pinned_auth_permille: Option<u64>,
     /// Largest per-sender auth rate among operator-pinned senders.
@@ -201,6 +208,12 @@ pub struct FleetShard {
     /// but are not auth attempts, so a replay adversary cannot dilute a
     /// sender's measured rate with the sender's own traffic.
     reveal_outcomes: BTreeMap<u64, (u64, u64)>,
+    /// One entry per reveal of the current drain window, in window
+    /// order, tagged with the claimed sender id; `on_frame` pops one
+    /// per reveal frame it sees. `None` where the sender had no
+    /// *resident* session at prefetch time (admission decisions stay in
+    /// `on_frame`, where they are counted and can evict).
+    pre: VecDeque<Option<(u64, RevealPrecompute)>>,
 }
 
 impl FleetShard {
@@ -223,6 +236,7 @@ impl FleetShard {
             chain_len,
             params: fleet_params(spec.buffers),
             reveal_outcomes: BTreeMap::new(),
+            pre: VecDeque::new(),
         }
     }
 
@@ -246,6 +260,13 @@ impl FrameVerifier for FleetShard {
         let interval = match frame {
             DapMessage::Announce(a) => a.index,
             DapMessage::Reveal(r) => r.index,
+        };
+        // Pop unconditionally for every reveal — even ones the early
+        // returns below discard — so the queue stays aligned with the
+        // window's reveal sequence.
+        let pre = match frame {
+            DapMessage::Reveal(_) => self.pre.pop_front().flatten(),
+            DapMessage::Announce(_) => None,
         };
         let (fleet_seed, senders, chain_len, params) =
             (self.fleet_seed, self.senders, self.chain_len, self.params);
@@ -297,7 +318,13 @@ impl FrameVerifier for FleetShard {
             DapMessage::Reveal(r) => {
                 use dap_core::RevealOutcome;
                 registry.incr(keys::NET_REVEAL_TOTAL);
-                let (key, outcome, attempt, success) = match receiver.on_reveal(r, at) {
+                let reveal_outcome = match pre {
+                    Some((claimed, p)) if claimed == sender.0 => {
+                        receiver.on_reveal_precomputed(r, at, &p)
+                    }
+                    _ => receiver.on_reveal(r, at),
+                };
+                let (key, outcome, attempt, success) = match reveal_outcome {
                     RevealOutcome::Authenticated { .. } => {
                         live.count_authenticated();
                         (keys::NET_REVEAL_AUTH, "auth", true, true)
@@ -348,29 +375,63 @@ impl FrameVerifier for FleetShard {
         registry
             .gauge(keys::NET_SESSION_MEMORY_BITS)
             .set(self.table.memory_bits());
-        // One set per sender: the gauge's min/max envelope becomes the
-        // shard's per-sender auth-rate spread, and the cross-shard merge
-        // (exact min/max) turns it into the fleet-wide envelope. The
-        // pinned/unpinned split of the same envelope is what the
-        // survival matrix and the ci pinned-floor gate read.
+        // One histogram *record* per sender: the shard's per-sender
+        // auth-rate spread folds into fixed-size bucket state, so
+        // render, cross-shard merge and live publishing cost O(buckets)
+        // — not O(senders) — no matter how large the fleet grows
+        // (the pre-PR 8 gauge render was one `set` per sender). The
+        // histogram keeps *exact* min/max, which is what the survival
+        // matrix and the ci pinned-floor gate read, and adds the
+        // distribution (quantiles) the gauge envelope never had.
         for (sender, (auth, total)) in &self.reveal_outcomes {
             if *total > 0 {
                 let permille = auth * 1000 / total;
-                registry
-                    .gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE)
-                    .set(permille);
+                registry.record(keys::NET_FLEET_AUTH_RATE_PERMILLE, permille);
                 let split = if self.table.is_pinned(SenderId(*sender)) {
                     keys::NET_FLEET_PINNED_AUTH_PERMILLE
                 } else {
                     keys::NET_FLEET_UNPINNED_AUTH_PERMILLE
                 };
-                registry.gauge(split).set(permille);
+                registry.record(split, permille);
             }
         }
     }
 
     fn classify(&self, sender: SenderId) -> PriorityClass {
         self.table.priority_class(sender)
+    }
+
+    fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
+        // Only senders with a *resident* session precompute:
+        // `SessionTable::peek` never admits, evicts or touches the
+        // eviction clock, so this pass is invisible to session
+        // accounting. A session evicted and re-admitted between here
+        // and consumption is harmless anyway — every precompute field
+        // is a pure function of the reveal bytes and the sender's
+        // deterministic per-id local seed, not of receiver state.
+        let reveals: Vec<(SenderId, &Reveal)> = batch
+            .iter()
+            .filter_map(|(sender, frame)| match frame {
+                DapMessage::Reveal(r) => Some((*sender, r)),
+                DapMessage::Announce(_) => None,
+            })
+            .collect();
+        let mut slots: Vec<Option<u64>> = Vec::with_capacity(reveals.len());
+        let mut items: Vec<(&DapReceiver, &Reveal)> = Vec::new();
+        for (sender, reveal) in &reveals {
+            match self.table.peek(*sender) {
+                Some(receiver) => {
+                    slots.push(Some(sender.0));
+                    items.push((receiver, reveal));
+                }
+                None => slots.push(None),
+            }
+        }
+        let mut pres = DapReceiver::precompute_reveals(&items).into_iter();
+        self.pre = slots
+            .into_iter()
+            .map(|slot| slot.map(|sender| (sender, pres.next().expect("one precompute per item"))))
+            .collect();
     }
 }
 
@@ -549,9 +610,9 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
     let auth_rate = metrics
         .ratio(keys::NET_REVEAL_AUTH, keys::NET_REVEAL_TOTAL)
         .unwrap_or(0.0);
-    let envelope = registry.get_gauge(keys::NET_FLEET_AUTH_RATE_PERMILLE);
-    let pinned = registry.get_gauge(keys::NET_FLEET_PINNED_AUTH_PERMILLE);
-    let unpinned = registry.get_gauge(keys::NET_FLEET_UNPINNED_AUTH_PERMILLE);
+    let envelope = registry.get_histogram(keys::NET_FLEET_AUTH_RATE_PERMILLE);
+    let pinned = registry.get_histogram(keys::NET_FLEET_PINNED_AUTH_PERMILLE);
+    let unpinned = registry.get_histogram(keys::NET_FLEET_UNPINNED_AUTH_PERMILLE);
     FleetReport {
         auth_rate,
         expected_rate: 1.0
@@ -559,12 +620,13 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
                 .flood
                 .powi(i32::try_from(spec.buffers).unwrap_or(i32::MAX)),
         frames,
-        min_sender_auth_permille: envelope.and_then(dap_obs::Gauge::min),
-        max_sender_auth_permille: envelope.and_then(dap_obs::Gauge::max),
-        min_pinned_auth_permille: pinned.and_then(dap_obs::Gauge::min),
-        max_pinned_auth_permille: pinned.and_then(dap_obs::Gauge::max),
-        min_unpinned_auth_permille: unpinned.and_then(dap_obs::Gauge::min),
-        max_unpinned_auth_permille: unpinned.and_then(dap_obs::Gauge::max),
+        min_sender_auth_permille: envelope.and_then(dap_obs::Histogram::min),
+        max_sender_auth_permille: envelope.and_then(dap_obs::Histogram::max),
+        median_sender_auth_permille: envelope.and_then(|h| h.quantile(0.5)),
+        min_pinned_auth_permille: pinned.and_then(dap_obs::Histogram::min),
+        max_pinned_auth_permille: pinned.and_then(dap_obs::Histogram::max),
+        min_unpinned_auth_permille: unpinned.and_then(dap_obs::Histogram::min),
+        max_unpinned_auth_permille: unpinned.and_then(dap_obs::Histogram::max),
         shed_frames,
         shed_fraction: if frames > 0 {
             shed_frames as f64 / frames as f64
@@ -637,6 +699,28 @@ mod tests {
                 + report.metrics.get(keys::NET_REVEAL_STRONG_REJECTED),
             report.metrics.get(keys::NET_REVEAL_TOTAL)
         );
+    }
+
+    #[test]
+    fn windowed_fleet_prefetch_matches_the_unwindowed_path() {
+        // Clean fleet: every sender's outcome history is identical, so
+        // every flush sees one priority class and the windowed drain
+        // order degenerates to arrival order — the only difference
+        // between the two runs is the batch prefetch pipeline, which
+        // must therefore be registry-invisible.
+        let spec = |drain_budget: usize| FleetSpec {
+            senders: 16,
+            intervals: 5,
+            flood: 0.0,
+            drain_budget,
+            ..FleetSpec::default()
+        };
+        let windowed = run_fleet(&spec(1 << 20));
+        let scalar = run_fleet(&spec(usize::MAX));
+        assert_eq!(windowed.registry.render(), scalar.registry.render());
+        assert_eq!(windowed.metrics.get(keys::NET_REVEAL_AUTH), 16 * 5);
+        assert_eq!(windowed.shed_frames, 0);
+        assert_eq!(windowed.min_sender_auth_permille, Some(1000));
     }
 
     #[test]

@@ -31,19 +31,20 @@
 //! picture; the legacy [`ReceiverPool::shutdown`] still returns plain
 //! counters.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use dap_core::codec::FrameAssembler;
 use dap_core::{
-    codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, RevealOutcome, SenderId,
+    codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, Reveal, RevealOutcome,
+    RevealPrecompute, SenderId,
 };
 use dap_obs::{RingSink, TimeSource, TraceEmitter, TraceEvent, TraceRecord};
 use dap_simnet::{keys, Metrics, Registry, SimRng, SimTime};
 use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
-use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpReceiver};
+use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpPrecompute, TeslaPpReceiver};
 
 use crate::queue::{IngressQueue, Pop, PushError};
 use crate::session::{PriorityClass, SessionEviction};
@@ -206,6 +207,19 @@ pub trait FrameVerifier: Send {
         let _ = sender;
         PriorityClass::High
     }
+
+    /// Batch hook the windowed drain calls once per flush, before any
+    /// [`FrameVerifier::on_frame`]: `batch` holds every in-budget frame
+    /// of the window, decoded, in exactly the order `on_frame` is about
+    /// to see them. Implementations may front-load *pure* crypto here —
+    /// lane-parallel SHA-256 over all the window's reveals — and hand
+    /// the results back to themselves through internal state. The hook
+    /// must not touch counters, traces, RNGs or protocol state: a run
+    /// with an inert `prefetch` must be byte-identical to a run that
+    /// uses it. Default: no-op.
+    fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
+        let _ = batch;
+    }
 }
 
 /// Counters the pool mirrors into atomics so callers can watch a live
@@ -316,6 +330,12 @@ impl LiveCounters {
 #[derive(Debug)]
 pub struct DapShard {
     receiver: DapReceiver,
+    /// Precomputes for the current drain window's reveals, in window
+    /// order; `on_frame` pops one per reveal. Pure crypto only — a
+    /// popped entry that doesn't match its reveal (never, in practice:
+    /// both sides parse the same bytes) is discarded by the receiver's
+    /// own `(index, key)` filter and the scalar path runs instead.
+    pre: VecDeque<RevealPrecompute>,
 }
 
 impl DapShard {
@@ -326,6 +346,7 @@ impl DapShard {
     pub fn new(bootstrap: DapBootstrap, local_seed: &[u8]) -> Self {
         Self {
             receiver: DapReceiver::new(bootstrap, local_seed),
+            pre: VecDeque::new(),
         }
     }
 
@@ -373,7 +394,11 @@ impl FrameVerifier for DapShard {
             }
             DapMessage::Reveal(r) => {
                 registry.incr(keys::NET_REVEAL_TOTAL);
-                let (key, outcome) = match self.receiver.on_reveal(r, at) {
+                let outcome = match self.pre.pop_front() {
+                    Some(pre) => self.receiver.on_reveal_precomputed(r, at, &pre),
+                    None => self.receiver.on_reveal(r, at),
+                };
+                let (key, outcome) = match outcome {
                     RevealOutcome::Authenticated { .. } => {
                         live.count_authenticated();
                         (keys::NET_REVEAL_AUTH, "auth")
@@ -399,6 +424,17 @@ impl FrameVerifier for DapShard {
             }
         }
     }
+
+    fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
+        let items: Vec<(&DapReceiver, &Reveal)> = batch
+            .iter()
+            .filter_map(|(_, frame)| match frame {
+                DapMessage::Reveal(r) => Some((&self.receiver, r)),
+                DapMessage::Announce(_) => None,
+            })
+            .collect();
+        self.pre = DapReceiver::precompute_reveals(&items).into();
+    }
 }
 
 /// A TESLA++ receiver behind the same fabric and codec — DAP and
@@ -408,6 +444,9 @@ impl FrameVerifier for DapShard {
 #[derive(Debug)]
 pub struct TeslaPpShard {
     receiver: TeslaPpReceiver,
+    /// One entry per frame of the current drain window (`None` for
+    /// announces), in window order; `on_frame` pops one per frame.
+    pre: VecDeque<Option<TeslaPpPrecompute>>,
 }
 
 impl TeslaPpShard {
@@ -416,6 +455,7 @@ impl TeslaPpShard {
     pub fn new(bootstrap: TeslaBootstrap, local_seed: &[u8]) -> Self {
         Self {
             receiver: TeslaPpReceiver::new(bootstrap, local_seed),
+            pre: VecDeque::new(),
         }
     }
 
@@ -456,7 +496,11 @@ impl FrameVerifier for TeslaPpShard {
         if key_reveal {
             registry.incr(keys::NET_REVEAL_TOTAL);
         }
-        let (key, outcome) = match self.receiver.on_message(&message, at) {
+        let outcome = match self.pre.pop_front().flatten() {
+            Some(pre) => self.receiver.on_message_precomputed(&message, at, &pre),
+            None => self.receiver.on_message(&message, at),
+        };
+        let (key, outcome) = match outcome {
             TeslaPpOutcome::AnnouncementStored { .. } => (keys::NET_ANNOUNCE_STORED, "stored"),
             TeslaPpOutcome::AnnouncementUnsafe { .. } => (keys::NET_ANNOUNCE_UNSAFE, "unsafe"),
             TeslaPpOutcome::Authenticated { .. } => {
@@ -476,6 +520,16 @@ impl FrameVerifier for TeslaPpShard {
             key_reveal,
             evicted: None,
         }
+    }
+
+    fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
+        let messages: Vec<TeslaPpMessage> = batch
+            .iter()
+            .map(|(_, frame)| Self::convert(frame))
+            .collect();
+        let items: Vec<(&TeslaPpReceiver, &TeslaPpMessage)> =
+            messages.iter().map(|m| (&self.receiver, m)).collect();
+        self.pre = TeslaPpReceiver::precompute_reveals(&items).into();
     }
 }
 
@@ -933,6 +987,24 @@ fn flush_window<V: FrameVerifier>(
         })
         .collect();
     order.sort_unstable_by_key(|&(class, idx)| (class, idx));
+    // Pre-decode the in-budget prefix and offer it to the verifier as
+    // one batch, in drain order. This parse is a *shadow* of the one
+    // `process_datagram` performs — it emits no counters, traces or
+    // latency samples, so the observable pipeline below is untouched;
+    // it exists only so the verifier can run lane-parallel crypto over
+    // the whole window before the sequential decision loop starts.
+    // Shed frames (past the budget) are never decoded at all.
+    let mut batch: Vec<(SenderId, DapMessage)> = Vec::new();
+    for &(_, idx) in order.iter().take(drain_budget) {
+        let mut assembler = FrameAssembler::new();
+        assembler.push(&window[idx].bytes);
+        while let Some(tagged) = assembler.next_tagged_frame() {
+            batch.push((tagged.sender, tagged.message));
+        }
+    }
+    if !batch.is_empty() {
+        verifier.prefetch(&batch);
+    }
     let mut verified = 0u64;
     for (pos, &(class, idx)) in order.iter().enumerate() {
         let frame = &window[idx];
@@ -1319,6 +1391,117 @@ mod tests {
         assert_eq!(count("buffer_decision"), 10);
         assert_eq!(count("key_reveal"), 10);
         assert_eq!(count("shard_stall"), 0);
+    }
+
+    #[test]
+    fn windowed_prefetch_drain_matches_the_unwindowed_path() {
+        // Same traffic through a windowed pool (prefetch + precomputed
+        // reveals) and an unwindowed one (pure scalar path): with a
+        // budget that never sheds and one priority class, the drain
+        // order is arrival order in both, so the registries must render
+        // byte-identically — the batch pipeline is outcome-invisible.
+        let run = |drain_budget: usize| {
+            let mut sender = DapSender::new(b"batch", 64, params(4));
+            let bootstrap = sender.bootstrap();
+            let pool = ReceiverPool::spawn_with_obs(
+                PoolConfig {
+                    shards: 2,
+                    queue_depth: 4096,
+                    overflow: OverflowPolicy::Block,
+                    route: RoutePolicy::ByInterval,
+                    drain_budget,
+                    ..PoolConfig::default()
+                },
+                21,
+                |shard| DapShard::new(bootstrap, &[b'b', shard as u8]),
+                PoolObs {
+                    time: TimeSource::frozen(),
+                    trace_depth: 0,
+                    publish: None,
+                    publish_every: 0,
+                },
+            );
+            let handle = pool.handle();
+            for i in 1..=24u64 {
+                let ann = codec::encode(&DapMessage::Announce(sender.announce(i, b"r").unwrap()))
+                    .unwrap();
+                // Three copies per interval exercise the sampling coin
+                // with the same per-shard RNG draw order in both modes.
+                for _ in 0..3 {
+                    assert!(handle.ingest(&ann, during(i)));
+                }
+                let rev = codec::encode(&DapMessage::Reveal(sender.reveal(i).unwrap())).unwrap();
+                assert!(handle.ingest(&rev, during(i + 1)));
+                handle.tick();
+                handle.quiesce();
+            }
+            pool.shutdown_with_report()
+        };
+        let windowed = run(1 << 20);
+        let scalar = run(usize::MAX);
+        assert_eq!(windowed.registry.render(), scalar.registry.render());
+        assert_eq!(windowed.registry.counters().get(keys::NET_REVEAL_AUTH), 24);
+    }
+
+    #[test]
+    fn windowed_teslapp_drain_matches_the_unwindowed_path() {
+        use dap_tesla::teslapp::TeslaPpSender;
+        use dap_tesla::TeslaParams;
+
+        let run = |drain_budget: usize| {
+            let tesla_params = TeslaParams::new(SimDuration(100), 1, 0);
+            let mut sender = TeslaPpSender::new(b"tppb", 64, tesla_params);
+            let pool = ReceiverPool::spawn_with_obs(
+                PoolConfig {
+                    shards: 2,
+                    queue_depth: 4096,
+                    overflow: OverflowPolicy::Block,
+                    route: RoutePolicy::ByInterval,
+                    drain_budget,
+                    ..PoolConfig::default()
+                },
+                23,
+                |_| TeslaPpShard::new(sender.bootstrap(), b"n"),
+                PoolObs {
+                    time: TimeSource::frozen(),
+                    trace_depth: 0,
+                    publish: None,
+                    publish_every: 0,
+                },
+            );
+            let handle = pool.handle();
+            for i in 1..=16u64 {
+                let TeslaPpMessage::MacAnnounce { index, mac } = sender.announce(i, b"m").unwrap()
+                else {
+                    unreachable!()
+                };
+                let ann = codec::encode(&DapMessage::Announce(dap_core::Announce { index, mac }))
+                    .unwrap();
+                assert!(handle.ingest(&ann, during(i)));
+                let TeslaPpMessage::Reveal {
+                    index,
+                    message,
+                    key,
+                } = sender.reveal(i).unwrap()
+                else {
+                    unreachable!()
+                };
+                let rev = codec::encode(&DapMessage::Reveal(dap_core::Reveal {
+                    index,
+                    message,
+                    key,
+                }))
+                .unwrap();
+                assert!(handle.ingest(&rev, during(i + 1)));
+                handle.tick();
+                handle.quiesce();
+            }
+            pool.shutdown_with_report()
+        };
+        let windowed = run(1 << 20);
+        let scalar = run(usize::MAX);
+        assert_eq!(windowed.registry.render(), scalar.registry.render());
+        assert_eq!(windowed.registry.counters().get(keys::NET_REVEAL_AUTH), 16);
     }
 
     #[test]
