@@ -99,6 +99,30 @@ $soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
     --shards 4 --flood 0 --copies 1 --pin-first 8 --drain-budget 96 \
     --assert-pinned-floor 1000 > /dev/null
 
+echo "== adaptive gate (live control plane: ramp to the ESS, byte-identity) =="
+# DESIGN §13: --adaptive closes the loop — the driver estimates the
+# forged share from reveal-time buffer evidence and broadcasts re-size
+# directives at quiesced interval boundaries. Under a 0.1 -> 0.9 flood
+# ramp the final commanded m must land within +-1 of the offline
+# Algorithm 3 optimum (--assert-adaptive); two same-seed runs must
+# print byte-identical snapshots and traces below the wall-clock
+# header (the feedback edge costs no determinism); and the trace must
+# narrate at least one live re-size.
+$soak --loopback --seed 2016 --intervals 300 --buffers 2 --shards 4 \
+    --flood 0.1 --flood-end 0.9 --adaptive --assert-adaptive \
+    --trace-out target/adaptive_a.jsonl > target/adaptive_a.txt
+$soak --loopback --seed 2016 --intervals 300 --buffers 2 --shards 4 \
+    --flood 0.1 --flood-end 0.9 --adaptive --assert-adaptive \
+    --trace-out target/adaptive_b.jsonl > target/adaptive_b.txt
+cmp target/adaptive_a.txt target/adaptive_b.txt
+tail -n +2 target/adaptive_a.jsonl > target/adaptive_a.body
+tail -n +2 target/adaptive_b.jsonl > target/adaptive_b.body
+cmp target/adaptive_a.body target/adaptive_b.body
+grep -q '"ev":"posture_change"' target/adaptive_a.body
+# No-flap leg: a stationary clean wire must never fire a directive.
+$soak --loopback --seed 7 --intervals 120 --buffers 1 --flood 0 \
+    --copies 1 --adaptive --assert-posture-stable > /dev/null
+
 echo "== sweep parallelism gate (workers engaged, bit-identical) =="
 # The perf smoke above wrote target/BENCH_sweep.json. The provisioning
 # floor guarantees at least two engaged workers on any box; the speedup

@@ -121,6 +121,56 @@ impl DefensePolicy {
     }
 }
 
+/// A live re-provisioning order from the control plane.
+///
+/// This is the unit that crosses the feedback edge: the controller (an
+/// online estimator + game solve, see `dap-net`'s `control` module)
+/// emits one directive whenever the recommended posture changes, and
+/// every shard applies it at its next interval boundary. All fields are
+/// integers so two same-seed runs produce bit-identical directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostureDirective {
+    /// Monotone directive number (one per posture change in a run).
+    pub epoch: u64,
+    /// The reservoir count `m*` the solver chose.
+    pub buffers: u32,
+    /// The §V give-up verdict: buffers no longer pay; shards should fall
+    /// back to the minimum reservoir and stop paying for memory.
+    pub give_up: bool,
+    /// The forged-fraction estimate (permille) that drove the solve.
+    pub p_permille: u32,
+}
+
+impl PostureDirective {
+    /// The reservoir capacity a shard should actually provision: the
+    /// solver's `m*`, or the 1-buffer minimum when the game says give up
+    /// (a receiver always keeps at least one reservoir slot so genuine
+    /// traffic still authenticates at `1 − p` when the flood subsides).
+    #[must_use]
+    pub fn effective_buffers(&self) -> usize {
+        if self.give_up {
+            1
+        } else {
+            self.buffers.max(1) as usize
+        }
+    }
+}
+
+impl DefensePolicy {
+    /// Renders the policy as a fixed-point [`PostureDirective`] for
+    /// `epoch` — the bridge from the offline f64 controller to the live
+    /// integer control plane.
+    #[must_use]
+    pub fn directive(&self, epoch: u64) -> PostureDirective {
+        PostureDirective {
+            epoch,
+            buffers: self.buffers,
+            give_up: self.is_give_up(),
+            p_permille: (self.estimated_p.clamp(0.0, 1.0) * 1000.0).round() as u32,
+        }
+    }
+}
+
 /// SplitMix64 finaliser — a cheap, well-distributed 64-bit mix.
 fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -393,6 +443,29 @@ mod tests {
         for n in 0..50u64 {
             assert_eq!(policy.should_defend(n, 9), policy.should_defend(n, 9));
         }
+    }
+
+    #[test]
+    fn directive_round_trips_policy() {
+        let mut c = AdaptiveController::new(AdaptiveConfig::paper_defaults());
+        c.observe(0.8);
+        let policy = c.recommend();
+        let d = policy.directive(3);
+        assert_eq!(d.epoch, 3);
+        assert_eq!(d.buffers, policy.buffers);
+        assert_eq!(d.p_permille, 800);
+        assert!(!d.give_up);
+        assert_eq!(d.effective_buffers(), policy.buffers as usize);
+    }
+
+    #[test]
+    fn give_up_directive_falls_back_to_one_buffer() {
+        let mut c = AdaptiveController::new(AdaptiveConfig::paper_defaults());
+        c.observe(0.99);
+        let policy = c.recommend();
+        let d = policy.directive(1);
+        assert!(d.give_up, "{policy:?}");
+        assert_eq!(d.effective_buffers(), 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod sender;
 pub mod sim;
 pub mod wire;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveController, DefensePolicy};
+pub use adaptive::{AdaptiveConfig, AdaptiveController, DefensePolicy, PostureDirective};
 pub use multi::{DapMultiReceiver, SenderId};
 pub use receiver::{AnnounceOutcome, DapReceiver, DapStats, RevealOutcome, RevealPrecompute};
 pub use sender::{DapBootstrap, DapSender};

@@ -107,6 +107,15 @@ pub struct DapStats {
     pub chain_recoveries: u64,
     /// Largest number of one-way steps walked in a single re-anchoring.
     pub max_recovery_depth: u64,
+    /// Buffered candidates whose fate a reveal decided (matched against
+    /// the strong μMAC). Reservoir sampling is uniform over the offers,
+    /// so the forged share of these entries is an unbiased estimate of
+    /// the wire's forged fraction `p` — the control plane's signal.
+    pub buffered_decided: u64,
+    /// Of [`Self::buffered_decided`], the entries that failed the strong
+    /// μMAC check (forged or corrupted announces that won a reservoir
+    /// slot).
+    pub buffered_forged: u64,
 }
 
 /// Intervals the anchor may lag behind the receiver's clock (beyond the
@@ -457,7 +466,16 @@ impl DapReceiver {
                 index: reveal.index,
             };
         }
-        if pool.any(|micro| *micro == expect) {
+        let mut matched = false;
+        for micro in pool.iter() {
+            self.stats.buffered_decided += 1;
+            if *micro == expect {
+                matched = true;
+            } else {
+                self.stats.buffered_forged += 1;
+            }
+        }
+        if matched {
             self.stats.authenticated += 1;
             self.authenticated
                 .push((reveal.index, reveal.message.clone()));

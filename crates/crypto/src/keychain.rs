@@ -151,6 +151,46 @@ impl KeyChain {
         Self::from_head(head, len, domain)
     }
 
+    /// Generates many chains at once, one per seed — key-for-key equal
+    /// to calling [`KeyChain::generate`] on each seed, but walking all
+    /// chains *level by level* so every `F` application at a given
+    /// depth runs through [`one_way_many`]'s lane-parallel SHA-256.
+    /// This is the fleet bootstrap path: provisioning `n` senders costs
+    /// `n · len` compressions either way, but the batched walk keeps
+    /// the SIMD lanes full instead of hashing one 10-byte key at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` and `seeds` is non-empty.
+    ///
+    /// [`one_way_many`]: crate::oneway::one_way_many
+    #[must_use]
+    pub fn generate_many(seeds: &[&[u8]], len: usize, domain: Domain) -> Vec<Self> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        assert!(len > 0, "key chain must have at least one usable key");
+        let mut level: Vec<Key> = seeds
+            .iter()
+            .map(|seed| Key::derive(CHAIN_HEAD_LABEL, seed))
+            .collect();
+        let mut chains: Vec<Vec<Key>> = seeds.iter().map(|_| vec![level[0]; len + 1]).collect();
+        for (chain, head) in chains.iter_mut().zip(&level) {
+            chain[len] = *head;
+        }
+        for i in (0..len).rev() {
+            level = crate::oneway::one_way_many(domain, &level);
+            for (chain, key) in chains.iter_mut().zip(&level) {
+                chain[i] = *key;
+            }
+        }
+        chains
+            .into_iter()
+            .map(|keys| Self { keys, domain })
+            .collect()
+    }
+
     /// Generates a chain whose last key `K_len` is exactly `head`.
     ///
     /// Multi-level μTESLA uses this to tie a low-level chain to the
@@ -433,6 +473,21 @@ mod tests {
         let c = KeyChain::generate(b"seed-b", 10, Domain::F);
         assert_eq!(a.commitment(), b.commitment());
         assert_ne!(a.commitment(), c.commitment());
+    }
+
+    #[test]
+    fn generate_many_matches_per_seed_generate_key_for_key() {
+        let seeds: Vec<Vec<u8>> = (0u64..17).map(|i| i.to_be_bytes().to_vec()).collect();
+        let refs: Vec<&[u8]> = seeds.iter().map(Vec::as_slice).collect();
+        let batched = KeyChain::generate_many(&refs, 23, Domain::F);
+        assert_eq!(batched.len(), seeds.len());
+        for (seed, chain) in seeds.iter().zip(&batched) {
+            let scalar = KeyChain::generate(seed, 23, Domain::F);
+            for i in 0..=23 {
+                assert_eq!(chain.key(i), scalar.key(i), "seed {seed:?} key {i}");
+            }
+        }
+        assert!(KeyChain::generate_many(&[], 23, Domain::F).is_empty());
     }
 
     #[test]

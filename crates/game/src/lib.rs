@@ -27,7 +27,9 @@
 //!   `(0.5, 0.5)` start;
 //! * [`cost`] — the defender cost `E` and the naive-defense cost `N`;
 //! * [`optimize`] — Algorithm 3 (optimal `m`), exact argmin and the
-//!   paper-literal transcription.
+//!   paper-literal transcription;
+//! * [`online`] — Algorithm 3 as a no-alloc, step-bounded control-loop
+//!   step for the live `dap-net` control plane.
 //!
 //! # Example — reproduce a Fig. 6 regime
 //!
@@ -48,6 +50,7 @@ pub mod bimatrix;
 pub mod cost;
 pub mod dynamics;
 pub mod ess;
+pub mod online;
 pub mod optimize;
 pub mod payoff;
 pub mod state;
@@ -57,6 +60,7 @@ pub use dynamics::{
     EulerIntegrator, ReplicatorField, Rk4Integrator, Trajectory, TwoPopulationGame,
 };
 pub use ess::{EssKind, EssOutcome};
+pub use online::{solve_posture, solve_posture_permille, OnlinePosture};
 pub use optimize::{optimal_buffer_count, OptimalBuffer};
 pub use payoff::{DosGame, DosGameParams, PayoffMatrix};
 pub use state::PopulationState;

@@ -1,0 +1,234 @@
+//! Algorithm 3 as an **online, allocation-free control-loop step**.
+//!
+//! [`optimal_buffer_count`](crate::optimize::optimal_buffer_count) is the
+//! offline experiment driver: it records the whole cost landscape in a
+//! `Vec` and evolves each candidate game through a heap-allocated
+//! [`Trajectory`](crate::dynamics::Trajectory). The control plane in
+//! `dap-net` re-solves the game at interval boundaries on the hot path,
+//! so this module provides the same argmin with two differences:
+//!
+//! * **no allocation** — the Euler loop keeps only the current state and
+//!   candidate snapping walks the five closed forms inline;
+//! * **a step bound** — [`ONLINE_MAX_STEPS`] per candidate `m`, so one
+//!   control-loop tick has a hard upper cost regardless of how slowly a
+//!   spiral converges (the settled state is still snapped/classified).
+//!
+//! The result also carries the paper's §V *give-up* verdict: when the
+//! best achievable posture is `(0, 1)` or `(X′, 1)` the defender cost has
+//! saturated at `R_a` — buffers no longer buy anything — and the control
+//! plane should stop paying for them.
+
+use crate::cost::defense_cost;
+use crate::dynamics::{EulerIntegrator, CONVERGENCE_TOL};
+use crate::ess::{classify_coordinates, interior_point, x_prime, y_prime, EssKind, MATCH_TOL};
+use crate::payoff::{DosGame, DosGameParams};
+use crate::state::PopulationState;
+
+/// Euler-step budget per candidate `m`. The paper's regimes converge in
+/// hundreds of steps; the slowest interior spirals take a few thousand.
+/// This bound keeps one full solve (`cap` candidates) under ~10⁷ steps
+/// worst-case while leaving orders of magnitude of slack for convergence.
+pub const ONLINE_MAX_STEPS: usize = 100_000;
+
+/// One solved posture: the argmin buffer count and the ESS it induces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlinePosture {
+    /// The cost-minimising buffer count `m*`.
+    pub m: u32,
+    /// The ESS shape reached with `m*` buffers.
+    pub kind: EssKind,
+    /// The settled population state (snapped to the closed form when
+    /// within [`MATCH_TOL`]).
+    pub point: PopulationState,
+    /// The defenders' average cost at that ESS.
+    pub cost: f64,
+    /// §V give-up verdict: the best posture still leaves attackers fully
+    /// attacking with cost pinned at `R_a`, so buffering is pointless.
+    pub give_up: bool,
+}
+
+/// Evolves `game` from the paper's `(0.5, 0.5)` start for at most
+/// `max_steps` Euler steps, returning the settled state without
+/// recording a trajectory.
+#[must_use]
+pub fn settle(game: &DosGame, max_steps: usize) -> PopulationState {
+    let integrator = EulerIntegrator::paper();
+    let mut current = PopulationState::CENTER;
+    for _ in 0..max_steps {
+        let next = integrator.step(game, current);
+        let moved = next.distance(&current);
+        current = next;
+        if moved < CONVERGENCE_TOL {
+            break;
+        }
+    }
+    current
+}
+
+/// Snaps a settled state to the nearest of the five closed-form ESS
+/// candidates (mirroring `predict_ess`, but without building the
+/// candidate `Vec`), falling back to raw-coordinate classification when
+/// nothing is within [`MATCH_TOL`].
+#[must_use]
+pub fn snap_to_candidate(game: &DosGame, settled: PopulationState) -> (PopulationState, EssKind) {
+    let mut best: Option<(f64, PopulationState, EssKind)> = None;
+    let mut consider = |x: f64, y: f64, kind: EssKind| {
+        if !(0.0..=1.0).contains(&x) || !(0.0..=1.0).contains(&y) {
+            return;
+        }
+        let point = PopulationState::new(x, y);
+        let d = settled.distance(&point);
+        if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+            best = Some((d, point, kind));
+        }
+    };
+
+    // Same candidate set and visit order as `ess_candidates`, so ties
+    // resolve identically to the offline path.
+    consider(0.0, 1.0, EssKind::GiveUpDefense);
+    consider(1.0, 1.0, EssKind::FullDefenseFullAttack);
+    let xp = x_prime(game);
+    if xp < 1.0 {
+        consider(xp, 1.0, EssKind::PartialDefenseFullAttack);
+    }
+    let yp = y_prime(game);
+    if yp < 1.0 {
+        consider(1.0, yp, EssKind::FullDefensePartialAttack);
+    }
+    let (xi, yi) = interior_point(game);
+    if (0.0..1.0).contains(&xi) && (0.0..1.0).contains(&yi) && xi > 0.0 && yi > 0.0 {
+        consider(xi, yi, EssKind::Interior);
+    }
+
+    match best {
+        Some((d, point, kind)) if d <= MATCH_TOL => (point, kind),
+        _ => (settled, classify_coordinates(settled)),
+    }
+}
+
+/// The online Algorithm 3 step: sweep `m ∈ 1..=cap`, settle each game
+/// (step-bounded), and return the cost-argmin posture. Ties break toward
+/// the smaller `m`, which also minimises memory.
+///
+/// # Panics
+///
+/// Panics if `cap == 0`.
+#[must_use]
+pub fn solve_posture(params: DosGameParams, cap: u32) -> OnlinePosture {
+    assert!(cap >= 1, "buffer cap must be at least 1");
+    let mut best: Option<OnlinePosture> = None;
+    for m in 1..=cap {
+        let mut inst = params;
+        inst.m = m;
+        let game = inst.into_game();
+        let settled = settle(&game, ONLINE_MAX_STEPS);
+        let (point, kind) = snap_to_candidate(&game, settled);
+        let cost = defense_cost(&game, point);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(OnlinePosture {
+                m,
+                kind,
+                point,
+                cost,
+                give_up: false,
+            });
+        }
+    }
+    let mut posture = best.expect("cap >= 1 so at least one candidate");
+    posture.give_up = matches!(
+        posture.kind,
+        EssKind::GiveUpDefense | EssKind::PartialDefenseFullAttack
+    );
+    posture
+}
+
+/// [`solve_posture`] for a fixed-point attack estimate: `p_permille` is
+/// the estimated forged fraction in permille (0..=1000), applied to the
+/// paper's economy. This is the entry point the `dap-net` control plane
+/// calls — integer in, so two same-seed runs feed bit-identical inputs.
+///
+/// # Panics
+///
+/// Panics if `p_permille > 1000` or `cap == 0`.
+#[must_use]
+pub fn solve_posture_permille(p_permille: u32, cap: u32) -> OnlinePosture {
+    assert!(p_permille <= 1000, "permille estimate out of range");
+    let p = f64::from(p_permille) / 1000.0;
+    solve_posture(DosGameParams::paper_defaults(p, 1), cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimal_buffer_count;
+
+    #[test]
+    fn settle_matches_predict_ess_endpoint() {
+        for m in [5, 14, 30, 70] {
+            let game = DosGameParams::paper_defaults(0.8, m).into_game();
+            let offline = crate::ess::predict_ess(&game);
+            let settled = settle(&game, ONLINE_MAX_STEPS);
+            let (point, kind) = snap_to_candidate(&game, settled);
+            assert_eq!(kind, offline.kind, "m={m}");
+            assert!(point.distance(&offline.point) < 1e-9, "m={m}");
+        }
+    }
+
+    #[test]
+    fn online_argmin_agrees_with_offline_algorithm_3() {
+        for permille in [0u32, 100, 300, 500, 600, 700, 800, 900, 950, 990] {
+            let p = f64::from(permille) / 1000.0;
+            let offline = optimal_buffer_count(DosGameParams::paper_defaults(p, 1), 50);
+            let online = solve_posture_permille(permille, 50);
+            assert!(
+                online.m.abs_diff(offline.m) <= 1,
+                "p={p}: online m*={} vs offline m*={}",
+                online.m,
+                offline.m
+            );
+            assert!(
+                (online.cost - offline.cost).abs() <= 1.0,
+                "p={p}: online cost {} vs offline {}",
+                online.cost,
+                offline.cost
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_grows_with_estimated_attack_level() {
+        let low = solve_posture_permille(600, 50);
+        let high = solve_posture_permille(900, 50);
+        assert!(low.m < high.m, "m*(0.6)={} m*(0.9)={}", low.m, high.m);
+        assert!(!low.give_up && !high.give_up);
+    }
+
+    #[test]
+    fn near_jamming_attack_gives_up() {
+        // p = 0.99: every posture saturates at cost R_a — the §V "turns
+        // to give up" regime — and the solver says so.
+        let posture = solve_posture_permille(990, 50);
+        assert!(posture.give_up, "{posture:?}");
+        assert!((posture.cost - 200.0).abs() < 1.0, "{}", posture.cost);
+    }
+
+    #[test]
+    fn clean_traffic_wants_minimum_buffers() {
+        let posture = solve_posture_permille(0, 50);
+        assert_eq!(posture.m, 1, "{posture:?}");
+        assert!(!posture.give_up);
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let a = solve_posture_permille(800, 50);
+        let b = solve_posture_permille(800, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn rejects_out_of_range_estimate() {
+        let _ = solve_posture_permille(1001, 50);
+    }
+}

@@ -63,6 +63,13 @@ pub enum AdversaryClass {
     /// Starts gentle, watches posture (buffers `m`, shed rate) between
     /// intervals, and escalates toward the cap while nothing is shed.
     Adaptive,
+    /// Plays by the rules for [`FARM_INTERVALS`] intervals — its
+    /// controlled ids authenticate every reveal, pumping their EWMA
+    /// scores into the `High` priority class — then turns: the farmed
+    /// ids stop revealing (their genuine traffic is suppressed) and
+    /// flood at the cap instead, spending the earned reputation to jump
+    /// the priority drain ahead of honest `Low` traffic.
+    ReputationFarming,
 }
 
 impl AdversaryClass {
@@ -75,16 +82,18 @@ impl AdversaryClass {
             AdversaryClass::Collusion => "collusion",
             AdversaryClass::ReplayEdge => "replay-edge",
             AdversaryClass::Adaptive => "adaptive",
+            AdversaryClass::ReputationFarming => "reputation-farming",
         }
     }
 
     /// Every class, in report order.
-    pub const ALL: [AdversaryClass; 5] = [
+    pub const ALL: [AdversaryClass; 6] = [
         AdversaryClass::Bernoulli,
         AdversaryClass::BurstReanchor,
         AdversaryClass::Collusion,
         AdversaryClass::ReplayEdge,
         AdversaryClass::Adaptive,
+        AdversaryClass::ReputationFarming,
     ];
 }
 
@@ -98,9 +107,11 @@ impl FromStr for AdversaryClass {
             "collusion" => Ok(AdversaryClass::Collusion),
             "replay-edge" => Ok(AdversaryClass::ReplayEdge),
             "adaptive" => Ok(AdversaryClass::Adaptive),
+            "reputation-farming" => Ok(AdversaryClass::ReputationFarming),
             other => Err(format!(
                 "unknown adversary class {other:?} (expected bernoulli, \
-                 burst-reanchor, collusion, replay-edge or adaptive)"
+                 burst-reanchor, collusion, replay-edge, adaptive or \
+                 reputation-farming)"
             )),
         }
     }
@@ -110,6 +121,12 @@ impl FromStr for AdversaryClass {
 /// the attacker banks bandwidth for `REANCHOR_PERIOD − 1` quiet
 /// intervals, then spends it all in one.
 pub const REANCHOR_PERIOD: u64 = 4;
+
+/// Intervals [`AdversaryClass::ReputationFarming`] behaves honestly
+/// before turning. Four clean reveals lift a session's EWMA score from
+/// the 500-permille seed well past the `High` threshold, so the turn
+/// happens with reputation fully banked.
+pub const FARM_INTERVALS: u64 = 4;
 
 /// What the adaptive class sees of the defender between intervals.
 /// Everything here is deterministic after a pool quiesce, so observing
@@ -124,6 +141,31 @@ pub struct PostureView {
     pub shed_frames: u64,
     /// Frames ingested so far (the shed-rate denominator).
     pub ingress_frames: u64,
+    /// Epoch of the newest control-plane posture directive (0 while the
+    /// defense is static) — visible because a real attacker watching
+    /// loss patterns can detect re-sizes too.
+    pub posture_epoch: u64,
+    /// Buffers the newest directive commanded; 0 while static, in which
+    /// case [`buffers`] is the live truth.
+    ///
+    /// [`buffers`]: PostureView::buffers
+    pub live_buffers: u64,
+    /// Whether the defense announced the §V give-up posture.
+    pub give_up: bool,
+}
+
+impl PostureView {
+    /// The reservoir buffers actually in force: the newest directive's
+    /// `m` when the control plane has spoken, the static bootstrap
+    /// value otherwise.
+    #[must_use]
+    pub fn effective_buffers(&self) -> usize {
+        if self.live_buffers > 0 {
+            usize::try_from(self.live_buffers).unwrap_or(usize::MAX)
+        } else {
+            self.buffers
+        }
+    }
 }
 
 /// One standalone emission the campaign driver materialises.
@@ -161,6 +203,9 @@ pub struct AdversaryPlan {
     /// Collusion roster: unpinned real ids interleaved with fabricated
     /// ones, walked round-robin across intervals.
     colluders: Vec<u64>,
+    /// Reputation-farming roster: every second unpinned id, so the
+    /// report contrasts farmed-then-turned ids against honest ones.
+    farmed: Vec<u64>,
     cursor: usize,
     /// Captured `(sent_interval, bytes)` pairs for replay.
     captured: Vec<(u64, Vec<u8>)>,
@@ -197,6 +242,7 @@ impl AdversaryPlan {
             .enumerate()
             .flat_map(|(slot, id)| [*id, senders + 1 + slot as u64])
             .collect();
+        let farmed: Vec<u64> = unpinned.iter().copied().step_by(2).collect();
         let start_share = if p < 0.3 { p } else { 0.3 };
         Self {
             class,
@@ -205,6 +251,7 @@ impl AdversaryPlan {
             copies,
             unpinned,
             colluders,
+            farmed,
             cursor: 0,
             captured: Vec::new(),
             adaptive_share: start_share,
@@ -241,7 +288,6 @@ impl AdversaryPlan {
     /// standalone emissions return 0 here).
     #[must_use]
     pub fn spoof_copies(&self, victim: SenderId, interval: u64) -> u64 {
-        let _ = interval;
         match self.class {
             // Indiscriminate: every sender, pinned or not, sees share p
             // of forged traffic — exactly the PR 4 flooder.
@@ -249,8 +295,26 @@ impl AdversaryPlan {
             AdversaryClass::Adaptive if self.unpinned.contains(&victim.0) => {
                 self.adaptive.forged_copies(self.copies)
             }
+            // Post-turn, the farmed ids' whole bandwidth is forged —
+            // their genuine stream is suppressed, the flood rides the
+            // `High` class their farming earned.
+            AdversaryClass::ReputationFarming if self.suppresses(victim, interval) => {
+                self.cap.forged_copies(self.copies)
+            }
             _ => 0,
         }
+    }
+
+    /// Whether the adversary controls `victim` and has turned it by
+    /// `interval` — the campaign driver consults this to withhold the
+    /// sender's genuine announce/reveal stream (a turned device stops
+    /// cooperating; only its spoofed flood remains). Always `false`
+    /// outside the reputation-farming class and during the farm phase.
+    #[must_use]
+    pub fn suppresses(&self, victim: SenderId, interval: u64) -> bool {
+        self.class == AdversaryClass::ReputationFarming
+            && interval > FARM_INTERVALS
+            && self.farmed.binary_search(&victim.0).is_ok()
     }
 
     /// Records one genuine frame the adversary overheard on the wire
@@ -278,18 +342,32 @@ impl AdversaryPlan {
     /// interval's traffic). Only the adaptive class reacts: while the
     /// defender sheds nothing the share steps up toward the cap, and
     /// once sheds appear it backs off — the attacker side of the
-    /// replicator dynamic, played greedily.
+    /// replicator dynamic, played greedily. Under an adaptive defense
+    /// the view carries the control plane's own moves
+    /// ([`PostureView::live_buffers`], [`PostureView::give_up`]), so
+    /// the attacker re-derives its worth-playing floor from the buffers
+    /// *actually in force* — and a defender that gives up invites the
+    /// full cap at once: flooding a surrendered node is free.
     pub fn observe(&mut self, posture: &PostureView) {
         if self.class != AdversaryClass::Adaptive {
             return;
         }
         let shed_delta = posture.shed_frames.saturating_sub(self.last_shed);
         self.last_shed = posture.shed_frames;
+        if posture.give_up {
+            if self.adaptive_share < self.share_cap {
+                self.adaptive_share = self.share_cap;
+                self.escalations += 1;
+            }
+            self.adaptive = FloodIntensity::of_bandwidth(self.adaptive_share);
+            return;
+        }
         if shed_delta == 0 {
             // The posture names the floor worth playing: `m` reservoir
             // buffers soak m forged offers against `copies` genuine
             // ones, so shares below m/(m+copies) are wasted bandwidth.
-            let floor = posture.buffers as f64 / (posture.buffers as f64 + self.copies as f64);
+            let m = posture.effective_buffers() as f64;
+            let floor = m / (m + self.copies as f64);
             let next = (self.adaptive_share + 0.1).max(floor).min(self.share_cap);
             if next > self.adaptive_share {
                 self.adaptive_share = next;
@@ -310,7 +388,9 @@ impl AdversaryPlan {
     #[must_use]
     pub fn standalone(&mut self, interval: u64) -> Vec<AdversaryEmit> {
         match self.class {
-            AdversaryClass::Bernoulli | AdversaryClass::Adaptive => Vec::new(),
+            AdversaryClass::Bernoulli
+            | AdversaryClass::Adaptive
+            | AdversaryClass::ReputationFarming => Vec::new(),
             AdversaryClass::BurstReanchor => {
                 if interval == 0 || !interval.is_multiple_of(REANCHOR_PERIOD) {
                     return Vec::new();
@@ -471,6 +551,9 @@ mod tests {
             drain_budget: usize::MAX,
             shed_frames: 0,
             ingress_frames: 0,
+            posture_epoch: 0,
+            live_buffers: 0,
+            give_up: false,
         };
         // No sheds: the first step jumps to the m/(m+copies) floor.
         plan.observe(&posture);
@@ -489,6 +572,62 @@ mod tests {
         // Pinned ids are never in the adaptive spoof stream.
         assert_eq!(plan.spoof_copies(SenderId(1), 5), 0);
         assert!(plan.spoof_copies(SenderId(2), 5) > 0);
+    }
+
+    #[test]
+    fn adaptive_reads_the_control_planes_resize_and_give_up() {
+        let mut plan = AdversaryPlan::new(AdversaryClass::Adaptive, 0.9, 4, 8, &pins(&[]));
+        // The control plane re-sized to m = 12: the directive, not the
+        // static bootstrap m = 2, sets the worth-playing floor 12/16.
+        plan.observe(&PostureView {
+            buffers: 2,
+            drain_budget: usize::MAX,
+            shed_frames: 0,
+            ingress_frames: 0,
+            posture_epoch: 3,
+            live_buffers: 12,
+            give_up: false,
+        });
+        assert!((plan.share() - 0.75).abs() < 1e-9, "share {}", plan.share());
+        // The defender gives up: the attacker jumps straight to the cap
+        // even though sheds would otherwise back it off.
+        let mut fresh = AdversaryPlan::new(AdversaryClass::Adaptive, 0.9, 4, 8, &pins(&[]));
+        fresh.observe(&PostureView {
+            buffers: 2,
+            drain_budget: 64,
+            shed_frames: 500,
+            ingress_frames: 1000,
+            posture_epoch: 7,
+            live_buffers: 1,
+            give_up: true,
+        });
+        assert!((fresh.share() - 0.9).abs() < 1e-9);
+        assert_eq!(fresh.escalations(), 1);
+    }
+
+    #[test]
+    fn reputation_farmer_is_honest_through_the_farm_then_turns() {
+        let plan = AdversaryPlan::new(AdversaryClass::ReputationFarming, 0.9, 4, 6, &pins(&[1]));
+        // Farm phase: no spoofing, no suppression — ids authenticate.
+        for i in 1..=FARM_INTERVALS {
+            for id in 1..=6 {
+                assert_eq!(plan.spoof_copies(SenderId(id), i), 0);
+                assert!(!plan.suppresses(SenderId(id), i));
+            }
+            assert!(plan.clone().standalone(i).is_empty());
+        }
+        // The turn: farmed ids (every second unpinned: 2, 4, 6) flood
+        // at the cap and withhold genuine traffic; the rest stay honest
+        // and unspoofed; the pinned id is never farmed.
+        let turn = FARM_INTERVALS + 1;
+        for id in [2u64, 4, 6] {
+            assert!(plan.suppresses(SenderId(id), turn));
+            assert_eq!(plan.spoof_copies(SenderId(id), turn), 36);
+        }
+        for id in [1u64, 3, 5] {
+            assert!(!plan.suppresses(SenderId(id), turn));
+            assert_eq!(plan.spoof_copies(SenderId(id), turn), 0);
+        }
     }
 
     #[test]

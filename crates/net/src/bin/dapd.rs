@@ -5,9 +5,20 @@
 //! ```text
 //! # Deterministic in-process campaign (the ci.sh soak gate):
 //! dapd --loopback [--seed N] [--intervals N] [--buffers M] [--shards S]
-//!      [--queue-depth Q] [--flood P] [--copies G] [--loss L] [--corrupt C]
-//!      [--tolerance T] [--assert-soak] [--trace-out PATH] [--trace-depth D]
-//!      [--telemetry ADDR]
+//!      [--queue-depth Q] [--flood P] [--flood-end P2] [--copies G]
+//!      [--loss L] [--corrupt C] [--tolerance T] [--adaptive]
+//!      [--assert-soak] [--assert-adaptive] [--assert-posture-stable]
+//!      [--trace-out PATH] [--trace-depth D] [--telemetry ADDR]
+//!
+//! # Adaptive defense (DESIGN §13): --adaptive runs the online control
+//! # plane — the driver estimates the forged share from reveal-time
+//! # buffer evidence and re-sizes every shard's reservoirs at the
+//! # game's optimum as the flood changes. --flood-end P2 ramps the
+//! # flood from --flood to P2 over the first half of the run.
+//! # --assert-adaptive exits nonzero unless the loop actuated and the
+//! # final m landed within ±1 of the offline Algorithm 3 optimum;
+//! # --assert-posture-stable exits nonzero if any directive fired at
+//! # all (the clean-wire no-flap gate).
 //!
 //! # Deterministic fleet campaign (the ci.sh fleet gate): N tagged
 //! # senders, per-sender spoofing flood, session-table shards:
@@ -16,7 +27,8 @@
 //!      [--max-sessions K] [--session-budget-bits B] [--tolerance T]
 //!      [--pin IDS] [--pin-first N] [--adversary CLASS]
 //!      [--drain-budget B] [--assert-pinned-floor PERMILLE]
-//!      [--assert-soak] [--trace-out PATH] [--trace-depth D]
+//!      [--adaptive] [--assert-soak] [--assert-adaptive]
+//!      [--assert-posture-stable] [--trace-out PATH] [--trace-depth D]
 //!      [--telemetry ADDR]
 //!
 //! # Overload posture: --pin 1,2,7 (or --pin-first N for ids 1..=N)
@@ -66,7 +78,14 @@ use dap_net::transport::{Transport, UdpTransport};
 use dap_obs::{JsonlSink, TimeSource, TraceRecord, TraceSink};
 use dap_simnet::SimDuration;
 
-const FLAGS: &[&str] = &["loopback", "fleet", "assert-soak"];
+const FLAGS: &[&str] = &[
+    "loopback",
+    "fleet",
+    "assert-soak",
+    "adaptive",
+    "assert-adaptive",
+    "assert-posture-stable",
+];
 
 /// Stores a Ctrl-C so the receiver loop can drain, snapshot and exit
 /// cleanly instead of dying mid-run with its telemetry unprinted.
@@ -168,18 +187,25 @@ fn run_loopback_mode(opts: &Opts) {
         copies: opts.get_or("copies", 4),
         loss: opts.get_or("loss", 0.0),
         corrupt: opts.get_or("corrupt", 0.0),
+        flood_end: opts
+            .get("flood-end")
+            .map(|v| v.parse().expect("--flood-end is a bandwidth share")),
+        adaptive: opts.flag("adaptive"),
         trace_depth: trace_depth(opts),
     };
     println!(
-        "dapd --loopback seed={} intervals={} m={} shards={} p={} copies={} loss={} corrupt={}",
+        "dapd --loopback seed={} intervals={} m={} shards={} p={} p_end={} copies={} loss={} \
+         corrupt={} adaptive={}",
         spec.seed,
         spec.intervals,
         spec.buffers,
         spec.shards,
         spec.flood,
+        spec.flood_end.unwrap_or(spec.flood),
         spec.copies,
         spec.loss,
-        spec.corrupt
+        spec.corrupt,
+        spec.adaptive
     );
     let shared = opts
         .get("telemetry")
@@ -203,9 +229,51 @@ fn run_loopback_mode(opts: &Opts) {
         assert_soak(&spec, &report, opts.get_or("tolerance", 0.08));
         println!("soak: ok");
     }
+    if opts.flag("assert-adaptive") {
+        assert_adaptive(spec.flood_end.unwrap_or(spec.flood), &report.metrics);
+        println!("adaptive: ok");
+    }
+    if opts.flag("assert-posture-stable") {
+        assert_posture_stable(&report.metrics);
+        println!("posture: stable");
+    }
     if let Some(server) = server {
         server.stop();
     }
+}
+
+/// The adaptive-gate invariants: the control loop sampled evidence,
+/// actuated at least once, and commanded a final `m` within ±1 of the
+/// offline Algorithm 3 optimum for the final flood share.
+fn assert_adaptive(final_flood: f64, m: &dap_simnet::Metrics) {
+    use dap_game::{optimal_buffer_count, DosGameParams};
+    use dap_simnet::keys;
+
+    assert!(m.get(keys::CONTROL_SAMPLES) > 0, "no evidence sampled");
+    assert!(
+        m.get(keys::CONTROL_DIRECTIVES) >= 1,
+        "the control loop never actuated"
+    );
+    let offline = optimal_buffer_count(DosGameParams::paper_defaults(final_flood, 1), 50);
+    let live = u32::try_from(m.get(keys::CONTROL_M)).expect("control.m fits u32");
+    assert!(
+        live.abs_diff(offline.m) <= 1,
+        "live m {live} vs offline m* {} at p = {final_flood}",
+        offline.m
+    );
+}
+
+/// The no-flap gate: on a wire whose measured forged share never
+/// leaves the solver's current optimum, no directive may fire.
+fn assert_posture_stable(m: &dap_simnet::Metrics) {
+    use dap_simnet::keys;
+
+    assert!(m.get(keys::CONTROL_SAMPLES) > 0, "no evidence sampled");
+    assert_eq!(
+        m.get(keys::CONTROL_DIRECTIVES),
+        0,
+        "stationary run flipped posture"
+    );
 }
 
 /// The pin roster: `--pin 1,2,7` (explicit ids) merged with
@@ -244,10 +312,11 @@ fn run_fleet_mode(opts: &Opts) {
         pins: parse_pins(opts),
         adversary,
         drain_budget: opts.get_or("drain-budget", usize::MAX),
+        adaptive: opts.flag("adaptive"),
     };
     println!(
         "dapd --fleet seed={} senders={} intervals={} m={} shards={} p={} copies={} budget={}b \
-         adversary={} pins={} drain_budget={}",
+         adversary={} pins={} drain_budget={} adaptive={}",
         spec.seed,
         spec.senders,
         spec.intervals,
@@ -262,7 +331,8 @@ fn run_fleet_mode(opts: &Opts) {
             "unbounded".to_string()
         } else {
             spec.drain_budget.to_string()
-        }
+        },
+        spec.adaptive
     );
     let shared = opts
         .get("telemetry")
@@ -318,6 +388,14 @@ fn run_fleet_mode(opts: &Opts) {
             "pinned auth floor {lo} permille below the asserted {floor}"
         );
         println!("pinned floor: ok ({lo} >= {floor} permille)");
+    }
+    if opts.flag("assert-adaptive") {
+        assert_adaptive(spec.flood, &report.metrics);
+        println!("adaptive: ok");
+    }
+    if opts.flag("assert-posture-stable") {
+        assert_posture_stable(&report.metrics);
+        println!("posture: stable");
     }
     if let Some(server) = server {
         server.stop();

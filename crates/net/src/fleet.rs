@@ -23,16 +23,19 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use dap_core::{
-    codec, DapBootstrap, DapMessage, DapParams, DapReceiver, DapSender, Reveal, RevealPrecompute,
-    SenderId,
+    codec, DapBootstrap, DapMessage, DapParams, DapReceiver, DapSender, PostureDirective, Reveal,
+    RevealPrecompute, SenderId,
 };
+use dap_crypto::oneway::Domain;
+use dap_crypto::KeyChain;
 use dap_obs::{TimeSource, TraceRecord};
 use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
 
 use crate::adversary::{AdversaryClass, AdversaryEmit, AdversaryPlan, PostureView};
+use crate::control::{ControlConfig, ControlPlane};
 use crate::pool::{
     BufferNote, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig, PoolObs,
-    ReceiverPool, RoutePolicy,
+    PostureUpdate, ReceiverPool, RoutePolicy,
 };
 use crate::pump::Flooder;
 use crate::session::{Admission, PriorityClass, SessionConfig, SessionTable};
@@ -76,6 +79,12 @@ pub struct FleetSpec {
     /// Per-shard, per-interval verify budget for the priority drain;
     /// `usize::MAX` verifies everything (the PR 4–6 FIFO posture).
     pub drain_budget: usize,
+    /// Runs the live control plane: the driver feeds reveal-time buffer
+    /// evidence to a [`ControlPlane`] at every quiesced interval
+    /// boundary and broadcasts the resulting directives, so every
+    /// shard's whole session-table slice re-provisions `m` toward the
+    /// game's optimum as the measured flood changes.
+    pub adaptive: bool,
 }
 
 impl FleetSpec {
@@ -110,6 +119,7 @@ impl Default for FleetSpec {
             pins: Vec::new(),
             adversary: AdversaryClass::Bernoulli,
             drain_budget: usize::MAX,
+            adaptive: false,
         }
     }
 }
@@ -191,15 +201,54 @@ pub fn fleet_bootstrap(
     })
 }
 
+/// All fleet chains in one batched walk: the per-sender seeds run
+/// through [`KeyChain::generate_many`], which levels every `F`
+/// application across the fleet into lane-parallel SHA-256 — the
+/// 4096-sender soak setup cost, paid once instead of per admission.
+/// Chain `k` (0-based) belongs to sender id `k + 1` and is key-for-key
+/// equal to the scalar [`fleet_bootstrap`] derivation.
+#[must_use]
+pub fn fleet_chains(fleet_seed: u64, senders: u64, chain_len: usize) -> Vec<KeyChain> {
+    let seeds: Vec<[u8; 16]> = (1..=senders)
+        .map(|id| fleet_chain_seed(fleet_seed, SenderId(id)))
+        .collect();
+    let refs: Vec<&[u8]> = seeds.iter().map(|s| s.as_slice()).collect();
+    KeyChain::generate_many(&refs, chain_len, Domain::F)
+}
+
+/// The whole fleet's bootstrap records, batch-derived and shared: one
+/// `Arc` serves every shard's admission path, so re-admitting an
+/// evicted sender is an index into this table instead of an `O(len)`
+/// chain walk.
+#[must_use]
+pub fn fleet_directory(
+    fleet_seed: u64,
+    senders: u64,
+    chain_len: usize,
+    params: DapParams,
+) -> Arc<Vec<DapBootstrap>> {
+    Arc::new(
+        fleet_chains(fleet_seed, senders, chain_len)
+            .iter()
+            .map(|chain| DapBootstrap {
+                commitment: *chain.commitment(),
+                params,
+            })
+            .collect(),
+    )
+}
+
 /// A shard verifier owning a [`SessionTable`] slice of the fleet:
 /// frames verify against their wire-attributed sender's session, and
 /// shutdown folds session counters, occupancy gauges and the per-sender
 /// auth-rate envelope into the shard registry.
 pub struct FleetShard {
     table: SessionTable,
-    fleet_seed: u64,
-    senders: u64,
-    chain_len: usize,
+    /// Shared batch-derived bootstraps; slot `k` = sender id `k + 1`.
+    directory: Arc<Vec<DapBootstrap>>,
+    /// The parameters new admissions provision with — `buffers` tracks
+    /// the newest control-plane directive, so a session admitted after
+    /// a re-size comes up at the commanded `m`, not the bootstrap one.
     params: DapParams,
     /// Per-sender `(authenticated, attempts)` — kept verifier-side so an
     /// *evicted* sender's history still reaches the report. An attempt
@@ -218,10 +267,30 @@ pub struct FleetShard {
 
 impl FleetShard {
     /// One shard's slice of the fleet described by `spec`; `shard`
-    /// salts the session table's node-local secrets.
+    /// salts the session table's node-local secrets. Derives its own
+    /// bootstrap directory — campaigns spawning many shards should
+    /// batch once with [`fleet_directory`] and use
+    /// [`FleetShard::with_directory`].
     #[must_use]
     pub fn new(spec: &FleetSpec, shard: usize) -> Self {
         let chain_len = usize::try_from(spec.intervals).expect("interval count fits usize") + 2;
+        let directory = fleet_directory(
+            spec.seed,
+            spec.senders,
+            chain_len,
+            fleet_params(spec.buffers),
+        );
+        Self::with_directory(spec, shard, directory)
+    }
+
+    /// [`FleetShard::new`] over a pre-derived shared directory (one
+    /// batched walk serving every shard).
+    #[must_use]
+    pub fn with_directory(
+        spec: &FleetSpec,
+        shard: usize,
+        directory: Arc<Vec<DapBootstrap>>,
+    ) -> Self {
         Self {
             table: SessionTable::with_pins(
                 SessionConfig {
@@ -231,9 +300,7 @@ impl FleetShard {
                 spec.seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                 spec.pin_set(),
             ),
-            fleet_seed: spec.seed,
-            senders: spec.senders,
-            chain_len,
+            directory,
             params: fleet_params(spec.buffers),
             reveal_outcomes: BTreeMap::new(),
             pre: VecDeque::new(),
@@ -268,10 +335,19 @@ impl FrameVerifier for FleetShard {
             DapMessage::Reveal(_) => self.pre.pop_front().flatten(),
             DapMessage::Announce(_) => None,
         };
-        let (fleet_seed, senders, chain_len, params) =
-            (self.fleet_seed, self.senders, self.chain_len, self.params);
+        let (directory, buffers) = (&self.directory, self.params.buffers);
         let Some(session) = self.table.lookup(sender, |id| {
-            fleet_bootstrap(fleet_seed, senders, chain_len, params, id)
+            // Admissions provision at the *commanded* buffer count:
+            // the directory's bootstrap params carry the campaign
+            // bootstrap `m`, which a control-plane directive may have
+            // since superseded.
+            id.0.checked_sub(1)
+                .and_then(|slot| directory.get(usize::try_from(slot).ok()?))
+                .copied()
+                .map(|mut bootstrap| {
+                    bootstrap.params.buffers = buffers;
+                    bootstrap
+                })
         }) else {
             registry.incr(keys::NET_SESSION_UNKNOWN);
             return FrameVerdict {
@@ -318,12 +394,18 @@ impl FrameVerifier for FleetShard {
             DapMessage::Reveal(r) => {
                 use dap_core::RevealOutcome;
                 registry.incr(keys::NET_REVEAL_TOTAL);
+                let before = *receiver.stats();
                 let reveal_outcome = match pre {
                     Some((claimed, p)) if claimed == sender.0 => {
                         receiver.on_reveal_precomputed(r, at, &p)
                     }
                     _ => receiver.on_reveal(r, at),
                 };
+                let after = receiver.stats();
+                live.count_reveal_evidence(
+                    after.buffered_decided - before.buffered_decided,
+                    after.buffered_forged - before.buffered_forged,
+                );
                 let (key, outcome, attempt, success) = match reveal_outcome {
                     RevealOutcome::Authenticated { .. } => {
                         live.count_authenticated();
@@ -401,6 +483,20 @@ impl FrameVerifier for FleetShard {
         self.table.priority_class(sender)
     }
 
+    fn on_posture(&mut self, directive: &PostureDirective) -> Option<PostureUpdate> {
+        let from = self.params.buffers;
+        let to = directive.effective_buffers();
+        // Future admissions provision at the commanded size via the
+        // lookup path; resident sessions re-size in place so the
+        // directive takes effect without waiting for churn.
+        self.params.buffers = to;
+        self.table.reprovision(to);
+        (from != to).then_some(PostureUpdate {
+            from_m: from as u64,
+            to_m: to as u64,
+        })
+    }
+
     fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
         // Only senders with a *resident* session precompute:
         // `SessionTable::peek` never admits, evicts or touches the
@@ -466,16 +562,22 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
     let flooder_seed = rng.next_u64();
     let mut shuffle_rng = rng.fork(4);
 
-    // The fleet: every sender its own chain, re-derived on the receiver
-    // side by the directory.
-    let mut fleet: Vec<DapSender> = (1..=spec.senders)
-        .map(|id| {
-            DapSender::new(
-                &fleet_chain_seed(spec.seed, SenderId(id)),
-                chain_len,
+    // The fleet: every sender its own chain, all chains derived in one
+    // lane-parallel batch walk. The same chains seed the shared
+    // directory, so the shards never re-walk a chain on admission.
+    let chains = fleet_chains(spec.seed, spec.senders, chain_len);
+    let directory: Arc<Vec<DapBootstrap>> = Arc::new(
+        chains
+            .iter()
+            .map(|chain| DapBootstrap {
+                commitment: *chain.commitment(),
                 params,
-            )
-        })
+            })
+            .collect(),
+    );
+    let mut fleet: Vec<DapSender> = chains
+        .into_iter()
+        .map(|chain| DapSender::with_chain(chain, params))
         .collect();
 
     let wire = LoopbackTransport::new(wire_rng_seed, ChannelModel::perfect(), 0.0);
@@ -494,7 +596,7 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
             pins: Arc::clone(&pins),
         },
         pool_seed,
-        |shard| FleetShard::new(spec, shard),
+        |shard| FleetShard::with_directory(spec, shard, Arc::clone(&directory)),
         PoolObs {
             time: TimeSource::frozen(),
             trace_depth: spec.trace_depth,
@@ -511,6 +613,13 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         spec.senders,
         &pins,
     );
+
+    let mut controller = spec.adaptive.then(|| {
+        ControlPlane::new(
+            u32::try_from(spec.buffers).expect("buffer count fits u32"),
+            ControlConfig::default(),
+        )
+    });
 
     let mut tx = wire.clone();
     let mut rx = wire.clone();
@@ -531,9 +640,21 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
             drain_budget: spec.drain_budget,
             shed_frames: handle.live().shed(),
             ingress_frames: handle.live().frames(),
+            posture_epoch: handle.live().posture_epoch(),
+            live_buffers: handle.live().live_buffers(),
+            give_up: handle.live().give_up(),
         });
         for (slot, sender) in fleet.iter_mut().enumerate() {
             let id = SenderId(slot as u64 + 1);
+            if adversary.suppresses(id, i) {
+                // Post-turn, a farmed sender's genuine traffic is
+                // withheld: the farmer rides the priority class its
+                // honest phase earned with forgeries alone.
+                for _ in 0..adversary.spoof_copies(id, i) {
+                    flooder.send_forged_as(id, i).expect("loopback send");
+                }
+                continue;
+            }
             // The reveal for i − d leads the interval (Algorithm 1).
             if i > d {
                 if let Some(reveal) = sender.reveal(i - d) {
@@ -581,12 +702,25 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         drain(&mut rx, at);
         handle.tick();
         handle.quiesce();
+        // The interval boundary is quiesced, so the evidence counters
+        // are a deterministic function of the traffic so far; a
+        // directive posted here lands before any interval-`i + 1`
+        // frame.
+        if let Some(ctrl) = controller.as_mut() {
+            if let Some(directive) = ctrl.step(handle.live()) {
+                handle.post_posture(directive, at);
+                handle.quiesce();
+            }
+        }
     }
     // Tail: flush the last reveals.
     for i in spec.intervals.saturating_sub(d) + 1..=spec.intervals {
         let at = SimTime(schedule.start_of(i + d).ticks() + 10);
         for (slot, sender) in fleet.iter_mut().enumerate() {
             let id = SenderId(slot as u64 + 1);
+            if adversary.suppresses(id, i + d) {
+                continue;
+            }
             if let Some(reveal) = sender.reveal(i) {
                 let frame = codec::encode_tagged(id, &DapMessage::Reveal(reveal))
                     .expect("encodable reveal");
@@ -603,6 +737,9 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
     let report = pool.shutdown_with_report();
     let mut registry = report.registry;
     registry.merge_metrics(&wire.wire_metrics());
+    if let Some(ctrl) = &controller {
+        ctrl.publish(&mut registry);
+    }
     let mut trace = report.trace;
     trace.extend(wire.take_trace());
     dap_obs::sort_records(&mut trace);
@@ -830,6 +967,95 @@ mod tests {
             assert_eq!(a.trace.len(), b.trace.len());
             assert_eq!(a.shed_frames, b.shed_frames);
         }
+    }
+
+    #[test]
+    fn adaptive_fleet_reprovisions_every_session_toward_the_ess() {
+        use dap_game::{optimal_buffer_count, DosGameParams};
+        let spec = FleetSpec {
+            senders: 16,
+            intervals: 12,
+            shards: 2,
+            flood: 0.9,
+            buffers: 2,
+            adaptive: true,
+            trace_depth: 1 << 14,
+            ..FleetSpec::default()
+        };
+        let a = run_fleet(&spec);
+        let b = run_fleet(&spec);
+        // The feedback edge stays deterministic: registries and traces
+        // (every PostureChange included) are identical across runs.
+        assert_eq!(a.registry.render(), b.registry.render());
+        assert_eq!(a.trace, b.trace);
+        let directives = a.metrics.get(keys::CONTROL_DIRECTIVES);
+        assert!(
+            directives >= 1,
+            "stationary 0.9 flood must trigger a re-size"
+        );
+        let changes = a
+            .trace
+            .iter()
+            .filter(|r| r.event.name() == "posture_change")
+            .count() as u64;
+        assert_eq!(
+            changes,
+            directives * spec.shards as u64,
+            "each directive re-provisions every shard exactly once"
+        );
+        // The live fleet lands at the offline Algorithm 3 optimum…
+        let offline = optimal_buffer_count(DosGameParams::paper_defaults(0.9, 1), 50);
+        let live_m = u32::try_from(a.metrics.get(keys::CONTROL_M)).unwrap();
+        assert!(
+            live_m.abs_diff(offline.m) <= 1,
+            "live m {live_m} vs offline m* {}",
+            offline.m
+        );
+        // …and beats the frozen bootstrap `1 − 0.9²` it started from.
+        assert!(
+            a.auth_rate > a.expected_rate,
+            "adaptive rate {} must beat the static m = 2 prediction {}",
+            a.auth_rate,
+            a.expected_rate
+        );
+    }
+
+    #[test]
+    fn reputation_farmer_earns_standing_then_spends_it_without_authenticating() {
+        use crate::adversary::FARM_INTERVALS;
+        let spec = FleetSpec {
+            senders: 8,
+            intervals: 10,
+            shards: 2,
+            pins: vec![1],
+            adversary: AdversaryClass::ReputationFarming,
+            ..FleetSpec::default()
+        };
+        let report = run_fleet(&spec);
+        // Ids 2..=8 are unpinned; every second one ([2, 4, 6, 8]) is
+        // farmed: honest through the farm window, then silent except
+        // for spoofed floods. Farmed senders reveal only during the
+        // farm (the reveal covering interval j lands at j + 1, so the
+        // last one they send covers FARM_INTERVALS − 1).
+        let farmed = 4;
+        let unfarmed = spec.senders - farmed;
+        assert_eq!(
+            report.metrics.get(keys::NET_REVEAL_TOTAL),
+            unfarmed * spec.intervals + farmed * (FARM_INTERVALS - 1)
+        );
+        // The farm phase is clean and the turn withholds reveals, so
+        // every genuine attempt authenticates — the farmed standing is
+        // real, which is exactly what makes the turn dangerous.
+        assert_eq!(report.min_sender_auth_permille, Some(1000));
+        // The post-turn flood competed for the farmed sessions'
+        // buffers…
+        assert!(
+            report.metrics.get(keys::NET_ANNOUNCE_SAMPLED_OUT) > 0,
+            "the turn's spoof flood must pressure the reservoirs"
+        );
+        // …but TESLA still never authenticates a forgery, whatever
+        // priority class the farmer earned.
+        assert_eq!(report.metrics.get(keys::NET_REVEAL_WEAK_REJECTED), 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@
 
 pub mod adversary;
 pub mod clock;
+pub mod control;
 pub mod fleet;
 pub mod loopback;
 pub mod opts;
@@ -82,6 +83,7 @@ pub mod transport;
 
 pub use adversary::{AdversaryClass, AdversaryEmit, AdversaryPlan, PostureView};
 pub use clock::{ManualClock, NetClock, RealClock};
+pub use control::{ControlConfig, ControlPlane};
 pub use fleet::{run_fleet, FleetReport, FleetShard, FleetSpec};
 pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
 pub use pool::{

@@ -21,8 +21,11 @@ use std::sync::Arc;
 
 use dap_core::{codec, DapMessage, DapParams, DapSender};
 use dap_obs::{TimeSource, TraceRecord};
-use dap_simnet::{keys, ChannelModel, Metrics, Registry, SimDuration, SimRng, SimTime};
+use dap_simnet::{
+    keys, ChannelModel, FloodIntensity, Metrics, Registry, SimDuration, SimRng, SimTime,
+};
 
+use crate::control::{ControlConfig, ControlPlane};
 use crate::pool::{DapShard, OverflowPolicy, PoolConfig, PoolObs, ReceiverPool, RoutePolicy};
 use crate::pump::Flooder;
 use crate::telemetry::SharedRegistry;
@@ -42,8 +45,24 @@ pub struct LoopbackSpec {
     pub shards: usize,
     /// Per-shard ingress queue depth.
     pub queue_depth: usize,
-    /// Flooder bandwidth share `p ∈ [0, 1)`.
+    /// Flooder bandwidth share `p ∈ [0, 1)` at campaign start.
     pub flood: f64,
+    /// Flooder bandwidth share at the end of the ramp: the wire's `p`
+    /// ramps linearly `flood → flood_end` over the first half of the
+    /// campaign, then holds at `flood_end`. `None` (the default) keeps
+    /// the wire stationary at [`flood`] — byte-identical to the
+    /// pre-ramp driver.
+    ///
+    /// [`flood`]: LoopbackSpec::flood
+    pub flood_end: Option<f64>,
+    /// Runs the live control plane: at every interval boundary the
+    /// driver quiesces the pool, feeds the reveal-time buffer evidence
+    /// to the [`ControlPlane`] estimator, and broadcasts any resulting
+    /// [`dap_core::PostureDirective`] so the shards re-size `m` before
+    /// the next interval's traffic. Determinism survives the feedback
+    /// edge: evidence is read only at quiesced boundaries, so the
+    /// directive stream is a pure function of the seed.
+    pub adaptive: bool,
     /// Genuine announce copies per interval.
     pub copies: u32,
     /// Wire loss probability.
@@ -68,6 +87,8 @@ impl Default for LoopbackSpec {
             shards: 4,
             queue_depth: 256,
             flood: 0.9,
+            flood_end: None,
+            adaptive: false,
             copies: 4,
             loss: 0.0,
             corrupt: 0.0,
@@ -162,7 +183,22 @@ pub fn run_loopback_with(
     );
     let handle = pool.handle();
     let mut flooder = Flooder::new(wire.clone(), flooder_seed, spec.flood);
-    let forged_per_interval = flooder.forged_copies(u64::from(spec.copies));
+    // The wire's forged fraction at interval `i`: a linear ramp
+    // `flood → flood_end` across the first half of the campaign, then a
+    // plateau. Stationary (`flood_end == flood`) this is `flood`
+    // everywhere and the byte stream matches the pre-ramp driver.
+    let ramp_half = (spec.intervals / 2).max(1);
+    let flood_end = spec.flood_end.unwrap_or(spec.flood);
+    let flood_at = |i: u64| -> f64 {
+        let t = ((i - 1) as f64 / ramp_half as f64).min(1.0);
+        spec.flood + (flood_end - spec.flood) * t
+    };
+    let mut controller = spec.adaptive.then(|| {
+        ControlPlane::new(
+            u32::try_from(spec.buffers).expect("buffer count fits u32"),
+            ControlConfig::default(),
+        )
+    });
 
     let mut tx = wire.clone();
     let mut rx = wire.clone();
@@ -188,7 +224,9 @@ pub fn run_loopback_with(
             .announce(i, format!("reading {i}").as_bytes())
             .expect("chain sized for the run");
         let genuine = codec::encode(&DapMessage::Announce(announce)).expect("encodable announce");
-        let total = u64::from(spec.copies) + forged_per_interval;
+        let forged_copies =
+            FloodIntensity::of_bandwidth(flood_at(i)).forged_copies(u64::from(spec.copies));
+        let total = u64::from(spec.copies) + forged_copies;
         let mut genuine_left = u64::from(spec.copies);
         let mut slots_left = total;
         for _ in 0..total {
@@ -203,6 +241,17 @@ pub fn run_loopback_with(
             slots_left -= 1;
         }
         drain(&mut rx, at);
+        if let Some(ctrl) = controller.as_mut() {
+            // Interval boundary: settle the pool, read the reveal-time
+            // evidence, and re-posture before the next interval's
+            // traffic touches the wire.
+            handle.tick();
+            handle.quiesce();
+            if let Some(directive) = ctrl.step(handle.live()) {
+                handle.post_posture(directive, at);
+                handle.quiesce();
+            }
+        }
     }
     // Tail: flush the last reveals.
     for i in spec.intervals.saturating_sub(d) + 1..=spec.intervals {
@@ -218,6 +267,9 @@ pub fn run_loopback_with(
     let report = pool.shutdown_with_report();
     let mut registry = report.registry;
     registry.merge_metrics(&wire.wire_metrics());
+    if let Some(ctrl) = &controller {
+        ctrl.publish(&mut registry);
+    }
     let mut trace = report.trace;
     trace.extend(wire.take_trace());
     dap_obs::sort_records(&mut trace);
@@ -253,6 +305,91 @@ mod tests {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.frames, b.frames);
         assert!(a.frames > 0);
+    }
+
+    #[test]
+    fn adaptive_ramp_converges_to_the_ess_and_stays_deterministic() {
+        use dap_game::{optimal_buffer_count, DosGameParams};
+        let spec = LoopbackSpec {
+            intervals: 300,
+            buffers: 2,
+            flood: 0.1,
+            flood_end: Some(0.9),
+            adaptive: true,
+            trace_depth: 1 << 16,
+            ..LoopbackSpec::default()
+        };
+        let a = run_loopback(&spec);
+        let b = run_loopback(&spec);
+        // Determinism survives the feedback edge: metrics *and* the
+        // full trace (including every PostureChange) are identical.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.trace, b.trace);
+        // The loop actuated, and narrated every re-size.
+        let directives = a.metrics.get(keys::CONTROL_DIRECTIVES);
+        assert!(directives >= 1, "ramp must trigger at least one re-size");
+        let changes = a
+            .trace
+            .iter()
+            .filter(|r| r.event.name() == "posture_change")
+            .count() as u64;
+        assert_eq!(
+            changes,
+            directives * spec.shards as u64,
+            "each directive re-sizes every shard exactly once"
+        );
+        // Converged near the offline Algorithm 3 optimum at the plateau.
+        let offline = optimal_buffer_count(DosGameParams::paper_defaults(0.9, 1), 50);
+        let live_m = a.metrics.get(keys::CONTROL_M) as u32;
+        assert!(
+            live_m.abs_diff(offline.m) <= 1,
+            "live m {live_m} vs offline m* {}",
+            offline.m
+        );
+    }
+
+    #[test]
+    fn stationary_clean_adaptive_run_never_flips_posture() {
+        let spec = LoopbackSpec {
+            intervals: 120,
+            buffers: 1,
+            flood: 0.0,
+            adaptive: true,
+            copies: 1,
+            ..LoopbackSpec::default()
+        };
+        let report = run_loopback(&spec);
+        assert_eq!(report.metrics.get(keys::CONTROL_DIRECTIVES), 0);
+        assert_eq!(report.metrics.get(keys::CONTROL_M), 1);
+        assert!(report.metrics.get(keys::CONTROL_SAMPLES) > 0);
+        assert!((report.auth_rate - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ramp_without_adaptive_defense_is_the_static_baseline() {
+        let base = LoopbackSpec {
+            intervals: 200,
+            buffers: 2,
+            flood: 0.1,
+            flood_end: Some(0.9),
+            adaptive: false,
+            ..LoopbackSpec::default()
+        };
+        let static_run = run_loopback(&base);
+        let adaptive_run = run_loopback(&LoopbackSpec {
+            adaptive: true,
+            ..base
+        });
+        assert_eq!(static_run.metrics.get(keys::CONTROL_DIRECTIVES), 0);
+        // The adaptive defender grows `m` under the ramp, so it must
+        // authenticate at least as much as the frozen m = 2 baseline.
+        assert!(
+            adaptive_run.metrics.get(keys::NET_REVEAL_AUTH)
+                >= static_run.metrics.get(keys::NET_REVEAL_AUTH),
+            "adaptive {} < static {}",
+            adaptive_run.metrics.get(keys::NET_REVEAL_AUTH),
+            static_run.metrics.get(keys::NET_REVEAL_AUTH)
+        );
     }
 
     #[test]

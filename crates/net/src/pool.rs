@@ -38,8 +38,8 @@ use std::thread::JoinHandle;
 
 use dap_core::codec::FrameAssembler;
 use dap_core::{
-    codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, Reveal, RevealOutcome,
-    RevealPrecompute, SenderId,
+    codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, PostureDirective, Reveal,
+    RevealOutcome, RevealPrecompute, SenderId,
 };
 use dap_obs::{RingSink, TimeSource, TraceEmitter, TraceEvent, TraceRecord};
 use dap_simnet::{keys, Metrics, Registry, SimRng, SimTime};
@@ -220,6 +220,28 @@ pub trait FrameVerifier: Send {
     fn prefetch(&mut self, batch: &[(SenderId, DapMessage)]) {
         let _ = batch;
     }
+
+    /// Applies a control-plane posture directive — re-size reservoir
+    /// buffers, flip the §V give-up switch — and reports the buffer
+    /// transition, if any, so the pool can trace it. The directive
+    /// arrives *between* windows (the worker flushes its buffered
+    /// window first), so a re-size never splits a window's sampling.
+    /// Default: ignore directives (verifiers without buffers).
+    fn on_posture(&mut self, directive: &PostureDirective) -> Option<PostureUpdate> {
+        let _ = directive;
+        None
+    }
+}
+
+/// A buffer re-size a verifier performed in response to a
+/// [`PostureDirective`], reported back so the shard can narrate it as
+/// [`TraceEvent::PostureChange`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostureUpdate {
+    /// Reservoir buffers per interval before the directive.
+    pub from_m: u64,
+    /// Reservoir buffers per interval after the directive.
+    pub to_m: u64,
 }
 
 /// Counters the pool mirrors into atomics so callers can watch a live
@@ -238,6 +260,12 @@ pub struct LiveCounters {
     shed_pinned: AtomicU64,
     shed_high: AtomicU64,
     shed_low: AtomicU64,
+    postures: AtomicU64,
+    posture_epoch: AtomicU64,
+    live_buffers: AtomicU64,
+    give_up: AtomicU64,
+    buffered_decided: AtomicU64,
+    buffered_forged: AtomicU64,
 }
 
 impl LiveCounters {
@@ -324,6 +352,57 @@ impl LiveCounters {
     pub fn count_authenticated(&self) {
         self.authenticated.fetch_add(1, Ordering::SeqCst);
     }
+
+    /// Posture directives accepted into shard queues so far.
+    #[must_use]
+    pub fn postures(&self) -> u64 {
+        self.postures.load(Ordering::SeqCst)
+    }
+
+    /// Epoch of the newest posture directive posted to the pool
+    /// (0 before any directive).
+    #[must_use]
+    pub fn posture_epoch(&self) -> u64 {
+        self.posture_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Reservoir buffers `m` the newest directive commanded (0 while
+    /// the pool still runs its static bootstrap posture).
+    #[must_use]
+    pub fn live_buffers(&self) -> u64 {
+        self.live_buffers.load(Ordering::SeqCst)
+    }
+
+    /// Whether the newest directive commanded the §V give-up posture.
+    #[must_use]
+    pub fn give_up(&self) -> bool {
+        self.give_up.load(Ordering::SeqCst) != 0
+    }
+
+    /// Reservoir-buffered reveals decided so far — the estimator's
+    /// sample denominator (verifier-side).
+    #[must_use]
+    pub fn buffered_decided(&self) -> u64 {
+        self.buffered_decided.load(Ordering::SeqCst)
+    }
+
+    /// Buffered reveals that turned out forged — the estimator's sample
+    /// numerator (verifier-side).
+    #[must_use]
+    pub fn buffered_forged(&self) -> u64 {
+        self.buffered_forged.load(Ordering::SeqCst)
+    }
+
+    /// Records reveal-time buffer evidence (verifier-side): `decided`
+    /// buffered entries classified this reveal, `forged` of them
+    /// spurious. Reservoir sampling is uniform over a burst, so the
+    /// forged share among buffered entries is an unbiased estimate of
+    /// the wire's forged fraction `p` — this is the measured signal the
+    /// control plane feeds to the game solver.
+    pub fn count_reveal_evidence(&self, decided: u64, forged: u64) {
+        self.buffered_decided.fetch_add(decided, Ordering::SeqCst);
+        self.buffered_forged.fetch_add(forged, Ordering::SeqCst);
+    }
 }
 
 /// A DAP receiver as a shard verifier (Algorithm 2 behind the fabric).
@@ -394,10 +473,16 @@ impl FrameVerifier for DapShard {
             }
             DapMessage::Reveal(r) => {
                 registry.incr(keys::NET_REVEAL_TOTAL);
+                let before = *self.receiver.stats();
                 let outcome = match self.pre.pop_front() {
                     Some(pre) => self.receiver.on_reveal_precomputed(r, at, &pre),
                     None => self.receiver.on_reveal(r, at),
                 };
+                let after = self.receiver.stats();
+                live.count_reveal_evidence(
+                    after.buffered_decided - before.buffered_decided,
+                    after.buffered_forged - before.buffered_forged,
+                );
                 let (key, outcome) = match outcome {
                     RevealOutcome::Authenticated { .. } => {
                         live.count_authenticated();
@@ -434,6 +519,19 @@ impl FrameVerifier for DapShard {
             })
             .collect();
         self.pre = DapReceiver::precompute_reveals(&items).into();
+    }
+
+    fn on_posture(&mut self, directive: &PostureDirective) -> Option<PostureUpdate> {
+        let from = self.receiver.buffer_capacity();
+        let to = directive.effective_buffers();
+        if from == to {
+            return None;
+        }
+        self.receiver.set_buffers(to);
+        Some(PostureUpdate {
+            from_m: from as u64,
+            to_m: to as u64,
+        })
     }
 }
 
@@ -547,6 +645,12 @@ struct IngressFrame {
 enum Ingress {
     Frame(IngressFrame),
     Tick,
+    /// A control-plane posture directive, stamped with the driver time
+    /// it was issued so the resulting trace events order with traffic.
+    Posture {
+        directive: PostureDirective,
+        at: SimTime,
+    },
 }
 
 /// The ingest side of a pool: cheap to clone, safe to hand to a socket
@@ -648,8 +752,39 @@ impl PoolHandle {
         }
     }
 
+    /// Broadcasts a control-plane posture directive to every shard,
+    /// stamped `at`. Each worker flushes its buffered window first,
+    /// then re-sizes its reservoir buffers (and give-up switch) before
+    /// touching any later frame — so a directive posted at an interval
+    /// boundary takes effect atomically at that boundary, per shard.
+    /// Under `Block` the push backpressures like any frame; under
+    /// `DropCount` a full queue loses the directive for that shard (the
+    /// next epoch's directive re-converges it).
+    pub fn post_posture(&self, directive: PostureDirective, at: SimTime) {
+        for queue in self.queues.iter() {
+            let item = Ingress::Posture { directive, at };
+            let outcome = match self.overflow {
+                OverflowPolicy::DropCount => queue.try_push(item),
+                OverflowPolicy::Block => queue.push_blocking(item),
+            };
+            if outcome.is_ok() {
+                self.live.postures.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        self.live
+            .posture_epoch
+            .store(directive.epoch, Ordering::SeqCst);
+        self.live
+            .live_buffers
+            .store(directive.effective_buffers() as u64, Ordering::SeqCst);
+        self.live
+            .give_up
+            .store(u64::from(directive.give_up), Ordering::SeqCst);
+    }
+
     /// Spins until the workers have handled every item pushed so far
-    /// (frames and ticks). After this returns, shed and auth counters
+    /// (frames, ticks and posture directives). After this returns, shed
+    /// and auth counters
     /// are a deterministic function of the pushed sequence — this is
     /// what lets an adaptive adversary (or a controller) *observe*
     /// defender posture between intervals without racing the workers.
@@ -657,7 +792,7 @@ impl PoolHandle {
     /// target moves and the wait is unbounded.
     pub fn quiesce(&self) {
         loop {
-            let target = self.live.frames() + self.live.ticks();
+            let target = self.live.frames() + self.live.ticks() + self.live.postures();
             if self.live.processed() >= target {
                 break;
             }
@@ -922,6 +1057,34 @@ fn run_shard<V: FrameVerifier>(
                     &mut registry,
                     &mut trace,
                 );
+            }
+            Ingress::Posture { directive, at } => {
+                // A directive is a window boundary too: drain what the
+                // old posture admitted before re-sizing anything.
+                datagrams += flush_window(
+                    shard,
+                    &mut window,
+                    drain_budget,
+                    queue,
+                    verifier,
+                    rng,
+                    live,
+                    obs,
+                    &mut registry,
+                    &mut trace,
+                );
+                if let Some(update) = verifier.on_posture(&directive) {
+                    trace.emit(
+                        at.ticks(),
+                        TraceEvent::PostureChange {
+                            epoch: directive.epoch,
+                            from_m: update.from_m,
+                            to_m: update.to_m,
+                            p_permille: u64::from(directive.p_permille),
+                            give_up: directive.give_up,
+                        },
+                    );
+                }
             }
         }
         live.processed.fetch_add(1, Ordering::SeqCst);

@@ -265,6 +265,29 @@ impl SessionTable {
         }
     }
 
+    /// Re-provisions every resident session to `m` reservoir buffers —
+    /// the control plane's live re-size. Each receiver keeps its anchor,
+    /// skew and pending windows; only *future* intervals sample into the
+    /// new capacity. Per-session memory accounting is recomputed (a
+    /// bigger `m` costs more bits), but the budget is re-enforced lazily
+    /// at the next admission, which evicts down as usual — re-sizing
+    /// must not itself evict, or a directive could silently drop pinned
+    /// sessions. Returns the number of sessions touched.
+    pub fn reprovision(&mut self, m: usize) -> usize {
+        let mut touched = 0;
+        let mut total = 0u64;
+        for entry in self.sessions.values_mut() {
+            if entry.receiver.buffer_capacity() != m {
+                entry.receiver.set_buffers(m);
+                entry.cost_bits = entry.receiver.memory_capacity_bits() + SESSION_OVERHEAD_BITS;
+                touched += 1;
+            }
+            total += entry.cost_bits;
+        }
+        self.memory_bits = total;
+        touched
+    }
+
     /// Resolves `sender` to its session, admitting (or re-admitting) it
     /// via `directory` when absent. Returns `None` when the directory
     /// does not know the sender — unknown senders never consume budget,

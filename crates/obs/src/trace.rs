@@ -94,6 +94,21 @@ pub enum TraceEvent {
         /// The interval the shed frame claimed.
         interval: u64,
     },
+    /// The control plane re-sized a shard's defensive posture: the
+    /// online game solver picked a new reservoir count (or flipped the
+    /// §V give-up switch) from the live forged-fraction estimate.
+    PostureChange {
+        /// The control-plane epoch (monotone per run; one per directive).
+        epoch: u64,
+        /// Reservoir capacity before the change.
+        from_m: u64,
+        /// Reservoir capacity after the change.
+        to_m: u64,
+        /// The forged-fraction estimate (permille) that drove the solve.
+        p_permille: u64,
+        /// Whether the solver declared the §V give-up regime.
+        give_up: bool,
+    },
 }
 
 impl TraceEvent {
@@ -110,6 +125,7 @@ impl TraceEvent {
             Self::FaultInjected { .. } => "fault_injected",
             Self::SessionEvicted { .. } => "session_evicted",
             Self::ShedDecision { .. } => "shed_decision",
+            Self::PostureChange { .. } => "posture_change",
         }
     }
 }
@@ -179,6 +195,18 @@ impl TraceRecord {
                 .u64("sender", *sender)
                 .str("class", class)
                 .u64("interval", *interval),
+            TraceEvent::PostureChange {
+                epoch,
+                from_m,
+                to_m,
+                p_permille,
+                give_up,
+            } => base
+                .u64("epoch", *epoch)
+                .u64("from_m", *from_m)
+                .u64("to_m", *to_m)
+                .u64("p_permille", *p_permille)
+                .bool("give_up", *give_up),
         }
         .finish()
     }
@@ -471,6 +499,13 @@ mod tests {
                 sender: 17,
                 class: "low",
                 interval: 2,
+            },
+            TraceEvent::PostureChange {
+                epoch: 1,
+                from_m: 4,
+                to_m: 13,
+                p_permille: 800,
+                give_up: false,
             },
         ];
         for event in events {

@@ -469,6 +469,18 @@ pub mod keys {
     pub const NET_FLEET_PINNED_AUTH_PERMILLE: &str = "net.fleet.pinned_auth_permille";
     /// Fleet: auth-rate envelope restricted to unpinned senders.
     pub const NET_FLEET_UNPINNED_AUTH_PERMILLE: &str = "net.fleet.unpinned_auth_permille";
+    /// Control plane: forged-fraction estimate samples folded into p̂.
+    pub const CONTROL_SAMPLES: &str = "control.samples";
+    /// Control plane: final smoothed forged-fraction estimate (permille).
+    pub const CONTROL_P_PERMILLE: &str = "control.p_permille";
+    /// Control plane: online game solves run (hysteresis-gated).
+    pub const CONTROL_SOLVES: &str = "control.solves";
+    /// Control plane: posture directives issued (m or give-up changed).
+    pub const CONTROL_DIRECTIVES: &str = "control.directives";
+    /// Control plane: final reservoir count the directives converged on.
+    pub const CONTROL_M: &str = "control.m";
+    /// Control plane: 1 when the §V give-up switch ended the run on.
+    pub const CONTROL_GIVE_UP: &str = "control.give_up";
     /// Wire medium: frames sent.
     pub const NET_WIRE_SENT: &str = "net.wire.sent";
     /// Wire medium: frames lost.
@@ -567,6 +579,12 @@ pub mod keys {
         NET_FLEET_AUTH_RATE_PERMILLE,
         NET_FLEET_PINNED_AUTH_PERMILLE,
         NET_FLEET_UNPINNED_AUTH_PERMILLE,
+        CONTROL_SAMPLES,
+        CONTROL_P_PERMILLE,
+        CONTROL_SOLVES,
+        CONTROL_DIRECTIVES,
+        CONTROL_M,
+        CONTROL_GIVE_UP,
         NET_WIRE_SENT,
         NET_WIRE_LOST,
         NET_WIRE_CORRUPTED,

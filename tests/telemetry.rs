@@ -20,6 +20,8 @@ fn traced_spec() -> LoopbackSpec {
         copies: 2,
         loss: 0.05,
         corrupt: 0.01,
+        flood_end: None,
+        adaptive: false,
         trace_depth: 65_536,
     }
 }
