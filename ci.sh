@@ -43,8 +43,10 @@ $soak --loopback --seed 7 --intervals 100 --flood 0 --copies 1 \
 
 echo "== telemetry gate (seeded trace + snapshot byte-identity) =="
 # Two same-seed traced runs: the printed registry snapshot must be
-# byte-identical, and the trace JSONL must be byte-identical below its
-# wall-clock header line (see DESIGN.md §9 and tests/telemetry.rs).
+# byte-identical, and the trace JSONL must be byte-identical as a
+# *whole file* — the header timestamp reads the run's own TimeSource,
+# so a frozen-clock run has nothing wall-clocked to skip (DESIGN.md §9
+# and tests/telemetry.rs).
 $soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
     --flood 0.9 --copies 4 --trace-out target/net_trace_a.jsonl \
     > target/net_telemetry_a.txt
@@ -52,10 +54,8 @@ $soak --loopback --seed 2016 --intervals 400 --buffers 4 --shards 4 \
     --flood 0.9 --copies 4 --trace-out target/net_trace_b.jsonl \
     > target/net_telemetry_b.txt
 cmp target/net_telemetry_a.txt target/net_telemetry_b.txt
-tail -n +2 target/net_trace_a.jsonl > target/net_trace_a.body
-tail -n +2 target/net_trace_b.jsonl > target/net_trace_b.body
-cmp target/net_trace_a.body target/net_trace_b.body
-test -s target/net_trace_a.body
+cmp target/net_trace_a.jsonl target/net_trace_b.jsonl
+test -s target/net_trace_a.jsonl
 
 echo "== fleet soak (1k tagged senders, session tables, byte-identity) =="
 # Crowd-scale gate: every sender spoofed by the flooder at p = 0.8,
@@ -73,8 +73,8 @@ echo "== overload gate (burst adversary, pinned floor, shed byte-identity) =="
 # The prioritized posture under the worst targeted adversary: pins 1-8,
 # a finite per-shard drain budget, burst-at-reanchor at p = 0.9. Two
 # same-seed campaigns must print byte-identical reports and emit
-# byte-identical traces (shed decisions included) below the wall-clock
-# header, and the pinned senders must authenticate every reveal
+# byte-identical traces, whole file, shed decisions and header
+# included, and the pinned senders must authenticate every reveal
 # (>= 0.99 x the clean baseline asserted below). See DESIGN.md §11.
 $soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
     --shards 4 --flood 0.9 --copies 4 --adversary burst-reanchor \
@@ -87,12 +87,10 @@ $soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
     --assert-pinned-floor 990 --trace-out target/overload_b.jsonl \
     > target/overload_b.txt
 cmp target/overload_a.txt target/overload_b.txt
-tail -n +2 target/overload_a.jsonl > target/overload_a.body
-tail -n +2 target/overload_b.jsonl > target/overload_b.body
-cmp target/overload_a.body target/overload_b.body
-test -s target/overload_a.body
+cmp target/overload_a.jsonl target/overload_b.jsonl
+test -s target/overload_a.jsonl
 # The burst must actually overflow the budget: shed decisions traced.
-grep -q '"ev":"shed_decision"' target/overload_a.body
+grep -q '"ev":"shed_decision"' target/overload_a.jsonl
 # Clean baseline for the 0.99x floor: no adversary, same posture — the
 # pinned rate is 1000 permille, so the attacked floor above is >= 0.99x.
 $soak --fleet --seed 2016 --senders 64 --intervals 8 --buffers 4 \
@@ -105,8 +103,8 @@ echo "== adaptive gate (live control plane: ramp to the ESS, byte-identity) =="
 # directives at quiesced interval boundaries. Under a 0.1 -> 0.9 flood
 # ramp the final commanded m must land within +-1 of the offline
 # Algorithm 3 optimum (--assert-adaptive); two same-seed runs must
-# print byte-identical snapshots and traces below the wall-clock
-# header (the feedback edge costs no determinism); and the trace must
+# print byte-identical snapshots and whole-file byte-identical traces
+# (the feedback edge costs no determinism); and the trace must
 # narrate at least one live re-size.
 $soak --loopback --seed 2016 --intervals 300 --buffers 2 --shards 4 \
     --flood 0.1 --flood-end 0.9 --adaptive --assert-adaptive \
@@ -115,13 +113,45 @@ $soak --loopback --seed 2016 --intervals 300 --buffers 2 --shards 4 \
     --flood 0.1 --flood-end 0.9 --adaptive --assert-adaptive \
     --trace-out target/adaptive_b.jsonl > target/adaptive_b.txt
 cmp target/adaptive_a.txt target/adaptive_b.txt
-tail -n +2 target/adaptive_a.jsonl > target/adaptive_a.body
-tail -n +2 target/adaptive_b.jsonl > target/adaptive_b.body
-cmp target/adaptive_a.body target/adaptive_b.body
-grep -q '"ev":"posture_change"' target/adaptive_a.body
+cmp target/adaptive_a.jsonl target/adaptive_b.jsonl
+grep -q '"ev":"posture_change"' target/adaptive_a.jsonl
 # No-flap leg: a stationary clean wire must never fire a directive.
 $soak --loopback --seed 7 --intervals 120 --buffers 1 --flood 0 \
     --copies 1 --adaptive --assert-posture-stable > /dev/null
+
+echo "== daptrace gate (forensic audit of the captured traces) =="
+# DESIGN §14: the audit engine replays every capture the gates above
+# produced and proves the causal invariants hold — verify pairing,
+# shed quiescence, monotone posture epochs, the k <= m reservoir
+# bound, pinned-session immunity — exiting nonzero on any violation.
+# The same-seed flood soak is traced twice (net_trace_a/b above); both
+# must audit clean and their audits and reports must be byte-identical.
+daptrace="cargo run --release --offline -q -p dap-net --bin daptrace --"
+# The flood capture must actually carry flight-recorder spans.
+grep -q '"ev":"frame_span"' target/net_trace_a.jsonl
+$daptrace audit target/net_trace_a.jsonl > target/audit_a.txt
+$daptrace audit target/net_trace_b.jsonl > target/audit_b.txt
+cmp target/audit_a.txt target/audit_b.txt
+$daptrace report target/net_trace_a.jsonl > target/report_a.txt
+$daptrace report target/net_trace_b.jsonl > target/report_b.txt
+cmp target/report_a.txt target/report_b.txt
+test -s target/report_a.txt
+# The stage-latency table and the attack-onset verdict must be there:
+# a p = 0.9 flood from interval zero registers an onset immediately.
+grep -q 'verify' target/report_a.txt
+grep -q 'attack onset' target/report_a.txt
+# The overload capture audits clean under its pinned-floor posture —
+# --pin-first mirrors the soak flags, arming the pin-respected rule.
+$daptrace audit --pin-first 8 target/overload_a.jsonl > /dev/null
+# The adaptive capture's posture epochs are monotone end to end.
+$daptrace audit target/adaptive_a.jsonl > /dev/null
+# A tampered capture must be rejected with a nonzero exit.
+sed 's/"ev":"verify_end"/"ev":"verify_end_forged"/' \
+    target/net_trace_a.jsonl > target/net_trace_tampered.jsonl
+if $daptrace audit target/net_trace_tampered.jsonl > /dev/null 2>&1; then
+    echo "daptrace accepted a tampered trace" >&2
+    exit 1
+fi
 
 echo "== sweep parallelism gate (workers engaged, bit-identical) =="
 # The perf smoke above wrote target/BENCH_sweep.json. The provisioning
@@ -151,6 +181,23 @@ grep -q '"name":"fleet_ingest"' target/BENCH_net.json
 # its survival fields (see EXPERIMENTS.md).
 grep -q '"name":"overload_burst-reanchor_prioritized"' target/BENCH_net.json
 grep -q '"pinned_permille"' target/BENCH_net.json
+
+echo "== traced-ingest overhead gate (flight recorder <= 10%) =="
+# The loopback ingest lane runs as an interleaved pair: untraced vs
+# the flight-recorder posture (per-shard retain-last-8192 rings, a
+# span on every frame). Tracing every frame may cost at most 10% of
+# untraced throughput, or the recorder is not flight-recorder-grade.
+# Trailing comma in the name match keeps loopback_ingest from also
+# matching its _traced sibling.
+untraced=$(grep '"name":"loopback_ingest",' target/BENCH_net.json \
+    | grep -o '"frames_per_sec":[0-9.]*' | cut -d: -f2)
+traced=$(grep '"name":"loopback_ingest_traced",' target/BENCH_net.json \
+    | grep -o '"frames_per_sec":[0-9.]*' | cut -d: -f2)
+test -n "$untraced" && test -n "$traced"
+echo "$traced $untraced" | awk '{ exit !($1 >= 0.90 * $2) }' || {
+    echo "traced ingest at $traced frames/s is < 0.90x untraced at $untraced frames/s" >&2
+    exit 1
+}
 
 echo "== batch gate (lane-parallel reveal-verify >= 2x scalar) =="
 # The batched lanes amortize the per-interval chain walk and push the

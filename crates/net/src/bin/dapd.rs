@@ -8,7 +8,8 @@
 //!      [--queue-depth Q] [--flood P] [--flood-end P2] [--copies G]
 //!      [--loss L] [--corrupt C] [--tolerance T] [--adaptive]
 //!      [--assert-soak] [--assert-adaptive] [--assert-posture-stable]
-//!      [--trace-out PATH] [--trace-depth D] [--telemetry ADDR]
+//!      [--trace-out PATH] [--trace-depth D] [--span-every N]
+//!      [--telemetry ADDR]
 //!
 //! # Adaptive defense (DESIGN §13): --adaptive runs the online control
 //! # plane — the driver estimates the forged share from reveal-time
@@ -29,7 +30,7 @@
 //!      [--drain-budget B] [--assert-pinned-floor PERMILLE]
 //!      [--adaptive] [--assert-soak] [--assert-adaptive]
 //!      [--assert-posture-stable] [--trace-out PATH] [--trace-depth D]
-//!      [--telemetry ADDR]
+//!      [--span-every N] [--telemetry ADDR]
 //!
 //! # Overload posture: --pin 1,2,7 (or --pin-first N for ids 1..=N)
 //! # marks operator-pinned senders — never evicted while an unpinned
@@ -57,11 +58,16 @@
 //! `--tick-us` microseconds (default 1000 — 100 ms intervals).
 //!
 //! Observability: `--telemetry ADDR` serves the live registry in
-//! Prometheus text format over HTTP; `--trace-out PATH` writes the
-//! structured trace as JSONL (first line is a wall-clock header, every
-//! following line is deterministic for a seeded loopback run); the
-//! receiver role prints its final sorted telemetry snapshot on Ctrl-C
-//! or when `--duration-ms` elapses.
+//! Prometheus text format over HTTP (including the control plane's
+//! `control_gauge_*` posture gauges under `--adaptive`); `--trace-out
+//! PATH` writes the structured trace as JSONL — the header line's
+//! timestamp comes from the run's own clock, so a seeded loopback/fleet
+//! trace is byte-identical whole-file across same-seed runs.
+//! `--span-every N` sets the flight-recorder cadence (default: every
+//! verified datagram when traced; feed the file to `daptrace` for
+//! timelines, audits and stage-latency reports); the receiver role
+//! prints its final sorted telemetry snapshot on Ctrl-C or when
+//! `--duration-ms` elapses.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -164,11 +170,22 @@ fn trace_depth(opts: &Opts) -> usize {
     opts.get_or("trace-depth", default)
 }
 
-/// Writes the sorted trace as JSONL (wall-clock header line first).
+/// Flight-recorder cadence: explicit `--span-every`, else record every
+/// verified datagram whenever the run is traced at all (spans are what
+/// `daptrace report` breaks latency down from).
+fn span_every(opts: &Opts) -> u64 {
+    let default = u64::from(trace_depth(opts) > 0);
+    opts.get_or("span-every", default)
+}
+
+/// Writes the sorted trace as JSONL. The header line's timestamp comes
+/// from the run's own `time` — frozen (0) for the deterministic
+/// campaigns, so two same-seed traced runs are byte-identical whole-file
+/// (no `tail -n +2` needed to compare them), wall for the UDP roles.
 /// The note goes to stderr: stdout is the deterministic snapshot the
 /// ci.sh gates `cmp`, and the note embeds a run-specific path.
-fn write_trace(path: &str, records: &[TraceRecord]) {
-    let mut sink = JsonlSink::create(path).expect("create --trace-out file");
+fn write_trace(path: &str, records: &[TraceRecord], time: &TimeSource) {
+    let mut sink = JsonlSink::create(path, time).expect("create --trace-out file");
     for record in records {
         sink.record(record.clone());
     }
@@ -192,6 +209,7 @@ fn run_loopback_mode(opts: &Opts) {
             .map(|v| v.parse().expect("--flood-end is a bandwidth share")),
         adaptive: opts.flag("adaptive"),
         trace_depth: trace_depth(opts),
+        span_every: span_every(opts),
     };
     println!(
         "dapd --loopback seed={} intervals={} m={} shards={} p={} p_end={} copies={} loss={} \
@@ -207,9 +225,10 @@ fn run_loopback_mode(opts: &Opts) {
         spec.corrupt,
         spec.adaptive
     );
+    // One telemetry slot per shard plus the control plane's gauge slot.
     let shared = opts
         .get("telemetry")
-        .map(|_| Arc::new(SharedRegistry::new(spec.shards)));
+        .map(|_| Arc::new(SharedRegistry::new(spec.shards + 1)));
     let server = opts.get("telemetry").map(|addr| {
         let server = TelemetryServer::bind(addr, Arc::clone(shared.as_ref().expect("built above")))
             .expect("bind --telemetry listener");
@@ -223,7 +242,7 @@ fn run_loopback_mode(opts: &Opts) {
         report.auth_rate, report.expected_rate
     );
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &report.trace);
+        write_trace(path, &report.trace, &TimeSource::frozen());
     }
     if opts.flag("assert-soak") {
         assert_soak(&spec, &report, opts.get_or("tolerance", 0.08));
@@ -309,6 +328,7 @@ fn run_fleet_mode(opts: &Opts) {
         max_sessions: opts.get_or("max-sessions", usize::MAX),
         memory_budget_bits: opts.get_or("session-budget-bits", 16 * 1024 * 1024),
         trace_depth: trace_depth(opts),
+        span_every: span_every(opts),
         pins: parse_pins(opts),
         adversary,
         drain_budget: opts.get_or("drain-budget", usize::MAX),
@@ -334,9 +354,10 @@ fn run_fleet_mode(opts: &Opts) {
         },
         spec.adaptive
     );
+    // One telemetry slot per shard plus the control plane's gauge slot.
     let shared = opts
         .get("telemetry")
-        .map(|_| Arc::new(SharedRegistry::new(spec.shards)));
+        .map(|_| Arc::new(SharedRegistry::new(spec.shards + 1)));
     let server = opts.get("telemetry").map(|addr| {
         let server = TelemetryServer::bind(addr, Arc::clone(shared.as_ref().expect("built above")))
             .expect("bind --telemetry listener");
@@ -372,7 +393,7 @@ fn run_fleet_mode(opts: &Opts) {
         report.shed_frames, report.frames, report.shed_fraction, report.evictions
     );
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &report.trace);
+        write_trace(path, &report.trace, &TimeSource::frozen());
     }
     if opts.flag("assert-soak") {
         assert_fleet_soak(&spec, &report, opts.get_or("tolerance", 0.08));
@@ -602,6 +623,7 @@ fn run_receiver(opts: &Opts) {
             publish: shared,
             // Live enough for a scrape without a per-frame lock.
             publish_every: 256,
+            span_every: span_every(opts),
         },
     );
     let handle = pool.handle();
@@ -639,7 +661,7 @@ fn run_receiver(opts: &Opts) {
     let report = pool.shutdown_with_report();
     print!("{}", report.registry.render());
     if let Some(path) = opts.get("trace-out") {
-        write_trace(path, &report.trace);
+        write_trace(path, &report.trace, &TimeSource::wall());
     }
     let counters = report.registry.counters();
     let auth = counters.get(dap_simnet::keys::NET_REVEAL_AUTH);

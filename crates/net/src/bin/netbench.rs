@@ -98,16 +98,42 @@ impl Lane {
 
 /// End-to-end frames/sec through encode → transport → shard routing →
 /// bounded queues → decode → verify, on the seeded loopback campaign.
-fn bench_ingest() -> Lane {
-    let spec = LoopbackSpec {
-        // ~10 intervals per budget millisecond keeps the smoke run fast
-        // and the full run statistically meaningful.
-        intervals: (budget_ms() * 10).clamp(40, 4000),
+/// The traced twin runs the identical campaign with the ring trace and
+/// the flight recorder sampling every datagram — the pair is the
+/// observability-overhead measurement ci.sh gates at ≤ 10%.
+fn bench_ingest_pair() -> (Lane, Lane) {
+    let spec_with = |trace_depth, span_every| LoopbackSpec {
+        // Floor of 1000 even on the smoke budget: the traced/untraced
+        // pair feeds a ratio gate, and under ~1000 intervals the fixed
+        // setup costs (thread spawn, ring prealloc, trace collection)
+        // swamp the per-frame signal the gate is about.
+        intervals: (budget_ms() * 10).clamp(1000, 4000),
+        trace_depth,
+        span_every,
         ..LoopbackSpec::default()
     };
-    let t0 = Instant::now();
-    let report = run_loopback(&spec);
-    Lane::from_batch("loopback_ingest", report.frames, t0.elapsed().as_nanos())
+    // The traced twin runs the flight-recorder posture: per-shard
+    // retain-last-8192 rings (the black-box model — keep the recent
+    // window, bounded memory) with spans sampled on every frame.
+    let specs = [spec_with(0, 0), spec_with(8192, 1)];
+    // The gate divides these two numbers, so measure them as
+    // interleaved best-of-4 pairs: alternating runs see the same box
+    // weather, and the min discards contention spikes that would flap
+    // a 10% ratio threshold if each lane were timed in isolation.
+    let mut frames = [0u64; 2];
+    let mut best = [u128::MAX; 2];
+    for _ in 0..4 {
+        for (i, spec) in specs.iter().enumerate() {
+            let t0 = Instant::now();
+            let report = run_loopback(spec);
+            frames[i] = report.frames;
+            best[i] = best[i].min(t0.elapsed().as_nanos());
+        }
+    }
+    (
+        Lane::from_batch("loopback_ingest", frames[0], best[0]),
+        Lane::from_batch("loopback_ingest_traced", frames[1], best[1]),
+    )
 }
 
 /// Fleet frames/sec: tagged frames from many senders through
@@ -328,6 +354,7 @@ fn bench_dap_reveal_batched() -> Lane {
         .collect();
     let mut rng = SimRng::new(7);
     let mut elapsed: u128 = 0;
+    let mut hist = Histogram::new();
     let mut authenticated = 0u64;
     for i in 1..=INTERVALS {
         // Announces land untimed — this lane measures reveal verify.
@@ -350,17 +377,25 @@ fn bench_dap_reveal_batched() -> Lane {
                 authenticated += 1;
             }
         }
-        elapsed += t0.elapsed().as_nanos();
+        let window_ns = t0.elapsed().as_nanos();
+        elapsed += window_ns;
+        // The window is the amortization unit: each of its frames paid
+        // an equal share, so the quantiles stream one share per frame.
+        hist.record_n(
+            u64::try_from(window_ns / PAIRS as u128).unwrap_or(u64::MAX),
+            PAIRS as u64,
+        );
     }
     assert_eq!(
         authenticated,
         PAIRS as u64 * INTERVALS,
         "bench reveals must authenticate for the timing to mean anything"
     );
-    Lane::from_batch(
+    Lane::from_hist(
         "dap_reveal_verify_batched",
         PAIRS as u64 * INTERVALS,
         elapsed,
+        &hist,
     )
 }
 
@@ -379,6 +414,7 @@ fn bench_teslapp_reveal_batched() -> Lane {
         .map(|s| TeslaPpReceiver::new(s.bootstrap(), b"netbench"))
         .collect();
     let mut elapsed: u128 = 0;
+    let mut hist = Histogram::new();
     let mut authenticated = 0u64;
     for i in 1..=INTERVALS {
         for (sender, receiver) in senders.iter_mut().zip(receivers.iter_mut()) {
@@ -403,17 +439,23 @@ fn bench_teslapp_reveal_batched() -> Lane {
                 authenticated += 1;
             }
         }
-        elapsed += t0.elapsed().as_nanos();
+        let window_ns = t0.elapsed().as_nanos();
+        elapsed += window_ns;
+        hist.record_n(
+            u64::try_from(window_ns / PAIRS as u128).unwrap_or(u64::MAX),
+            PAIRS as u64,
+        );
     }
     assert_eq!(
         authenticated,
         PAIRS as u64 * INTERVALS,
         "bench reveals must authenticate for the timing to mean anything"
     );
-    Lane::from_batch(
+    Lane::from_hist(
         "teslapp_reveal_verify_batched",
         PAIRS as u64 * INTERVALS,
         elapsed,
+        &hist,
     )
 }
 
@@ -499,7 +541,7 @@ fn main() {
         .filter(|a| !a.starts_with('-'))
         .unwrap_or_else(|| ".".into());
 
-    let ingest = bench_ingest();
+    let (ingest, ingest_traced) = bench_ingest_pair();
     let fleet = bench_fleet_ingest();
     let (dap_flood, dap_announce, dap_reveal) = bench_dap_verify();
     let dap_reveal_batched = bench_dap_reveal_batched();
@@ -508,6 +550,7 @@ fn main() {
     let codec_lane = bench_codec();
     let mut lanes = vec![
         ingest,
+        ingest_traced,
         fleet,
         dap_flood,
         dap_announce,

@@ -89,6 +89,10 @@ pub struct ControlPlane {
     samples: u64,
     solves: u64,
     directives: u64,
+    /// The most recent raw evidence sample (ppm), before smoothing —
+    /// what a [`dap_obs::TraceEvent::ControlEstimate`] narrates next to
+    /// the smoothed `p̂`.
+    last_sample_ppm: u64,
 }
 
 impl ControlPlane {
@@ -115,6 +119,7 @@ impl ControlPlane {
             samples: 0,
             solves: 0,
             directives: 0,
+            last_sample_ppm: 0,
         }
     }
 
@@ -146,6 +151,27 @@ impl ControlPlane {
     #[must_use]
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// The current posture epoch (0 until the first directive).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The smoothed estimate `p̂` in parts-per-million (0 before any
+    /// evidence; clamped to the probability range).
+    #[must_use]
+    pub fn estimate_ppm(&self) -> u64 {
+        self.p_hat_ppm
+            .map_or(0, |ppm| ppm.clamp(0, 1_000_000) as u64)
+    }
+
+    /// The last raw evidence sample in parts-per-million (0 before any
+    /// evidence).
+    #[must_use]
+    pub fn last_sample_ppm(&self) -> u64 {
+        self.last_sample_ppm
     }
 
     /// One control-loop step against the pool's live counters. Call
@@ -180,6 +206,7 @@ impl ControlPlane {
         }
         let sample_ppm = (d_forged as i64 * 1_000_000) / d_decided as i64;
         self.samples += 1;
+        self.last_sample_ppm = sample_ppm as u64;
         let p_hat = match self.p_hat_ppm {
             None => sample_ppm,
             Some(h) => h + (sample_ppm - h) / (1i64 << self.config.ewma_shift),
@@ -220,6 +247,22 @@ impl ControlPlane {
         registry.add(keys::CONTROL_DIRECTIVES, self.directives);
         registry.add(keys::CONTROL_M, u64::from(self.buffers));
         registry.add(keys::CONTROL_GIVE_UP, u64::from(self.give_up));
+        self.publish_gauges(registry);
+    }
+
+    /// Folds just the live-state gauges (`control.gauge.*`: p̂ ppm,
+    /// posture epoch, commanded `m`) into a registry — what the drivers
+    /// push into the telemetry endpoint's control slot mid-run, so a
+    /// Prometheus scrape sees the plane's current posture between
+    /// directives.
+    pub fn publish_gauges(&self, registry: &mut Registry) {
+        registry
+            .gauge(keys::CONTROL_GAUGE_P_HAT_PPM)
+            .set(self.estimate_ppm());
+        registry.gauge(keys::CONTROL_GAUGE_EPOCH).set(self.epoch);
+        registry
+            .gauge(keys::CONTROL_GAUGE_M)
+            .set(u64::from(self.buffers));
     }
 
     /// Rounds parts-per-million to the nearest permille, clamped to the

@@ -68,6 +68,11 @@ pub struct FleetSpec {
     pub memory_budget_bits: u64,
     /// Per-source trace ring capacity; 0 disables tracing.
     pub trace_depth: usize,
+    /// Flight-recorder sampling cadence ([`PoolObs::span_every`]):
+    /// every `span_every`-th verified datagram per shard emits a
+    /// [`dap_obs::TraceEvent::FrameSpan`] and feeds the `net.stage.*`
+    /// histograms. 0 (the default) disables the recorder.
+    pub span_every: u64,
     /// Operator-pinned sender ids: never evicted while an unpinned
     /// session exists, drained first under queue pressure, and off
     /// limits to the targeted adversary classes (a pin is an id the
@@ -116,6 +121,7 @@ impl Default for FleetSpec {
             max_sessions: usize::MAX,
             memory_budget_bits: 16 * 1024 * 1024,
             trace_depth: 0,
+            span_every: 0,
             pins: Vec::new(),
             adversary: AdversaryClass::Bernoulli,
             drain_budget: usize::MAX,
@@ -600,8 +606,9 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         PoolObs {
             time: TimeSource::frozen(),
             trace_depth: spec.trace_depth,
-            publish,
+            publish: publish.clone(),
             publish_every: 64,
+            span_every: spec.span_every,
         },
     );
     let handle = pool.handle();
@@ -620,6 +627,11 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
             ControlConfig::default(),
         )
     });
+    // Control-plane narration: p̂ estimate samples trace at their own
+    // reserved source id (one past the wire).
+    let ctrl_source = u32::try_from(spec.shards).expect("shard count fits u32") + 2;
+    let mut ctrl_trace = (spec.adaptive && spec.trace_depth > 0)
+        .then(|| dap_obs::TraceEmitter::new(ctrl_source, dap_obs::RingSink::new(spec.trace_depth)));
 
     let mut tx = wire.clone();
     let mut rx = wire.clone();
@@ -707,7 +719,30 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
         // directive posted here lands before any interval-`i + 1`
         // frame.
         if let Some(ctrl) = controller.as_mut() {
-            if let Some(directive) = ctrl.step(handle.live()) {
+            let samples_before = ctrl.samples();
+            let directive = ctrl.step(handle.live());
+            if ctrl.samples() > samples_before {
+                if let Some(emitter) = ctrl_trace.as_mut() {
+                    emitter.emit(
+                        at.ticks(),
+                        dap_obs::TraceEvent::ControlEstimate {
+                            epoch: ctrl.epoch(),
+                            sample_ppm: ctrl.last_sample_ppm(),
+                            p_hat_ppm: ctrl.estimate_ppm(),
+                        },
+                    );
+                }
+                // Live posture gauges land in the telemetry slot one
+                // past the shards, when the caller provisioned it.
+                if let Some(shared) = &publish {
+                    if shared.slots() > spec.shards {
+                        let mut gauges = Registry::new();
+                        ctrl.publish_gauges(&mut gauges);
+                        shared.publish(spec.shards, &gauges);
+                    }
+                }
+            }
+            if let Some(directive) = directive {
                 handle.post_posture(directive, at);
                 handle.quiesce();
             }
@@ -742,6 +777,9 @@ pub fn run_fleet_with(spec: &FleetSpec, publish: Option<Arc<SharedRegistry>>) ->
     }
     let mut trace = report.trace;
     trace.extend(wire.take_trace());
+    if let Some(emitter) = ctrl_trace {
+        trace.extend(emitter.into_sink().into_records());
+    }
     dap_obs::sort_records(&mut trace);
     let metrics = registry.counters().clone();
     let auth_rate = metrics

@@ -1,0 +1,875 @@
+//! Trace forensics: the analysis engine behind the `daptrace` binary.
+//!
+//! A `--trace-out` JSONL file is a complete causal narration of a run —
+//! every frame arrival, verify span, reservoir decision, key reveal,
+//! shed, eviction and posture change, ordered by `(source, seq)`. This
+//! module turns that narration into three artefacts:
+//!
+//! * [`audit`] — checks the causal invariants the pipeline promises
+//!   (verify spans pair, shed frames never authenticate, posture epochs
+//!   are monotone, reservoirs respect `m`, pinned sessions are never
+//!   evicted) and returns every [`Violation`] with its file line;
+//! * [`render_report`] — a byte-stable stage-latency breakdown (from
+//!   the flight recorder's [`TraceEvent::FrameSpan`] samples) plus an
+//!   attack-onset estimate read off the forged-share trajectory the
+//!   reservoir decisions encode;
+//! * [`render_timeline`] — the per-source / per-sender frame lifecycle,
+//!   one human-readable line per record.
+//!
+//! Everything here is a pure function of the parsed records, so two
+//! same-seed traces produce byte-identical audits, reports and
+//! timelines — which is exactly what the ci.sh `daptrace` gate `cmp`s.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use dap_obs::{ParsedTrace, TraceEvent, TraceRecord};
+use dap_simnet::Samples;
+
+/// One broken invariant, pointing at the 1-indexed JSONL line of the
+/// record that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-indexed line in the trace file (header included in the count).
+    pub line: usize,
+    /// The invariant's stable rule name.
+    pub rule: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    /// The stable one-line rendering the audit output uses.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "violation line {}: [{}] {}",
+            self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// Per-source audit state: one verify span may be open at a time, shed
+/// tails must stay quiet, epochs must move forward.
+#[derive(Debug, Default)]
+struct SourceState {
+    /// The open verify span's interval and line, if any.
+    pending_verify: Option<(u64, usize)>,
+    /// `true` between a `ShedDecision` and the next `FrameRx`: shed
+    /// frames were never decoded, so nothing frame-scoped may happen.
+    in_shed_tail: bool,
+    /// Line of the shed that opened the current tail.
+    shed_line: usize,
+    /// Last posture epoch seen (strictly increasing per source).
+    last_posture_epoch: Option<u64>,
+    /// Last control-estimate epoch seen (non-decreasing per source).
+    last_estimate_epoch: Option<u64>,
+    /// Outcome and interval of the most recent `VerifyEnd`, which a
+    /// following `FrameSpan` must agree with.
+    last_verdict: Option<(&'static str, u64)>,
+}
+
+/// One reconstructed reservoir session stream: the paper's offer
+/// counter `k` runs 1, 2, 3, … per session, so per `(source, interval)`
+/// the decisions decompose into streams whose `k`s are sequential.
+#[derive(Debug)]
+struct ReservoirStream {
+    last_k: u64,
+    kept: u64,
+    m: u64,
+}
+
+/// Audits a parsed trace against the pipeline's causal invariants.
+/// `pinned` is the operator pin roster the run was started with
+/// (`--pin` / `--pin-first`); pinned senders must never be evicted.
+///
+/// The returned violations are in file-line order.
+#[must_use]
+pub fn audit(trace: &ParsedTrace, pinned: &BTreeSet<u64>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let offset = usize::from(trace.header.is_some());
+    let mut sources: BTreeMap<u32, SourceState> = BTreeMap::new();
+    // Reservoir streams keyed by (source, interval): a `k == 1` opens a
+    // stream, `k > 1` must extend the stream whose last offer was
+    // `k - 1` (fleet shards interleave several senders' sessions on one
+    // source, so this is a multiset, not a scalar).
+    let mut reservoirs: BTreeMap<(u32, u64), Vec<ReservoirStream>> = BTreeMap::new();
+    for (idx, record) in trace.records.iter().enumerate() {
+        let line = idx + 1 + offset;
+        let state = sources.entry(record.source).or_default();
+        audit_record(
+            record,
+            line,
+            state,
+            &mut reservoirs,
+            pinned,
+            &mut violations,
+        );
+    }
+    for (source, state) in &sources {
+        if let Some((interval, line)) = state.pending_verify {
+            violations.push(Violation {
+                line,
+                rule: "verify-pairing",
+                detail: format!(
+                    "source {source} ends with an unpaired verify_start (interval {interval})"
+                ),
+            });
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+fn audit_record(
+    record: &TraceRecord,
+    line: usize,
+    state: &mut SourceState,
+    reservoirs: &mut BTreeMap<(u32, u64), Vec<ReservoirStream>>,
+    pinned: &BTreeSet<u64>,
+    violations: &mut Vec<Violation>,
+) {
+    // Shed quiescence: a shed frame was never decoded, so between its
+    // ShedDecision and the next FrameRx on the same source nothing
+    // frame-scoped (verify, buffer, reveal, eviction, span) may appear.
+    let frame_scoped = matches!(
+        record.event,
+        TraceEvent::VerifyStart { .. }
+            | TraceEvent::VerifyEnd { .. }
+            | TraceEvent::BufferDecision { .. }
+            | TraceEvent::KeyReveal { .. }
+            | TraceEvent::SessionEvicted { .. }
+            | TraceEvent::FrameSpan { .. }
+    );
+    if state.in_shed_tail && frame_scoped {
+        violations.push(Violation {
+            line,
+            rule: "shed-quiescence",
+            detail: format!(
+                "{} after the shed at line {} with no new frame_rx — a shed frame must never \
+                 reach the verifier",
+                record.event.name(),
+                state.shed_line
+            ),
+        });
+    }
+    match &record.event {
+        TraceEvent::FrameRx { .. } => state.in_shed_tail = false,
+        TraceEvent::ShedDecision { .. } => {
+            state.in_shed_tail = true;
+            state.shed_line = line;
+        }
+        TraceEvent::VerifyStart { interval } => {
+            if let Some((open, open_line)) = state.pending_verify {
+                violations.push(Violation {
+                    line,
+                    rule: "verify-pairing",
+                    detail: format!(
+                        "verify_start (interval {interval}) while the verify from line \
+                         {open_line} (interval {open}) is still open"
+                    ),
+                });
+            }
+            state.pending_verify = Some((*interval, line));
+        }
+        TraceEvent::VerifyEnd {
+            interval, outcome, ..
+        } => {
+            match state.pending_verify.take() {
+                Some((open, _)) if open == *interval => {}
+                Some((open, open_line)) => violations.push(Violation {
+                    line,
+                    rule: "verify-pairing",
+                    detail: format!(
+                        "verify_end interval {interval} closes the verify from line {open_line} \
+                         which claimed interval {open}"
+                    ),
+                }),
+                None => violations.push(Violation {
+                    line,
+                    rule: "verify-pairing",
+                    detail: format!("verify_end (interval {interval}) with no open verify_start"),
+                }),
+            }
+            state.last_verdict = Some((outcome, *interval));
+        }
+        TraceEvent::FrameSpan {
+            interval, outcome, ..
+        } => match state.last_verdict {
+            Some((verdict, verdict_interval))
+                if verdict == *outcome && verdict_interval == *interval => {}
+            Some((verdict, verdict_interval)) => violations.push(Violation {
+                line,
+                rule: "span-agreement",
+                detail: format!(
+                    "frame_span says ({outcome}, interval {interval}) but the frame's verify_end \
+                     said ({verdict}, interval {verdict_interval})"
+                ),
+            }),
+            None => violations.push(Violation {
+                line,
+                rule: "span-agreement",
+                detail: "frame_span with no preceding verify_end on this source".to_string(),
+            }),
+        },
+        TraceEvent::BufferDecision {
+            interval,
+            kept,
+            k,
+            m,
+        } => audit_reservoir(
+            record.source,
+            line,
+            *interval,
+            *kept,
+            *k,
+            *m,
+            reservoirs,
+            violations,
+        ),
+        TraceEvent::PostureChange { epoch, .. } => {
+            if state.last_posture_epoch.is_some_and(|last| *epoch <= last) {
+                violations.push(Violation {
+                    line,
+                    rule: "epoch-monotone",
+                    detail: format!(
+                        "posture_change epoch {epoch} does not advance past {}",
+                        state.last_posture_epoch.unwrap_or(0)
+                    ),
+                });
+            }
+            state.last_posture_epoch = Some(*epoch);
+        }
+        TraceEvent::ControlEstimate { epoch, .. } => {
+            if state.last_estimate_epoch.is_some_and(|last| *epoch < last) {
+                violations.push(Violation {
+                    line,
+                    rule: "epoch-monotone",
+                    detail: format!(
+                        "control_estimate epoch {epoch} went backwards from {}",
+                        state.last_estimate_epoch.unwrap_or(0)
+                    ),
+                });
+            }
+            state.last_estimate_epoch = Some(*epoch);
+        }
+        TraceEvent::SessionEvicted { sender, .. } => {
+            if pinned.contains(sender) {
+                violations.push(Violation {
+                    line,
+                    rule: "pin-respected",
+                    detail: format!("pinned sender {sender} was evicted"),
+                });
+            }
+        }
+        TraceEvent::KeyReveal { .. }
+        | TraceEvent::ShardStall { .. }
+        | TraceEvent::FaultInjected { .. } => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn audit_reservoir(
+    source: u32,
+    line: usize,
+    interval: u64,
+    kept: bool,
+    k: u64,
+    m: u64,
+    reservoirs: &mut BTreeMap<(u32, u64), Vec<ReservoirStream>>,
+    violations: &mut Vec<Violation>,
+) {
+    // Algorithm 1: the first m offers are always stored; later offers
+    // replace uniformly. `k <= m` with `kept == false` is impossible.
+    if k <= m && !kept {
+        violations.push(Violation {
+            line,
+            rule: "reservoir-bound",
+            detail: format!("offer k={k} <= m={m} was rejected — the first m offers always keep"),
+        });
+    }
+    if k == 0 {
+        violations.push(Violation {
+            line,
+            rule: "reservoir-bound",
+            detail: "offer counter k=0 — k is 1-indexed".to_string(),
+        });
+        return;
+    }
+    let streams = reservoirs.entry((source, interval)).or_default();
+    if k == 1 {
+        streams.push(ReservoirStream {
+            last_k: 1,
+            kept: u64::from(kept),
+            m,
+        });
+        return;
+    }
+    // Greedy attachment: extend the session stream whose offer counter
+    // sits at k - 1. Per-session ks are strictly sequential, so a miss
+    // means the trace skipped (or duplicated) an offer.
+    match streams.iter_mut().find(|s| s.last_k == k - 1) {
+        Some(stream) => {
+            stream.last_k = k;
+            if kept && k <= stream.m {
+                stream.kept += 1;
+                if stream.kept > stream.m {
+                    violations.push(Violation {
+                        line,
+                        rule: "reservoir-bound",
+                        detail: format!(
+                            "interval {interval} stream kept {} first-offer entries with m={}",
+                            stream.kept, stream.m
+                        ),
+                    });
+                }
+            }
+        }
+        None => violations.push(Violation {
+            line,
+            rule: "reservoir-bound",
+            detail: format!(
+                "offer k={k} (interval {interval}) extends no session stream at k={}",
+                k - 1
+            ),
+        }),
+    }
+}
+
+/// The per-stage sample pools a report aggregates: label → collector.
+fn stage_samples(trace: &ParsedTrace) -> Vec<(&'static str, Samples)> {
+    let mut stages: Vec<(&'static str, Samples)> = [
+        "ingress",
+        "queue_wait",
+        "decode",
+        "prefetch",
+        "verify",
+        "buffer",
+        "reveal_auth",
+    ]
+    .iter()
+    .map(|label| (*label, Samples::new()))
+    .collect();
+    for record in &trace.records {
+        if let TraceEvent::FrameSpan {
+            ingress_ns,
+            queue_ns,
+            decode_ns,
+            prefetch_ns,
+            verify_ns,
+            buffer_ns,
+            reveal_ns,
+            ..
+        } = &record.event
+        {
+            let values = [
+                *ingress_ns,
+                *queue_ns,
+                *decode_ns,
+                *prefetch_ns,
+                *verify_ns,
+                *buffer_ns,
+                *reveal_ns,
+            ];
+            for ((_, samples), value) in stages.iter_mut().zip(values) {
+                samples.record(u64::from(value));
+            }
+        }
+    }
+    stages
+}
+
+/// Per-interval forged-share trajectory: rejected reservoir offers per
+/// thousand decisions. A rejected offer (`kept == false`) means the
+/// interval's pool was already past `m` offers — under flood, forged
+/// announces drive `k` far beyond `m`, so the rejection rate tracks the
+/// attacker's bandwidth share.
+#[must_use]
+pub fn forged_share_trajectory(trace: &ParsedTrace) -> Vec<(u64, u64)> {
+    let mut per_interval: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for record in &trace.records {
+        if let TraceEvent::BufferDecision { interval, kept, .. } = &record.event {
+            let (total, rejected) = per_interval.entry(*interval).or_insert((0, 0));
+            *total += 1;
+            *rejected += u64::from(!kept);
+        }
+    }
+    per_interval
+        .into_iter()
+        .map(|(interval, (total, rejected))| (interval, rejected * 1000 / total.max(1)))
+        .collect()
+}
+
+/// Flood-onset estimate: the first interval opening a run of at least
+/// three consecutive trajectory points with a rejection rate of 250
+/// permille or more. `None` when the trace never sustains that.
+#[must_use]
+pub fn attack_onset(trajectory: &[(u64, u64)]) -> Option<u64> {
+    let mut run_start = None;
+    let mut run_len = 0usize;
+    for &(interval, permille) in trajectory {
+        if permille >= 250 {
+            if run_len == 0 {
+                run_start = Some(interval);
+            }
+            run_len += 1;
+            if run_len >= 3 {
+                return run_start;
+            }
+        } else {
+            run_len = 0;
+            run_start = None;
+        }
+    }
+    None
+}
+
+/// Renders the forensic report: stage-latency breakdown, event census,
+/// forged-share trajectory and the attack-onset estimate. Byte-stable —
+/// a pure function of the records, with no wall-clock or path content.
+#[must_use]
+pub fn render_report(trace: &ParsedTrace) -> String {
+    let mut out = String::new();
+    out.push_str("daptrace report\n===============\n");
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for record in &trace.records {
+        *census.entry(record.event.name()).or_insert(0) += 1;
+    }
+    let _ = writeln!(out, "records: {}", trace.records.len());
+    for (name, count) in &census {
+        let _ = writeln!(out, "  {name}: {count}");
+    }
+    out.push_str("\nstage latency (ns)\n");
+    out.push_str("stage        count        p50        p95        p99        max\n");
+    for (label, mut samples) in stage_samples(trace) {
+        let q = |samples: &mut Samples, q: f64| samples.quantile(q).unwrap_or(0);
+        let count = samples.len();
+        let (p50, p95, p99, max) = (
+            q(&mut samples, 0.50),
+            q(&mut samples, 0.95),
+            q(&mut samples, 0.99),
+            samples.max().unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "{label:<12} {count:>5} {p50:>10} {p95:>10} {p99:>10} {max:>10}"
+        );
+    }
+    out.push_str("\nforged-share trajectory (rejected offers, permille per interval)\n");
+    let trajectory = forged_share_trajectory(trace);
+    if trajectory.is_empty() {
+        out.push_str("  (no buffer decisions in trace)\n");
+    }
+    for (interval, permille) in &trajectory {
+        let _ = writeln!(out, "  interval {interval:>6}: {permille:>4}");
+    }
+    match attack_onset(&trajectory) {
+        Some(interval) => {
+            let _ = writeln!(
+                out,
+                "\nattack onset: interval {interval} (first of >=3 consecutive intervals at \
+                 >=250 permille rejected)"
+            );
+        }
+        None => out.push_str("\nattack onset: none detected\n"),
+    }
+    out
+}
+
+/// Renders one record as a timeline line: `source seq at event detail`.
+#[must_use]
+pub fn timeline_line(record: &TraceRecord) -> String {
+    let head = format!(
+        "src={:<3} seq={:<6} at={:<8} {:<16}",
+        record.source,
+        record.seq,
+        record.at,
+        record.event.name()
+    );
+    let detail = match &record.event {
+        TraceEvent::FrameRx { bytes } => format!("bytes={bytes}"),
+        TraceEvent::VerifyStart { interval } => format!("interval={interval}"),
+        TraceEvent::VerifyEnd {
+            interval,
+            outcome,
+            elapsed_ns,
+        } => format!("interval={interval} outcome={outcome} elapsed_ns={elapsed_ns}"),
+        TraceEvent::BufferDecision {
+            interval,
+            kept,
+            k,
+            m,
+        } => format!("interval={interval} kept={kept} k={k} m={m}"),
+        TraceEvent::KeyReveal { interval } => format!("interval={interval}"),
+        TraceEvent::ShardStall { shard, depth } => format!("shard={shard} depth={depth}"),
+        TraceEvent::FaultInjected { kind } => format!("kind={kind}"),
+        TraceEvent::SessionEvicted {
+            sender,
+            shard,
+            occupancy,
+        } => format!("sender={sender} shard={shard} occupancy={occupancy}"),
+        TraceEvent::ShedDecision {
+            sender,
+            class,
+            interval,
+        } => format!("sender={sender} class={class} interval={interval}"),
+        TraceEvent::PostureChange {
+            epoch,
+            from_m,
+            to_m,
+            p_permille,
+            give_up,
+        } => format!("epoch={epoch} m {from_m}->{to_m} p_permille={p_permille} give_up={give_up}"),
+        TraceEvent::FrameSpan {
+            span,
+            interval,
+            outcome,
+            ingress_ns,
+            queue_ns,
+            decode_ns,
+            prefetch_ns,
+            verify_ns,
+            buffer_ns,
+            reveal_ns,
+        } => format!(
+            "span={span} interval={interval} outcome={outcome} stages \
+             ingress={ingress_ns} queue={queue_ns} decode={decode_ns} prefetch={prefetch_ns} \
+             verify={verify_ns} buffer={buffer_ns} reveal={reveal_ns}"
+        ),
+        TraceEvent::ControlEstimate {
+            epoch,
+            sample_ppm,
+            p_hat_ppm,
+        } => format!("epoch={epoch} sample_ppm={sample_ppm} p_hat_ppm={p_hat_ppm}"),
+    };
+    format!("{head} {detail}")
+}
+
+/// The sender id a record names, when it names one (shed attribution
+/// and evictions carry claimed / resident sender ids).
+#[must_use]
+pub fn record_sender(record: &TraceRecord) -> Option<u64> {
+    match &record.event {
+        TraceEvent::ShedDecision { sender, .. } | TraceEvent::SessionEvicted { sender, .. } => {
+            Some(*sender)
+        }
+        _ => None,
+    }
+}
+
+/// Renders the timeline: records in file order, optionally filtered to
+/// the records naming `sender`, capped at `limit` lines (0 = no cap).
+#[must_use]
+pub fn render_timeline(trace: &ParsedTrace, sender: Option<u64>, limit: usize) -> String {
+    let mut out = String::new();
+    let mut lines = 0usize;
+    for record in &trace.records {
+        if sender.is_some() && record_sender(record) != sender {
+            continue;
+        }
+        out.push_str(&timeline_line(record));
+        out.push('\n');
+        lines += 1;
+        if limit > 0 && lines >= limit {
+            let _ = writeln!(out, "... (truncated at {limit} lines)");
+            break;
+        }
+    }
+    if lines == 0 {
+        out.push_str("(no matching records)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_obs::parse_trace;
+
+    fn rec(source: u32, seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            source,
+            seq,
+            at: seq,
+            event,
+        }
+    }
+
+    fn parsed(records: Vec<TraceRecord>) -> ParsedTrace {
+        ParsedTrace {
+            header: None,
+            records,
+        }
+    }
+
+    fn clean_frame(source: u32, seq0: u64, interval: u64, k: u64) -> Vec<TraceRecord> {
+        vec![
+            rec(source, seq0, TraceEvent::FrameRx { bytes: 32 }),
+            rec(source, seq0 + 1, TraceEvent::VerifyStart { interval }),
+            rec(
+                source,
+                seq0 + 2,
+                TraceEvent::VerifyEnd {
+                    interval,
+                    outcome: "stored",
+                    elapsed_ns: 0,
+                },
+            ),
+            rec(
+                source,
+                seq0 + 3,
+                TraceEvent::BufferDecision {
+                    interval,
+                    kept: true,
+                    k,
+                    m: 4,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn clean_stream_audits_clean() {
+        let mut records = clean_frame(0, 0, 7, 1);
+        records.extend(clean_frame(0, 4, 7, 2));
+        records.push(rec(
+            0,
+            8,
+            TraceEvent::ShedDecision {
+                sender: 9,
+                class: "low",
+                interval: 7,
+            },
+        ));
+        records.extend(clean_frame(0, 9, 8, 1));
+        let violations = audit(&parsed(records), &BTreeSet::new());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unpaired_and_mismatched_verifies_are_flagged() {
+        let records = vec![
+            rec(0, 0, TraceEvent::FrameRx { bytes: 32 }),
+            rec(0, 1, TraceEvent::VerifyStart { interval: 3 }),
+            rec(
+                0,
+                2,
+                TraceEvent::VerifyEnd {
+                    interval: 4,
+                    outcome: "stored",
+                    elapsed_ns: 0,
+                },
+            ),
+            rec(0, 3, TraceEvent::VerifyStart { interval: 5 }),
+        ];
+        let violations = audit(&parsed(records), &BTreeSet::new());
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["verify-pairing", "verify-pairing"]);
+        assert_eq!(violations[0].line, 3, "mismatched end points at its line");
+    }
+
+    #[test]
+    fn authentication_after_a_shed_is_flagged() {
+        let mut records = clean_frame(0, 0, 7, 1);
+        records.push(rec(
+            0,
+            4,
+            TraceEvent::ShedDecision {
+                sender: 9,
+                class: "low",
+                interval: 7,
+            },
+        ));
+        // No FrameRx in between: this KeyReveal claims a shed frame
+        // reached the verifier.
+        records.push(rec(0, 5, TraceEvent::KeyReveal { interval: 7 }));
+        let violations = audit(&parsed(records), &BTreeSet::new());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "shed-quiescence");
+    }
+
+    #[test]
+    fn reservoir_rejecting_an_early_offer_is_flagged() {
+        let records = vec![rec(
+            0,
+            0,
+            TraceEvent::BufferDecision {
+                interval: 2,
+                kept: false,
+                k: 3,
+                m: 4,
+            },
+        )];
+        let violations = audit(&parsed(records), &BTreeSet::new());
+        assert!(violations.iter().any(|v| v.rule == "reservoir-bound"));
+    }
+
+    #[test]
+    fn interleaved_session_streams_reconstruct() {
+        // Two senders' sessions on one shard, same interval: ks
+        // interleave 1,1,2,2 and the greedy reconstruction must accept.
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::BufferDecision {
+                    interval: 2,
+                    kept: true,
+                    k: 1,
+                    m: 4,
+                },
+            ),
+            rec(
+                0,
+                1,
+                TraceEvent::BufferDecision {
+                    interval: 2,
+                    kept: true,
+                    k: 1,
+                    m: 4,
+                },
+            ),
+            rec(
+                0,
+                2,
+                TraceEvent::BufferDecision {
+                    interval: 2,
+                    kept: true,
+                    k: 2,
+                    m: 4,
+                },
+            ),
+            rec(
+                0,
+                3,
+                TraceEvent::BufferDecision {
+                    interval: 2,
+                    kept: true,
+                    k: 2,
+                    m: 4,
+                },
+            ),
+        ];
+        assert!(audit(&parsed(records), &BTreeSet::new()).is_empty());
+        // A k that extends nothing is a gap.
+        let gap = vec![rec(
+            0,
+            0,
+            TraceEvent::BufferDecision {
+                interval: 2,
+                kept: true,
+                k: 5,
+                m: 4,
+            },
+        )];
+        assert_eq!(
+            audit(&parsed(gap), &BTreeSet::new())[0].rule,
+            "reservoir-bound"
+        );
+    }
+
+    #[test]
+    fn epoch_regressions_and_pin_evictions_are_flagged() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::PostureChange {
+                    epoch: 2,
+                    from_m: 4,
+                    to_m: 8,
+                    p_permille: 500,
+                    give_up: false,
+                },
+            ),
+            rec(
+                0,
+                1,
+                TraceEvent::PostureChange {
+                    epoch: 2,
+                    from_m: 8,
+                    to_m: 9,
+                    p_permille: 600,
+                    give_up: false,
+                },
+            ),
+            rec(
+                0,
+                2,
+                TraceEvent::SessionEvicted {
+                    sender: 1,
+                    shard: 0,
+                    occupancy: 3,
+                },
+            ),
+        ];
+        let pins: BTreeSet<u64> = [1].into_iter().collect();
+        let violations = audit(&parsed(records), &pins);
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["epoch-monotone", "pin-respected"]);
+    }
+
+    #[test]
+    fn onset_needs_three_consecutive_hot_intervals() {
+        assert_eq!(attack_onset(&[(1, 900), (2, 100), (3, 900)]), None);
+        assert_eq!(
+            attack_onset(&[(1, 100), (2, 300), (3, 400), (4, 900)]),
+            Some(2)
+        );
+        assert_eq!(attack_onset(&[]), None);
+    }
+
+    #[test]
+    fn report_and_timeline_are_byte_stable() {
+        let mut records = clean_frame(0, 0, 7, 1);
+        records.push(rec(
+            0,
+            4,
+            TraceEvent::FrameSpan {
+                span: 256,
+                interval: 7,
+                outcome: "stored",
+                ingress_ns: 10,
+                queue_ns: 20,
+                decode_ns: 5,
+                prefetch_ns: 0,
+                verify_ns: 40,
+                buffer_ns: 3,
+                reveal_ns: 0,
+            },
+        ));
+        let trace = parsed(records);
+        assert_eq!(render_report(&trace), render_report(&trace.clone()));
+        assert!(render_report(&trace).contains("verify"));
+        assert_eq!(
+            render_timeline(&trace, None, 0),
+            render_timeline(&trace, None, 0)
+        );
+        assert!(render_timeline(&trace, Some(42), 0).contains("no matching records"));
+    }
+
+    #[test]
+    fn line_numbers_offset_past_the_header() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            dap_obs::header_line(0),
+            rec(
+                0,
+                0,
+                TraceEvent::VerifyEnd {
+                    interval: 1,
+                    outcome: "auth",
+                    elapsed_ns: 0
+                }
+            )
+            .to_json(),
+            rec(0, 1, TraceEvent::KeyReveal { interval: 1 }).to_json(),
+        );
+        let trace = parse_trace(&text).expect("parses");
+        let violations = audit(&trace, &BTreeSet::new());
+        // The header is line 1, so the stray verify_end is line 2.
+        assert_eq!(violations[0].line, 2);
+        assert_eq!(violations[0].rule, "verify-pairing");
+    }
+}

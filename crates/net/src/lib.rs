@@ -33,6 +33,12 @@
 //!   deterministic attack plans beyond the Bernoulli flooder
 //!   (burst-at-reanchor, collusion, replay-at-the-edge, adaptive),
 //!   drivable through the fleet campaign and `dapd --adversary`;
+//! * [`forensics`] — the trace-audit engine behind `daptrace`:
+//!   reconstructs per-frame / per-sender timelines from a `--trace-out`
+//!   JSONL file, checks the pipeline's causal invariants (verify spans
+//!   pair, shed frames never authenticate, posture epochs are monotone,
+//!   reservoirs respect `m`, pins are never evicted) and renders a
+//!   byte-stable stage-latency + attack-onset report;
 //! * [`telemetry`] — the live exposition plane: [`SharedRegistry`]
 //!   collects per-shard [`dap_simnet::Registry`] snapshots without
 //!   touching the verify hot path, and [`TelemetryServer`] serves the
@@ -44,11 +50,13 @@
 //! a typed trace (frame arrivals, verify spans, buffer decisions, key
 //! reveals, shard stalls) ordered by per-source sequence numbers.
 //!
-//! Two binaries ship with the crate: `dapd` (sender / receiver /
+//! Three binaries ship with the crate: `dapd` (sender / receiver /
 //! flooder roles over UDP, plus `--loopback`; `--telemetry <addr>`
 //! serves live metrics, `--trace-out <path>` writes the trace as
-//! JSONL, and the receiver prints its final sorted snapshot on Ctrl-C)
-//! and `netbench` (ingress throughput and per-frame verify latency
+//! JSONL, and the receiver prints its final sorted snapshot on Ctrl-C),
+//! `daptrace` (forensic audit / report / timeline over a `--trace-out`
+//! file, exiting nonzero when a causal invariant is violated) and
+//! `netbench` (ingress throughput and per-frame verify latency
 //! with p50/p95/p99 tails, written to `BENCH_net.json`). See README
 //! § "Running on a real wire".
 //!
@@ -72,6 +80,7 @@ pub mod adversary;
 pub mod clock;
 pub mod control;
 pub mod fleet;
+pub mod forensics;
 pub mod loopback;
 pub mod opts;
 pub mod pool;
@@ -85,6 +94,9 @@ pub use adversary::{AdversaryClass, AdversaryEmit, AdversaryPlan, PostureView};
 pub use clock::{ManualClock, NetClock, RealClock};
 pub use control::{ControlConfig, ControlPlane};
 pub use fleet::{run_fleet, FleetReport, FleetShard, FleetSpec};
+pub use forensics::{
+    attack_onset, audit, forged_share_trajectory, render_report, render_timeline, Violation,
+};
 pub use loopback::{run_loopback, LoopbackReport, LoopbackSpec};
 pub use pool::{
     BufferNote, DapShard, FrameVerdict, FrameVerifier, LiveCounters, OverflowPolicy, PoolConfig,

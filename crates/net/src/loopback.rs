@@ -74,6 +74,12 @@ pub struct LoopbackSpec {
     /// record is stamped with protocol time, so two same-seed runs
     /// render identical JSONL.
     pub trace_depth: usize,
+    /// Flight-recorder sampling cadence ([`PoolObs::span_every`]): every
+    /// `span_every`-th verified datagram per shard emits a
+    /// [`dap_obs::TraceEvent::FrameSpan`] and feeds the `net.stage.*`
+    /// histograms. 0 (the default) disables the recorder — byte-identical
+    /// to the pre-recorder driver.
+    pub span_every: u64,
 }
 
 impl Default for LoopbackSpec {
@@ -93,6 +99,7 @@ impl Default for LoopbackSpec {
             loss: 0.0,
             corrupt: 0.0,
             trace_depth: 0,
+            span_every: 0,
         }
     }
 }
@@ -177,8 +184,9 @@ pub fn run_loopback_with(
             // pure function of the seed.
             time: TimeSource::frozen(),
             trace_depth: spec.trace_depth,
-            publish,
+            publish: publish.clone(),
             publish_every: 64,
+            span_every: spec.span_every,
         },
     );
     let handle = pool.handle();
@@ -199,6 +207,12 @@ pub fn run_loopback_with(
             ControlConfig::default(),
         )
     });
+    // Control-plane narration: p̂ estimate samples trace at their own
+    // reserved source id (one past the wire), so the forensic audit can
+    // line the estimator's view up against the wire's actual behaviour.
+    let ctrl_source = u32::try_from(spec.shards).expect("shard count fits u32") + 2;
+    let mut ctrl_trace = (spec.adaptive && spec.trace_depth > 0)
+        .then(|| dap_obs::TraceEmitter::new(ctrl_source, dap_obs::RingSink::new(spec.trace_depth)));
 
     let mut tx = wire.clone();
     let mut rx = wire.clone();
@@ -247,7 +261,30 @@ pub fn run_loopback_with(
             // traffic touches the wire.
             handle.tick();
             handle.quiesce();
-            if let Some(directive) = ctrl.step(handle.live()) {
+            let samples_before = ctrl.samples();
+            let directive = ctrl.step(handle.live());
+            if ctrl.samples() > samples_before {
+                if let Some(emitter) = ctrl_trace.as_mut() {
+                    emitter.emit(
+                        at.ticks(),
+                        dap_obs::TraceEvent::ControlEstimate {
+                            epoch: ctrl.epoch(),
+                            sample_ppm: ctrl.last_sample_ppm(),
+                            p_hat_ppm: ctrl.estimate_ppm(),
+                        },
+                    );
+                }
+                // Live posture gauges land in the telemetry slot one
+                // past the shards, when the caller provisioned it.
+                if let Some(shared) = &publish {
+                    if shared.slots() > spec.shards {
+                        let mut gauges = Registry::new();
+                        ctrl.publish_gauges(&mut gauges);
+                        shared.publish(spec.shards, &gauges);
+                    }
+                }
+            }
+            if let Some(directive) = directive {
                 handle.post_posture(directive, at);
                 handle.quiesce();
             }
@@ -272,6 +309,9 @@ pub fn run_loopback_with(
     }
     let mut trace = report.trace;
     trace.extend(wire.take_trace());
+    if let Some(emitter) = ctrl_trace {
+        trace.extend(emitter.into_sink().into_records());
+    }
     dap_obs::sort_records(&mut trace);
     let metrics = registry.counters().clone();
     let auth_rate = metrics

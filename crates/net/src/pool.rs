@@ -41,7 +41,10 @@ use dap_core::{
     codec, AnnounceOutcome, DapBootstrap, DapMessage, DapReceiver, PostureDirective, Reveal,
     RevealOutcome, RevealPrecompute, SenderId,
 };
-use dap_obs::{RingSink, TimeSource, TraceEmitter, TraceEvent, TraceRecord};
+use dap_obs::{
+    span_id, Histogram, RingSink, SpanStage, SpanTimer, TimeSource, TraceEmitter, TraceEvent,
+    TraceRecord,
+};
 use dap_simnet::{keys, Metrics, Registry, SimRng, SimTime};
 use dap_tesla::tesla::Bootstrap as TeslaBootstrap;
 use dap_tesla::teslapp::{TeslaPpMessage, TeslaPpOutcome, TeslaPpPrecompute, TeslaPpReceiver};
@@ -130,17 +133,27 @@ pub struct PoolObs {
     pub publish: Option<Arc<SharedRegistry>>,
     /// Publish cadence in datagrams (0 publishes only at shutdown).
     pub publish_every: u64,
+    /// Flight-recorder sampling: every `span_every`-th verified
+    /// datagram per shard gets stage-scoped timing — a
+    /// [`TraceEvent::FrameSpan`] per decoded frame plus `net.stage.*`
+    /// histogram samples. 0 disables the recorder entirely (the
+    /// pipeline stays byte-identical to a pre-recorder run); 1 records
+    /// every datagram. The sampling decision is a pure function of the
+    /// shard's datagram ordinal, so two same-seed runs sample the same
+    /// frames.
+    pub span_every: u64,
 }
 
 impl Default for PoolObs {
-    /// Wall clocks, no tracing, no live publishing — the posture the
-    /// legacy [`ReceiverPool::spawn`] runs under.
+    /// Wall clocks, no tracing, no live publishing, no flight recorder
+    /// — the posture the legacy [`ReceiverPool::spawn`] runs under.
     fn default() -> Self {
         Self {
             time: TimeSource::wall(),
             trace_depth: 0,
             publish: None,
             publish_every: 1024,
+            span_every: 0,
         }
     }
 }
@@ -631,10 +644,20 @@ impl FrameVerifier for TeslaPpShard {
     }
 }
 
-/// One frame as it crosses the reader → shard boundary.
+/// One frame as it crosses the reader → shard boundary. The `*_ns`
+/// stamps exist only when the flight recorder is on
+/// ([`PoolObs::span_every`] > 0); otherwise they stay 0 and cost one
+/// branch on the reader.
 struct IngressFrame {
     bytes: Vec<u8>,
     at: SimTime,
+    /// Reader-side routing + copy cost (the span's ingress stage).
+    ingress_ns: u64,
+    /// Reader clock reading at enqueue; the worker subtracts it at pop
+    /// to charge the queue-wait stage.
+    enqueued_ns: u64,
+    /// Enqueue → pop wait, stamped by the worker at pop.
+    queue_ns: u64,
 }
 
 /// One shard-queue item: a datagram, or a window-boundary control tick.
@@ -664,6 +687,11 @@ pub struct PoolHandle {
     live: Arc<LiveCounters>,
     pins: Arc<BTreeSet<u64>>,
     reader_trace: Option<Arc<Mutex<TraceEmitter<RingSink>>>>,
+    /// The pool's clock, cloned from [`PoolObs::time`] so the reader
+    /// side can stamp ingress/enqueue times for the flight recorder.
+    time: TimeSource,
+    /// Whether the flight recorder is on (`span_every > 0`).
+    span: bool,
 }
 
 impl PoolHandle {
@@ -678,6 +706,7 @@ impl PoolHandle {
     /// Returns `false` when the shard queue shed it (`DropCount` and
     /// full, or the pool is shutting down).
     pub fn ingest(&self, bytes: &[u8], at: SimTime) -> bool {
+        let ingress_watch = self.span.then(|| self.time.stopwatch());
         // Unroutable garbage still goes to a worker (deterministically,
         // by length) so its decode failure is counted like any other.
         let key = match self.route {
@@ -687,9 +716,17 @@ impl PoolHandle {
         .unwrap_or(bytes.len() as u64);
         let shard = self.shard_of(key);
         let queue = &self.queues[shard];
+        let copied = bytes.to_vec();
+        let (ingress_ns, enqueued_ns) = match &ingress_watch {
+            Some(watch) => (watch.elapsed_ns(&self.time), self.time.now_ns()),
+            None => (0, 0),
+        };
         let frame = Ingress::Frame(IngressFrame {
-            bytes: bytes.to_vec(),
+            bytes: copied,
             at,
+            ingress_ns,
+            enqueued_ns,
+            queue_ns: 0,
         });
         let outcome = match self.overflow {
             OverflowPolicy::DropCount => queue.try_push(frame),
@@ -902,6 +939,8 @@ impl ReceiverPool {
                 live,
                 pins: config.pins,
                 reader_trace,
+                time: obs.time.clone(),
+                span: obs.span_every > 0,
             },
             workers,
         }
@@ -940,15 +979,29 @@ impl ReceiverPool {
             queue.close();
         }
         let mut registry = Registry::new();
-        let mut trace = Vec::new();
+        let mut shards = Vec::with_capacity(self.workers.len());
         for worker in self.workers {
             let (shard_registry, shard_trace) = worker.join().expect("shard worker panicked");
             registry.merge(&shard_registry);
-            trace.extend(shard_trace);
+            shards.push(shard_trace);
+        }
+        // One exact-size allocation for the combined trace: a forensic
+        // capture concatenates six-figure per-shard rings, and growing
+        // into that incrementally doubles the copy traffic.
+        let reader_len = self.handle.reader_trace.as_ref().map_or(0, |r| {
+            r.lock()
+                .expect("reader trace poisoned")
+                .sink()
+                .records()
+                .count()
+        });
+        let mut trace = Vec::with_capacity(shards.iter().map(Vec::len).sum::<usize>() + reader_len);
+        for mut shard_trace in shards {
+            trace.append(&mut shard_trace);
         }
         if let Some(reader) = &self.handle.reader_trace {
             let reader = reader.lock().expect("reader trace poisoned");
-            trace.extend(reader.sink().records().iter().cloned());
+            trace.extend(reader.sink().records().cloned());
         }
         dap_obs::sort_records(&mut trace);
         let full = self.handle.live.dropped_full();
@@ -1001,6 +1054,7 @@ fn run_shard<V: FrameVerifier>(
     let mut published_at = 0u64;
     let windowed = drain_budget != usize::MAX;
     let mut window: Vec<IngressFrame> = Vec::new();
+    let mut flight = FlightState::new(obs.span_every);
     loop {
         // With live publishing the pop carries a timeout so a quiet wire
         // still gets fresh scrapes; without it, block outright — no
@@ -1011,6 +1065,7 @@ fn run_shard<V: FrameVerifier>(
                 Pop::Idle => {
                     if let Some(shared) = &obs.publish {
                         if published_at != datagrams {
+                            flight.fold_into(&mut registry);
                             shared.publish(shard, &registry);
                             published_at = datagrams;
                         }
@@ -1026,7 +1081,10 @@ fn run_shard<V: FrameVerifier>(
             }
         };
         match item {
-            Ingress::Frame(frame) => {
+            Ingress::Frame(mut frame) => {
+                if flight.enabled() {
+                    frame.queue_ns = obs.time.now_ns().saturating_sub(frame.enqueued_ns);
+                }
                 if windowed {
                     window.push(frame);
                 } else {
@@ -1038,6 +1096,7 @@ fn run_shard<V: FrameVerifier>(
                         rng,
                         live,
                         obs,
+                        &mut flight,
                         &mut registry,
                         &mut trace,
                     );
@@ -1054,6 +1113,7 @@ fn run_shard<V: FrameVerifier>(
                     rng,
                     live,
                     obs,
+                    &mut flight,
                     &mut registry,
                     &mut trace,
                 );
@@ -1070,6 +1130,7 @@ fn run_shard<V: FrameVerifier>(
                     rng,
                     live,
                     obs,
+                    &mut flight,
                     &mut registry,
                     &mut trace,
                 );
@@ -1093,6 +1154,7 @@ fn run_shard<V: FrameVerifier>(
                 && datagrams > published_at
                 && datagrams.is_multiple_of(obs.publish_every)
             {
+                flight.fold_into(&mut registry);
                 shared.publish(shard, &registry);
                 published_at = datagrams;
             }
@@ -1109,14 +1171,86 @@ fn run_shard<V: FrameVerifier>(
         rng,
         live,
         obs,
+        &mut flight,
         &mut registry,
         &mut trace,
     );
     verifier.on_shutdown(&mut registry);
+    flight.fold_into(&mut registry);
     if let Some(shared) = &obs.publish {
         shared.publish(shard, &registry);
     }
     (registry, trace.into_sink().into_records())
+}
+
+/// The `net.stage.*` registry keys in [`SpanStage::ALL`] order.
+const STAGE_KEYS: [&str; SpanStage::COUNT] = [
+    keys::NET_STAGE_INGRESS_NS,
+    keys::NET_STAGE_QUEUE_WAIT_NS,
+    keys::NET_STAGE_DECODE_NS,
+    keys::NET_STAGE_PREFETCH_NS,
+    keys::NET_STAGE_VERIFY_NS,
+    keys::NET_STAGE_BUFFER_NS,
+    keys::NET_STAGE_REVEAL_AUTH_NS,
+];
+
+/// Per-shard flight-recorder state: the deterministic sampling ordinal,
+/// the current window's amortised prefetch share, and local stage
+/// histograms. Lives on the worker's stack — recording never allocates,
+/// and the locals keep the per-frame path off the registry's keyed map
+/// (samples fold into the shared registry only at publish boundaries).
+struct FlightState {
+    every: u64,
+    ordinal: u64,
+    /// The last batch-prefetch's per-frame cost share, charged to every
+    /// sampled frame of the window it prefetched (0 unwindowed).
+    prefetch_share_ns: u64,
+    /// Stage-latency samples, indexed by [`SpanStage`] discriminant.
+    stages: [Histogram; SpanStage::COUNT],
+}
+
+impl FlightState {
+    fn new(every: u64) -> Self {
+        Self {
+            every,
+            ordinal: 0,
+            prefetch_share_ns: 0,
+            stages: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// Consumes one verified-datagram ordinal; returns it when this
+    /// datagram is sampled. Pure function of the shard's datagram
+    /// sequence, so same-seed runs sample identically.
+    fn sampled(&mut self) -> Option<u64> {
+        if self.every == 0 {
+            return None;
+        }
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        ordinal.is_multiple_of(self.every).then_some(ordinal)
+    }
+
+    /// Records one stage sample into the local (allocation-free) pool.
+    fn record(&mut self, stage: SpanStage, v: u64) {
+        self.stages[stage as usize].record(v);
+    }
+
+    /// Drains the local stage samples into the registry's `net.stage.*`
+    /// histograms. Called at publish boundaries and shard shutdown, so
+    /// the per-frame hot path never touches the registry's keyed map.
+    fn fold_into(&mut self, registry: &mut Registry) {
+        for (stage, key) in self.stages.iter_mut().zip(STAGE_KEYS) {
+            if !stage.is_empty() {
+                registry.histogram(key).merge(stage);
+                *stage = Histogram::new();
+            }
+        }
+    }
 }
 
 /// Flushes one buffered window: classifies every frame by its claimed
@@ -1135,6 +1269,7 @@ fn flush_window<V: FrameVerifier>(
     rng: &mut SimRng,
     live: &LiveCounters,
     obs: &PoolObs,
+    flight: &mut FlightState,
     registry: &mut Registry,
     trace: &mut TraceEmitter<RingSink>,
 ) -> u64 {
@@ -1166,14 +1301,22 @@ fn flush_window<V: FrameVerifier>(
         }
     }
     if !batch.is_empty() {
+        // The batch prefetch is one lane-parallel pass over the whole
+        // window, so the recorder charges each sampled frame its
+        // amortised share rather than billing the first frame for all
+        // of it.
+        let prefetch_watch = flight.enabled().then(|| obs.time.stopwatch());
         verifier.prefetch(&batch);
+        if let Some(watch) = prefetch_watch {
+            flight.prefetch_share_ns = watch.elapsed_ns(&obs.time) / batch.len() as u64;
+        }
     }
     let mut verified = 0u64;
     for (pos, &(class, idx)) in order.iter().enumerate() {
         let frame = &window[idx];
         if pos < drain_budget {
             process_datagram(
-                shard, frame, queue, verifier, rng, live, obs, registry, trace,
+                shard, frame, queue, verifier, rng, live, obs, flight, registry, trace,
             );
             verified += 1;
             continue;
@@ -1201,11 +1344,16 @@ fn flush_window<V: FrameVerifier>(
         );
     }
     window.clear();
+    flight.prefetch_share_ns = 0;
     verified
 }
 
-/// Decode-and-verify for one datagram (the PR 4/5 hot path, unchanged:
-/// counters, latency histograms, per-frame trace events).
+/// Decode-and-verify for one datagram (the PR 4/5 hot path: counters,
+/// latency histograms, per-frame trace events), plus the flight
+/// recorder: on sampled datagrams every decoded frame's stage timing is
+/// folded into the `net.stage.*` histograms and emitted as a
+/// [`TraceEvent::FrameSpan`] — after the frame's causal events, so a
+/// span always closes its frame's record group.
 #[allow(clippy::too_many_arguments)]
 fn process_datagram<V: FrameVerifier>(
     shard: usize,
@@ -1215,6 +1363,7 @@ fn process_datagram<V: FrameVerifier>(
     rng: &mut SimRng,
     live: &LiveCounters,
     obs: &PoolObs,
+    flight: &mut FlightState,
     registry: &mut Registry,
     trace: &mut TraceEmitter<RingSink>,
 ) {
@@ -1246,11 +1395,19 @@ fn process_datagram<V: FrameVerifier>(
     while let Some(tagged) = assembler.next_tagged_frame() {
         decoded.push(tagged);
     }
-    registry.record(
-        keys::NET_DECODE_LATENCY_NS,
-        decode_watch.elapsed_ns(&obs.time),
-    );
-    for tagged in &decoded {
+    let decode_ns = decode_watch.elapsed_ns(&obs.time);
+    registry.record(keys::NET_DECODE_LATENCY_NS, decode_ns);
+    let span_ord = flight.sampled();
+    if span_ord.is_some() {
+        // The pre-verify stages are per-datagram: record them once
+        // here; the per-frame stages land inside the loop below.
+        flight.record(SpanStage::Ingress, frame.ingress_ns);
+        flight.record(SpanStage::QueueWait, frame.queue_ns);
+        flight.record(SpanStage::Decode, decode_ns);
+        let prefetch_share_ns = flight.prefetch_share_ns;
+        flight.record(SpanStage::Prefetch, prefetch_share_ns);
+    }
+    for (frame_idx, tagged) in decoded.iter().enumerate() {
         let verify_watch = obs.time.stopwatch();
         let verdict = verifier.on_frame(
             tagged.sender,
@@ -1262,6 +1419,7 @@ fn process_datagram<V: FrameVerifier>(
         );
         let elapsed_ns = verify_watch.elapsed_ns(&obs.time);
         registry.record(keys::NET_VERIFY_LATENCY_NS, elapsed_ns);
+        let book_watch = span_ord.map(|_| obs.time.stopwatch());
         trace.emit(
             at,
             TraceEvent::VerifyStart {
@@ -1303,6 +1461,36 @@ fn process_datagram<V: FrameVerifier>(
                     shard: shard as u32,
                     occupancy: eviction.occupancy,
                 },
+            );
+        }
+        if let Some(ordinal) = span_ord {
+            let mut timer = SpanTimer::start(&obs.time);
+            timer.set(SpanStage::Ingress, frame.ingress_ns);
+            timer.set(SpanStage::QueueWait, frame.queue_ns);
+            timer.set(SpanStage::Decode, decode_ns);
+            timer.set(SpanStage::Prefetch, flight.prefetch_share_ns);
+            // One on_frame call serves both paths: announces spend it
+            // verifying, reveals spend it authenticating.
+            if verdict.key_reveal {
+                timer.set(SpanStage::RevealAuth, elapsed_ns);
+            } else {
+                timer.set(SpanStage::Verify, elapsed_ns);
+            }
+            let buffer_ns = match (&verdict.buffer, &book_watch) {
+                (Some(_), Some(watch)) => watch.elapsed_ns(&obs.time),
+                _ => 0,
+            };
+            timer.set(SpanStage::Buffer, buffer_ns);
+            flight.record(SpanStage::Verify, timer.get(SpanStage::Verify));
+            flight.record(SpanStage::Buffer, buffer_ns);
+            flight.record(SpanStage::RevealAuth, timer.get(SpanStage::RevealAuth));
+            trace.emit(
+                at,
+                timer.event(
+                    span_id(ordinal, frame_idx),
+                    verdict.interval,
+                    verdict.outcome,
+                ),
             );
         }
     }
@@ -1497,6 +1685,7 @@ mod tests {
             trace_depth: 4096,
             publish: None,
             publish_every: 0,
+            span_every: 0,
         };
         let pool = ReceiverPool::spawn_with_obs(
             PoolConfig {
@@ -1557,6 +1746,83 @@ mod tests {
     }
 
     #[test]
+    fn span_sampling_halves_the_flight_recorder_cadence() {
+        use dap_obs::ManualTime;
+
+        // One shard so the per-shard datagram ordinal is the global one:
+        // span_every = 2 samples ordinals 0, 2, 4, … — exactly half of
+        // the 20 single-frame datagrams get a FrameSpan, and each sampled
+        // frame feeds every per-frame stage histogram once.
+        let run = |every: u64| {
+            let mut sender = DapSender::new(b"span", 64, params(4));
+            let bootstrap = sender.bootstrap();
+            let obs = PoolObs {
+                time: TimeSource::manual(ManualTime::new()),
+                trace_depth: 4096,
+                publish: None,
+                publish_every: 0,
+                span_every: every,
+            };
+            let pool = ReceiverPool::spawn_with_obs(
+                PoolConfig {
+                    shards: 1,
+                    queue_depth: 64,
+                    overflow: OverflowPolicy::Block,
+                    route: RoutePolicy::ByInterval,
+                    ..PoolConfig::default()
+                },
+                11,
+                |_| DapShard::new(bootstrap, b"s"),
+                obs,
+            );
+            let handle = pool.handle();
+            for i in 1..=10u64 {
+                let ann = codec::encode(&DapMessage::Announce(sender.announce(i, b"r").unwrap()))
+                    .unwrap();
+                handle.ingest(&ann, during(i));
+                let rev = codec::encode(&DapMessage::Reveal(sender.reveal(i).unwrap())).unwrap();
+                handle.ingest(&rev, during(i + 1));
+            }
+            pool.shutdown_with_report()
+        };
+        let full = run(1);
+        let spans = |report: &PoolReport| {
+            report
+                .trace
+                .iter()
+                .filter(|r| r.event.name() == "frame_span")
+                .count() as u64
+        };
+        assert_eq!(spans(&full), 20, "span_every = 1 narrates every frame");
+        for key in [
+            keys::NET_STAGE_INGRESS_NS,
+            keys::NET_STAGE_QUEUE_WAIT_NS,
+            keys::NET_STAGE_DECODE_NS,
+            keys::NET_STAGE_PREFETCH_NS,
+            keys::NET_STAGE_VERIFY_NS,
+            keys::NET_STAGE_BUFFER_NS,
+            keys::NET_STAGE_REVEAL_AUTH_NS,
+        ] {
+            let hist = full
+                .registry
+                .get_histogram(key)
+                .unwrap_or_else(|| panic!("stage histogram {key} present"));
+            assert_eq!(hist.count(), 20, "{key} samples once per span");
+            assert_eq!(hist.max(), Some(0), "manual clocks zero {key}");
+        }
+        let half = run(2);
+        assert_eq!(spans(&half), 10, "span_every = 2 samples every other frame");
+        let off = run(0);
+        assert_eq!(spans(&off), 0, "span_every = 0 disables the recorder");
+        assert!(
+            off.registry
+                .get_histogram(keys::NET_STAGE_VERIFY_NS)
+                .is_none(),
+            "stage histograms stay absent when the recorder is off"
+        );
+    }
+
+    #[test]
     fn windowed_prefetch_drain_matches_the_unwindowed_path() {
         // Same traffic through a windowed pool (prefetch + precomputed
         // reveals) and an unwindowed one (pure scalar path): with a
@@ -1582,6 +1848,7 @@ mod tests {
                     trace_depth: 0,
                     publish: None,
                     publish_every: 0,
+                    span_every: 0,
                 },
             );
             let handle = pool.handle();
@@ -1630,6 +1897,7 @@ mod tests {
                     trace_depth: 0,
                     publish: None,
                     publish_every: 0,
+                    span_every: 0,
                 },
             );
             let handle = pool.handle();
@@ -1677,6 +1945,7 @@ mod tests {
             trace_depth: 0,
             publish: Some(Arc::clone(&shared)),
             publish_every: 1,
+            span_every: 0,
         };
         let pool = ReceiverPool::spawn_with_obs(
             PoolConfig {

@@ -25,7 +25,15 @@
 //!   sharded pool can be totally ordered and replay-diffed;
 //! * [`json`] — the minimal JSON writer the bench binaries use (moved
 //!   here from `dap-bench` so the trace layer can sit below it;
-//!   `dap_bench::json` re-exports it unchanged).
+//!   `dap_bench::json` re-exports it unchanged);
+//! * [`span`] — the flight recorder's per-frame stage accumulator:
+//!   [`SpanTimer`] charges wall (or manual) time to the seven pipeline
+//!   stages and folds into a [`TraceEvent::FrameSpan`], with
+//!   deterministic ids from [`span_id`];
+//! * [`parse`] — the strict inverse of the JSONL writer:
+//!   [`parse_trace`] turns a trace file back into typed
+//!   [`TraceRecord`]s, rejecting any line that would not round-trip
+//!   byte-exactly (the `daptrace` audit engine's corruption detector).
 //!
 //! Determinism rule of thumb: anything that feeds a fingerprint must be
 //! derived from protocol state (interval indices, frame ordinals, seeded
@@ -38,13 +46,17 @@
 pub mod gauge;
 pub mod hist;
 pub mod json;
+pub mod parse;
+pub mod span;
 pub mod time;
 pub mod trace;
 
 pub use gauge::Gauge;
 pub use hist::Histogram;
+pub use parse::{parse_record_line, parse_trace, ParsedTrace, TraceHeader, TraceParseError};
+pub use span::{span_id, SpanStage, SpanTimer};
 pub use time::{ManualTime, Stopwatch, TimeSource};
 pub use trace::{
-    render_jsonl, sort_records, JsonlSink, NullSink, RingSink, TraceEmitter, TraceEvent,
-    TraceRecord, TraceSink,
+    header_line, render_jsonl, sort_records, JsonlSink, NullSink, RingSink, TraceEmitter,
+    TraceEvent, TraceRecord, TraceSink,
 };

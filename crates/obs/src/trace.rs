@@ -11,14 +11,15 @@
 //!
 //! The `at` field is protocol time (the simulator-tick timestamp the
 //! frame was ingested at, or a source-specific ordinal for the wire) —
-//! **not** wall time, which would destroy reproducibility. Wall time
-//! appears exactly once, in the JSONL header line [`JsonlSink::create`]
-//! writes, and trace diffs skip that line.
+//! **not** wall time, which would destroy reproducibility. The header
+//! line [`JsonlSink::create`] writes stamps its timestamp from the
+//! run's own [`TimeSource`], so a deterministic (frozen-clock) run
+//! renders a byte-identical *whole file*, header included.
 
-use std::collections::VecDeque;
 use std::io::{self, Write};
 
 use crate::json::JsonObject;
+use crate::time::TimeSource;
 
 /// One typed trace event. Fields are the data a replay-diff needs to
 /// explain a divergence, nothing more.
@@ -109,6 +110,57 @@ pub enum TraceEvent {
         /// Whether the solver declared the §V give-up regime.
         give_up: bool,
     },
+    /// The flight recorder's per-frame lifecycle summary: one sampled
+    /// frame's stage-attributed timing across the whole pipeline
+    /// (ingress → queue-wait → decode → prefetch → verify → buffer →
+    /// reveal-authenticate). The span id is deterministic — the shard's
+    /// verified-datagram ordinal shifted left 8 bits, plus the frame's
+    /// index within its datagram — so two same-seed runs narrate the
+    /// same spans. All `*_ns` fields collapse to 0 under frozen clocks.
+    ///
+    /// Stage timings are `u32` nanoseconds (saturating at ~4.29 s): the
+    /// span is the hottest record on the verify path — one per frame —
+    /// and the narrower fields keep the ring slot, and with it the
+    /// recorder's per-frame memory traffic, small. A stage that truly
+    /// runs past 4 s is an outage, not a latency sample.
+    FrameSpan {
+        /// Deterministic span id: `(datagram_ordinal << 8) | frame_idx`.
+        /// The record's source field carries the shard.
+        span: u64,
+        /// The interval index the frame claimed.
+        interval: u64,
+        /// The frame's verify outcome label (same set as `VerifyEnd`).
+        outcome: &'static str,
+        /// Reader-side routing + copy time before the shard queue.
+        ingress_ns: u32,
+        /// Enqueue → worker-pop wait.
+        queue_ns: u32,
+        /// Datagram decode/reassembly time (shared by packed frames).
+        decode_ns: u32,
+        /// This frame's share of its window's batch-prefetch time
+        /// (0 on the unwindowed drain path).
+        prefetch_ns: u32,
+        /// Verifier time for announce-path frames (0 for reveals).
+        verify_ns: u32,
+        /// Reservoir-decision bookkeeping time (0 when the frame never
+        /// reached a buffer).
+        buffer_ns: u32,
+        /// Verifier time for reveal-authenticate frames (0 for
+        /// announces).
+        reveal_ns: u32,
+    },
+    /// A control-plane estimator sample: the per-interval forged-share
+    /// measurement (ppm) and the EWMA estimate `p̂` it produced, stamped
+    /// with the epoch in force when the sample landed.
+    ControlEstimate {
+        /// The control-plane epoch after this step (unchanged unless
+        /// the sample also fired a directive).
+        epoch: u64,
+        /// The raw per-step forged-share sample in parts-per-million.
+        sample_ppm: u64,
+        /// The post-sample EWMA estimate `p̂` in parts-per-million.
+        p_hat_ppm: u64,
+    },
 }
 
 impl TraceEvent {
@@ -126,6 +178,8 @@ impl TraceEvent {
             Self::SessionEvicted { .. } => "session_evicted",
             Self::ShedDecision { .. } => "shed_decision",
             Self::PostureChange { .. } => "posture_change",
+            Self::FrameSpan { .. } => "frame_span",
+            Self::ControlEstimate { .. } => "control_estimate",
         }
     }
 }
@@ -207,6 +261,36 @@ impl TraceRecord {
                 .u64("to_m", *to_m)
                 .u64("p_permille", *p_permille)
                 .bool("give_up", *give_up),
+            TraceEvent::FrameSpan {
+                span,
+                interval,
+                outcome,
+                ingress_ns,
+                queue_ns,
+                decode_ns,
+                prefetch_ns,
+                verify_ns,
+                buffer_ns,
+                reveal_ns,
+            } => base
+                .u64("span", *span)
+                .u64("interval", *interval)
+                .str("outcome", outcome)
+                .u64("ingress_ns", u64::from(*ingress_ns))
+                .u64("queue_ns", u64::from(*queue_ns))
+                .u64("decode_ns", u64::from(*decode_ns))
+                .u64("prefetch_ns", u64::from(*prefetch_ns))
+                .u64("verify_ns", u64::from(*verify_ns))
+                .u64("buffer_ns", u64::from(*buffer_ns))
+                .u64("reveal_ns", u64::from(*reveal_ns)),
+            TraceEvent::ControlEstimate {
+                epoch,
+                sample_ppm,
+                p_hat_ppm,
+            } => base
+                .u64("epoch", *epoch)
+                .u64("sample_ppm", *sample_ppm)
+                .u64("p_hat_ppm", *p_hat_ppm),
         }
         .finish()
     }
@@ -230,22 +314,33 @@ impl TraceSink for NullSink {
 /// A bounded ring buffer keeping the most recent records; older ones
 /// are shed and counted. This is the in-memory sink the pool shards
 /// use — bounded so a flood cannot turn tracing into an allocator
-/// attack on the defender.
+/// attack on the defender. Once the backing store is warm the ring is
+/// allocation-free: a full ring overwrites its oldest slot in place
+/// rather than shuffling a deque, which keeps the per-record cost flat
+/// on the verify hot path.
 #[derive(Debug, Clone, Default)]
 pub struct RingSink {
     capacity: usize,
-    records: VecDeque<TraceRecord>,
+    records: Vec<TraceRecord>,
+    /// Oldest slot (the next overwrite target) once the ring is full.
+    head: usize,
     shed: u64,
 }
 
 impl RingSink {
+    /// Storage preallocated up front, so a forensic-depth ring pays its
+    /// allocator bill at setup instead of mid-campaign. Deeper rings
+    /// grow amortized past this point.
+    const PREALLOC_CAP: usize = 1 << 16;
+
     /// A ring holding at most `capacity` records (0 disables retention:
     /// every record is shed and counted).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            records: VecDeque::with_capacity(capacity.min(4096)),
+            records: Vec::with_capacity(capacity.min(Self::PREALLOC_CAP)),
+            head: 0,
             shed: 0,
         }
     }
@@ -256,16 +351,20 @@ impl RingSink {
         self.shed
     }
 
-    /// Records currently retained, oldest first.
-    #[must_use]
-    pub fn records(&self) -> &VecDeque<TraceRecord> {
-        &self.records
+    /// Records currently retained, oldest first. A ring that has not
+    /// wrapped has `head == 0`, so the chain's first arm is the whole
+    /// store and the second is empty.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records[self.head..]
+            .iter()
+            .chain(&self.records[..self.head])
     }
 
     /// Consumes the ring, returning retained records oldest first.
     #[must_use]
-    pub fn into_records(self) -> Vec<TraceRecord> {
-        self.records.into()
+    pub fn into_records(mut self) -> Vec<TraceRecord> {
+        self.records.rotate_left(self.head);
+        self.records
     }
 }
 
@@ -275,11 +374,16 @@ impl TraceSink for RingSink {
             self.shed = self.shed.saturating_add(1);
             return;
         }
-        if self.records.len() >= self.capacity {
-            self.records.pop_front();
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.records[self.head] = record;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
             self.shed = self.shed.saturating_add(1);
         }
-        self.records.push_back(record);
     }
 }
 
@@ -290,27 +394,32 @@ pub struct JsonlSink<W: Write> {
 }
 
 impl JsonlSink<io::BufWriter<std::fs::File>> {
-    /// Creates `path` and writes the header line — the only place wall
-    /// time appears in a trace, which is why trace diffs compare from
-    /// line 2 (`tail -n +2`).
+    /// Creates `path` and writes the header line. The header timestamp
+    /// is read from `time` — the run's own [`TimeSource`] — so a
+    /// deterministic run (frozen or manual clocks) produces a
+    /// byte-identical whole file and ci gates can `cmp` traces without
+    /// skipping the header; only a wall-clocked run stamps real time.
     ///
     /// # Errors
     ///
     /// File creation / write errors.
-    pub fn create(path: &str) -> io::Result<Self> {
+    pub fn create(path: &str, time: &TimeSource) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         let mut writer = io::BufWriter::new(file);
-        let wall_ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
-        let header = JsonObject::new()
-            .str("trace", "dap-obs")
-            .u64("version", 1)
-            .u64("wall_unix_ms", wall_ms)
-            .finish();
-        writeln!(writer, "{header}")?;
+        writeln!(writer, "{}", header_line(time.now_ns()))?;
         Ok(Self { writer })
     }
+}
+
+/// The JSONL header line (no trailing newline) for a trace whose clock
+/// read `clock_ns` at creation.
+#[must_use]
+pub fn header_line(clock_ns: u64) -> String {
+    JsonObject::new()
+        .str("trace", "dap-obs")
+        .u64("version", 2)
+        .u64("clock_ns", clock_ns)
+        .finish()
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -397,7 +506,10 @@ impl<S: TraceSink> TraceEmitter<S> {
 /// seeded run is byte-identical across executions regardless of how
 /// threads interleaved.
 pub fn sort_records(records: &mut [TraceRecord]) {
-    records.sort_by_key(|r| (r.source, r.seq));
+    // (source, seq) is unique per record, so the unstable sort is
+    // order-equivalent and skips the stable sort's scratch allocation —
+    // measurable on six-figure incident traces.
+    records.sort_unstable_by_key(|r| (r.source, r.seq));
 }
 
 /// Renders records as JSONL (one line each, trailing newline after the
@@ -452,12 +564,14 @@ mod tests {
             ring.record(sample(0, seq));
         }
         assert_eq!(ring.shed(), 3);
-        let kept: Vec<u64> = ring.records().iter().map(|r| r.seq).collect();
+        let kept: Vec<u64> = ring.records().map(|r| r.seq).collect();
         assert_eq!(kept, vec![3, 4]);
+        assert_eq!(ring.clone().into_records().len(), 2);
+        assert_eq!(ring.into_records()[0].seq, 3);
         let mut zero = RingSink::new(0);
         zero.record(sample(0, 0));
         assert_eq!(zero.shed(), 1);
-        assert!(zero.records().is_empty());
+        assert_eq!(zero.records().count(), 0);
     }
 
     #[test]
@@ -507,6 +621,23 @@ mod tests {
                 p_permille: 800,
                 give_up: false,
             },
+            TraceEvent::FrameSpan {
+                span: (12 << 8) | 1,
+                interval: 2,
+                outcome: "auth",
+                ingress_ns: 1,
+                queue_ns: 2,
+                decode_ns: 3,
+                prefetch_ns: 4,
+                verify_ns: 0,
+                buffer_ns: 5,
+                reveal_ns: 6,
+            },
+            TraceEvent::ControlEstimate {
+                epoch: 1,
+                sample_ppm: 900_000,
+                p_hat_ppm: 512_345,
+            },
         ];
         for event in events {
             let name = event.name();
@@ -531,6 +662,16 @@ mod tests {
         let text = String::from_utf8(bytes).expect("utf8");
         assert_eq!(text.lines().count(), 2);
         assert_eq!(render_jsonl(&[sample(0, 0), sample(0, 1)]), text);
+    }
+
+    #[test]
+    fn header_line_is_deterministic_under_frozen_clocks() {
+        let frozen = TimeSource::frozen();
+        assert_eq!(header_line(frozen.now_ns()), header_line(frozen.now_ns()));
+        assert_eq!(
+            header_line(0),
+            "{\"trace\":\"dap-obs\",\"version\":2,\"clock_ns\":0}"
+        );
     }
 
     #[test]

@@ -481,6 +481,26 @@ pub mod keys {
     pub const CONTROL_M: &str = "control.m";
     /// Control plane: 1 when the §V give-up switch ended the run on.
     pub const CONTROL_GIVE_UP: &str = "control.give_up";
+    /// Control plane: live smoothed forged-fraction estimate gauge (ppm).
+    pub const CONTROL_GAUGE_P_HAT_PPM: &str = "control.gauge.p_hat_ppm";
+    /// Control plane: live posture-epoch gauge.
+    pub const CONTROL_GAUGE_EPOCH: &str = "control.gauge.epoch";
+    /// Control plane: live reservoir-count gauge (buffers per interval).
+    pub const CONTROL_GAUGE_M: &str = "control.gauge.m";
+    /// Flight recorder: reader-side ingress routing+copy (histogram, ns).
+    pub const NET_STAGE_INGRESS_NS: &str = "net.stage.ingress_ns";
+    /// Flight recorder: enqueue → worker-pop wait (histogram, ns).
+    pub const NET_STAGE_QUEUE_WAIT_NS: &str = "net.stage.queue_wait_ns";
+    /// Flight recorder: datagram decode (histogram, ns).
+    pub const NET_STAGE_DECODE_NS: &str = "net.stage.decode_ns";
+    /// Flight recorder: per-frame batch-prefetch share (histogram, ns).
+    pub const NET_STAGE_PREFETCH_NS: &str = "net.stage.prefetch_ns";
+    /// Flight recorder: announce-path verify (histogram, ns).
+    pub const NET_STAGE_VERIFY_NS: &str = "net.stage.verify_ns";
+    /// Flight recorder: reservoir-decision bookkeeping (histogram, ns).
+    pub const NET_STAGE_BUFFER_NS: &str = "net.stage.buffer_ns";
+    /// Flight recorder: reveal-authenticate path (histogram, ns).
+    pub const NET_STAGE_REVEAL_AUTH_NS: &str = "net.stage.reveal_auth_ns";
     /// Wire medium: frames sent.
     pub const NET_WIRE_SENT: &str = "net.wire.sent";
     /// Wire medium: frames lost.
@@ -585,6 +605,16 @@ pub mod keys {
         CONTROL_DIRECTIVES,
         CONTROL_M,
         CONTROL_GIVE_UP,
+        CONTROL_GAUGE_P_HAT_PPM,
+        CONTROL_GAUGE_EPOCH,
+        CONTROL_GAUGE_M,
+        NET_STAGE_INGRESS_NS,
+        NET_STAGE_QUEUE_WAIT_NS,
+        NET_STAGE_DECODE_NS,
+        NET_STAGE_PREFETCH_NS,
+        NET_STAGE_VERIFY_NS,
+        NET_STAGE_BUFFER_NS,
+        NET_STAGE_REVEAL_AUTH_NS,
         NET_WIRE_SENT,
         NET_WIRE_LOST,
         NET_WIRE_CORRUPTED,

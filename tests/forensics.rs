@@ -1,0 +1,132 @@
+//! Forensic-layer gates: the JSONL trace dialect round-trips
+//! byte-identically, a seeded flood soak audits clean, a corrupted
+//! capture is flagged with its line number, and the daptrace report is
+//! byte-stable across same-seed runs — the library-level versions of
+//! what the ci.sh `daptrace` gate checks through the binary.
+
+use std::collections::BTreeSet;
+
+use crowdsense_dap::net::forensics;
+use crowdsense_dap::net::loopback::{run_loopback, LoopbackSpec};
+use crowdsense_dap::obs::{header_line, parse_trace, render_jsonl, TraceEvent};
+
+/// The seeded flood capture every test here forensically examines:
+/// heavy flood (`p = 0.9`), deep enough rings that nothing is shed,
+/// spans on every frame.
+fn flood_trace() -> Vec<crowdsense_dap::obs::TraceRecord> {
+    let spec = LoopbackSpec {
+        intervals: 60,
+        trace_depth: 65_536,
+        span_every: 1,
+        ..LoopbackSpec::default()
+    };
+    let report = run_loopback(&spec);
+    assert!(!report.trace.is_empty(), "traced run must produce records");
+    report.trace
+}
+
+#[test]
+fn jsonl_round_trip_is_byte_identical() {
+    let records = flood_trace();
+    // The on-disk shape: the frozen-clock header line plus one record
+    // per line — exactly what `dapd --trace-out` writes.
+    let text = format!("{}\n{}", header_line(0), render_jsonl(&records));
+    let parsed = parse_trace(&text).expect("own render must parse");
+    let header = parsed.header.expect("header line present");
+    let rendered = format!(
+        "{}\n{}",
+        header_line(header.clock_ns),
+        render_jsonl(&parsed.records)
+    );
+    assert_eq!(text, rendered, "parse → re-render must be byte-identical");
+}
+
+#[test]
+fn seeded_flood_soak_audits_clean() {
+    let records = flood_trace();
+    let text = render_jsonl(&records);
+    let parsed = parse_trace(&text).expect("flood trace parses");
+    let violations = forensics::audit(&parsed, &BTreeSet::new());
+    assert!(
+        violations.is_empty(),
+        "pipeline trace must satisfy its own invariants: {:?}",
+        violations.first()
+    );
+    // The run floods at p = 0.9 from the first interval, so the
+    // forged-share trajectory crosses the onset threshold immediately.
+    let trajectory = forensics::forged_share_trajectory(&parsed);
+    let onset = forensics::attack_onset(&trajectory);
+    assert!(onset.is_some(), "constant 0.9 flood must register an onset");
+}
+
+#[test]
+fn corrupted_line_is_flagged_with_its_line_number() {
+    let records = flood_trace();
+    let text = render_jsonl(&records);
+    // Corrupt the first verify_end by renaming its outcome to a label
+    // no writer produces — classic single-line tamper.
+    let target = text
+        .lines()
+        .position(|l| l.contains("\"ev\":\"verify_end\""))
+        .expect("flood trace has verify_end records");
+    let tampered: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == target {
+                l.replace("\"outcome\":\"", "\"outcome\":\"hacked_")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let err = parse_trace(&tampered).expect_err("tampered line must not parse");
+    assert_eq!(err.line, target + 1, "violation names the tampered line");
+}
+
+#[test]
+fn audit_flags_a_forged_causal_stream() {
+    // Parsing alone cannot catch a *well-formed* lie; the audit must.
+    // Splice a session eviction for a pinned sender into an otherwise
+    // clean capture.
+    let mut records = flood_trace();
+    let last_seq = records
+        .iter()
+        .filter(|r| r.source == 0)
+        .map(|r| r.seq)
+        .max()
+        .expect("shard 0 emitted");
+    records.push(crowdsense_dap::obs::TraceRecord {
+        source: 0,
+        seq: last_seq + 1,
+        at: 0,
+        event: TraceEvent::SessionEvicted {
+            sender: 7,
+            shard: 0,
+            occupancy: 0,
+        },
+    });
+    crowdsense_dap::obs::sort_records(&mut records);
+    let parsed = parse_trace(&render_jsonl(&records)).expect("splice still parses");
+    let pinned: BTreeSet<u64> = [7].into();
+    let violations = forensics::audit(&parsed, &pinned);
+    assert!(
+        violations.iter().any(|v| v.rule == "pin-respected"),
+        "evicting a pinned sender must be flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn report_is_byte_stable_across_same_seed_runs() {
+    let first = flood_trace();
+    let second = flood_trace();
+    let report_a = forensics::render_report(&parse_trace(&render_jsonl(&first)).expect("parses"));
+    let report_b = forensics::render_report(&parse_trace(&render_jsonl(&second)).expect("parses"));
+    assert_eq!(report_a, report_b, "same seed ⇒ byte-identical report");
+    assert!(report_a.contains("stage"), "report carries the stage table");
+    assert!(
+        report_a.contains("frame_span"),
+        "report census counts flight-recorder spans"
+    );
+}

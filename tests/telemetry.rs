@@ -5,7 +5,10 @@
 //! trace JSONL — that equality is what lets a flood incident be captured
 //! once and replayed/diffed forever (see EXPERIMENTS.md).
 
+use std::sync::Arc;
+
 use crowdsense_dap::net::loopback::{run_loopback_with, LoopbackReport, LoopbackSpec};
+use crowdsense_dap::net::telemetry::SharedRegistry;
 use crowdsense_dap::obs::{render_jsonl, TraceEvent};
 use crowdsense_dap::simnet::keys;
 
@@ -23,6 +26,7 @@ fn traced_spec() -> LoopbackSpec {
         flood_end: None,
         adaptive: false,
         trace_depth: 65_536,
+        span_every: 1,
     }
 }
 
@@ -87,6 +91,78 @@ fn trace_agrees_with_the_counters_it_narrates() {
         m.get(keys::NET_WIRE_LOST) + m.get(keys::NET_WIRE_CORRUPTED),
         "every injected wire fault leaves a trace record"
     );
+}
+
+#[test]
+fn span_recorder_narrates_every_decoded_frame_and_feeds_stage_histograms() {
+    let report = run_traced();
+    let m = &report.metrics;
+    // span_every = 1: one FrameSpan per decoded frame, emitted after
+    // the frame's causal events.
+    let spans = report
+        .trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::FrameSpan { .. }))
+        .count() as u64;
+    assert_eq!(
+        spans,
+        m.get(keys::NET_INGRESS_FRAMES) - m.get(keys::NET_DECODE_ERRORS),
+        "every decoded frame gets exactly one flight-recorder span"
+    );
+    // The stage histograms carry one sample per span on the per-frame
+    // stages (counts fingerprint the run; frozen clocks zero durations).
+    let verify_stage = report
+        .registry
+        .get_histogram(keys::NET_STAGE_VERIFY_NS)
+        .expect("stage histograms present under span_every > 0");
+    assert_eq!(verify_stage.count(), spans);
+    assert_eq!(verify_stage.max(), Some(0), "frozen clocks zero the stages");
+    assert!(report
+        .registry
+        .get_histogram(keys::NET_STAGE_QUEUE_WAIT_NS)
+        .is_some());
+}
+
+#[test]
+fn adaptive_run_exposes_control_gauges_on_the_telemetry_snapshot() {
+    // An adaptive ramp with a provisioned control slot (shards + 1)
+    // publishes the plane's live posture as Prometheus gauges.
+    let spec = LoopbackSpec {
+        intervals: 160,
+        flood: 0.1,
+        flood_end: Some(0.9),
+        adaptive: true,
+        trace_depth: 0,
+        span_every: 0,
+        ..traced_spec()
+    };
+    let shared = Arc::new(SharedRegistry::new(spec.shards + 1));
+    let report = run_loopback_with(&spec, Some(Arc::clone(&shared)));
+    assert!(
+        report.metrics.get(keys::CONTROL_SAMPLES) > 0,
+        "the ramp must feed the estimator"
+    );
+    let text = shared.snapshot().render_prometheus();
+    for family in [
+        "# TYPE control_gauge_p_hat_ppm gauge",
+        "# TYPE control_gauge_epoch gauge",
+        "# TYPE control_gauge_m gauge",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    // The ramp ends near p = 0.9: the live estimate gauge must have
+    // left zero, and the commanded m must be a live value >= 1.
+    let shot = shared.snapshot();
+    let p_hat = shot
+        .get_gauge(keys::CONTROL_GAUGE_P_HAT_PPM)
+        .and_then(|g| g.last())
+        .expect("p̂ gauge set");
+    assert!(p_hat > 0, "estimate gauge never moved");
+    let live_m = shot
+        .get_gauge(keys::CONTROL_GAUGE_M)
+        .and_then(|g| g.last())
+        .expect("m gauge set");
+    assert!(live_m >= 1);
 }
 
 #[test]
